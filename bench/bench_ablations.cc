@@ -1,0 +1,147 @@
+// Ablations on the design choices DESIGN.md calls out:
+//   1. Group commit x thread count (the Section 3.4/3.5 interplay: "the
+//      utility of a multithreaded transaction manager is determined by whether
+//      group commit is turned on").
+//   2. The commit-ack piggyback delay vs the unoptimized protocol's
+//      subordinate force count (the Section 3.2 dissection, question 4).
+//   3. Sensitivity of the static-analysis error to network jitter (the paper:
+//      "the method seems less accurate with smaller transactions").
+#include <cstdio>
+
+#include "src/harness/experiments.h"
+#include "src/stats/table.h"
+
+int main() {
+  using namespace camelot;
+
+  std::printf("=== Ablation 1: group commit x TranMan threads (update TPS, 4 pairs) ===\n\n");
+  {
+    Table table({"THREADS", "group commit OFF", "group commit ON", "GC gain"});
+    for (size_t threads : {1u, 5u, 20u}) {
+      double tps[2] = {0, 0};
+      int i = 0;
+      for (bool gc : {false, true}) {
+        ThroughputConfig cfg;
+        cfg.pairs = 4;
+        cfg.kind = TxnKind::kWrite;
+        cfg.tranman_threads = threads;
+        cfg.group_commit = gc;
+        cfg.duration = Sec(60);
+        tps[i++] = RunThroughputExperiment(cfg).tps;
+      }
+      char gain[32];
+      std::snprintf(gain, sizeof(gain), "%+.0f%%", (tps[1] / tps[0] - 1.0) * 100.0);
+      table.AddRow({std::to_string(threads), Table::Num(tps[0], 1), Table::Num(tps[1], 1),
+                    gain});
+    }
+    table.Print();
+    std::printf("\nTwo findings: (a) 5 and 20 threads are identical in BOTH columns — the\n"
+                "logger, not transaction management, is the update-test bottleneck; and\n"
+                "(b) the 1-thread ceiling comes from the worker being occupied for every\n"
+                "force, so the highest throughput needs BOTH multithreading and group\n"
+                "commit — the paper's \"multithreaded design improves throughput provided\n"
+                "that log batching is used\".\n\n");
+  }
+
+  std::printf("=== Ablation 2: the Section 3.2 dissection (1-sub update latency) ===\n\n");
+  {
+    Table table({"VARIANT (force commit rec / piggyback ack)", "completion ms",
+                 "critical path ms", "sub disk writes/txn"});
+    struct V {
+      const char* name;
+      CommitOptions options;
+    };
+    for (const V& v : {V{"optimized (no / yes)", CommitOptions::Optimized()},
+                       V{"intermediate (yes / yes)", CommitOptions::Intermediate()},
+                       V{"unoptimized (yes / no)", CommitOptions::Unoptimized()}}) {
+      LatencyConfig cfg;
+      cfg.subordinates = 1;
+      cfg.kind = TxnKind::kWrite;
+      cfg.options = v.options;
+      cfg.repetitions = 100;
+      cfg.pipelined = false;  // Isolated transactions: measure the critical path.
+      LatencyResult r = RunLatencyExperiment(cfg);
+      table.AddRow({v.name, r.total_ms.MeanStddevString(), r.critical_ms.MeanStddevString(),
+                    v.options.force_subordinate_commit ? "2" : "1 (+1 lazy)"});
+    }
+    table.Print();
+    std::printf("\nCompletion latency is identical across variants (the coordinator never\n"
+                "waits for the subordinate's commit record); the critical path and the\n"
+                "subordinate's forced-write count carry the whole difference.\n"
+                "\"Throughput is improved at no cost to latency.\"\n\n");
+  }
+
+  std::printf("=== Ablation 3: message piggybacking (Section 4.2's batching remark) ===\n\n");
+  {
+    Table table({"PIGGYBACK DELAY", "datagrams / committed txn", "acks piggybacked"});
+    for (SimDuration delay : {SimDuration{0}, Usec(50000), Usec(300000)}) {
+      WorldConfig wcfg;
+      wcfg.site_count = 2;
+      wcfg.tranman.piggyback_delay = delay;
+      World world(wcfg);
+      for (int i = 0; i < 2; ++i) {
+        world.AddServer(i, "server:" + std::to_string(i))
+            ->CreateObjectForSetup("obj", EncodeInt64(0));
+      }
+      AppClient app(world.site(0));
+      auto committed = world.RunSync([](AppClient& a) -> Async<int> {
+        int ok = 0;
+        for (int i = 0; i < 30; ++i) {
+          auto b = co_await a.Begin();
+          co_await a.WriteInt(*b, "server:0", "obj", i);
+          co_await a.WriteInt(*b, "server:1", "obj", i);
+          Status st = co_await a.Commit(*b);
+          if (st.ok()) {
+            ++ok;
+          }
+        }
+        co_return ok;
+      }(app));
+      const double per_txn = static_cast<double>(world.net().counters().datagrams_sent) /
+                             std::max(1, committed.value_or(1));
+      char label[32];
+      std::snprintf(label, sizeof(label), "%.0f ms", ToMs(delay));
+      table.AddRow({delay == 0 ? "off" : label, Table::Num(per_txn, 1),
+                    std::to_string(world.site(1).tranman().counters().messages_piggybacked)});
+    }
+    table.Print();
+    std::printf("\n\"Message batching (piggybacking) could be used to decrease the number of\n"
+                "inter-TranMan messages used per commitment. Camelot batches only those\n"
+                "messages that are not in the critical path\" — here the subordinate's\n"
+                "commit-ack rides the next transaction's protocol traffic.\n\n");
+  }
+
+  std::printf("=== Ablation 4: static-analysis error vs network jitter ===\n\n");
+  {
+    Table table({"JITTER", "local update err", "1-sub update err", "1-sub read err"});
+    for (bool jitter : {false, true}) {
+      std::vector<std::string> row{jitter ? "realistic" : "none"};
+      struct C {
+        TxnKind kind;
+        int subs;
+        CommitProtocol protocol;
+      };
+      for (const C& c : {C{TxnKind::kWrite, 0, CommitProtocol::kTwoPhase},
+                         C{TxnKind::kWrite, 1, CommitProtocol::kTwoPhase},
+                         C{TxnKind::kRead, 1, CommitProtocol::kTwoPhase}}) {
+        LatencyConfig cfg;
+        cfg.subordinates = c.subs;
+        cfg.kind = c.kind;
+        cfg.repetitions = 100;
+        cfg.deterministic = !jitter;
+        LatencyResult r = RunLatencyExperiment(cfg);
+        const double predicted = CompletionPath(c.protocol, c.kind, c.subs).TotalMs();
+        char err[32];
+        std::snprintf(err, sizeof(err), "%+.1f%%",
+                      (r.total_ms.mean() - predicted) / predicted * 100.0);
+        row.push_back(err);
+      }
+      table.AddRow(row);
+    }
+    table.Print();
+    std::printf("\nThe static method's error is dominated by unmodelled CPU when the network\n"
+                "is quiet and grows with jitter; relative error is largest for the smallest\n"
+                "transactions, exactly the paper's observation about the method.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Figure 3: "Latency of Transactions, Non-blocking Commit (subordinates vs ms)".
+//
+// The same minimal-transaction experiment as Figure 2 but committing with the
+// non-blocking protocol. The paper's findings: the write critical path is
+// about twice two-phase commit's (4 vs 2 log forces, 5 vs 3 messages), the
+// measured ratio is "somewhat less than twice", reads are optimized down to
+// the two-phase shape, and the static analysis underestimates (150 predicted
+// for the 1-subordinate write; ~70 predicted / ~101 measured for the read).
+#include <cstdio>
+
+#include "src/harness/experiments.h"
+#include "src/stats/ascii_chart.h"
+#include "src/stats/table.h"
+
+int main() {
+  using namespace camelot;
+  std::printf("=== Figure 3: Latency of Transactions, Non-blocking Commit ===\n");
+  std::printf("(100 repetitions per point; mean ms with stddev in parentheses)\n\n");
+
+  Table table({"SERIES", "1 sub", "2 subs", "3 subs"});
+  AsciiChart chart("subordinates", "latency (ms)");
+  LatencyResult writes[4];
+  LatencyResult reads[4];
+  for (auto [kind, label] :
+       {std::pair{TxnKind::kWrite, "Write"}, std::pair{TxnKind::kRead, "Read"}}) {
+    std::vector<std::string> row{label};
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (int subs = 1; subs <= 3; ++subs) {
+      LatencyConfig cfg;
+      cfg.subordinates = subs;
+      cfg.kind = kind;
+      cfg.options = CommitOptions::NonBlocking();
+      cfg.repetitions = 100;
+      cfg.seed = 29 + static_cast<uint64_t>(subs);
+      LatencyResult result = RunLatencyExperiment(cfg);
+      row.push_back(result.total_ms.MeanStddevString());
+      xs.push_back(subs);
+      ys.push_back(result.total_ms.mean());
+      (kind == TxnKind::kWrite ? writes : reads)[subs] = result;
+    }
+    table.AddRow(row);
+    chart.AddSeries(label, kind == TxnKind::kWrite ? 'W' : 'R', xs, ys);
+  }
+  for (auto [results, label] : {std::pair{&writes[0], "TranMgmt, write"},
+                                std::pair{&reads[0], "TranMgmt, read"}}) {
+    std::vector<std::string> row{label};
+    for (int subs = 1; subs <= 3; ++subs) {
+      row.push_back(results[subs].tm_ms.MeanStddevString());
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  std::printf("\n");
+  chart.Print();
+
+  // The headline ratio: non-blocking vs optimized two-phase at each N.
+  std::printf("\nNon-blocking / two-phase write-latency ratio (paper: \"somewhat less than\n"
+              "twice as high\", with static ratios 4/2 forces and 5/3 messages):\n");
+  for (int subs = 1; subs <= 3; ++subs) {
+    LatencyConfig cfg;
+    cfg.subordinates = subs;
+    cfg.kind = TxnKind::kWrite;
+    cfg.options = CommitOptions::Optimized();
+    cfg.repetitions = 100;
+    cfg.seed = 57 + static_cast<uint64_t>(subs);
+    LatencyResult two_phase = RunLatencyExperiment(cfg);
+    std::printf("  %d sub(s): %.0f / %.0f = %.2f\n", subs, writes[subs].total_ms.mean(),
+                two_phase.total_ms.mean(), writes[subs].total_ms.mean() /
+                                               two_phase.total_ms.mean());
+  }
+  std::printf("\nPaper reference points: 1-sub write ~145-160 measured vs 150 static;\n"
+              "1-sub read measured ~101 vs 70 static (\"quite far\"); variance remains high.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 4: "Update Transaction Throughput (Appl./server pairs vs TPS)".
+//
+// N application/server pairs on one (VAX 8200-profile) site run minimal update
+// transactions in a closed loop; series vary the TranMan worker-thread count
+// (1 / 5 / 20) and, for the top series, enable group commit. The paper's
+// findings, all of which must reproduce:
+//   - the logger is the bottleneck in update tests;
+//   - 20 threads ~= 5 threads (more evidence logging is the bottleneck);
+//   - 1 thread is clearly worse: a thread is OCCUPIED for the whole log force,
+//     so a single thread can have only one force outstanding — which is also
+//     why "the utility of a multithreaded transaction manager is determined by
+//     whether group commit is turned on";
+//   - group commit on top.
+#include <cstdio>
+
+#include "src/harness/experiments.h"
+#include "src/stats/ascii_chart.h"
+#include "src/stats/table.h"
+
+int main() {
+  using namespace camelot;
+  std::printf("=== Figure 4: Update Transaction Throughput (pairs vs TPS) ===\n");
+  std::printf("(VAX 8200 profile: 3x IPC costs, bursty kernel on one master processor,\n");
+  std::printf(" shared-disk log force; 60 s of virtual time per point)\n\n");
+
+  struct Series {
+    const char* name;
+    size_t threads;
+    bool group_commit;
+  };
+  const Series series[] = {
+      {"Group commit (20 thr)", 20, true},
+      {"20 threads", 20, false},
+      {"5 threads", 5, false},
+      {"1 thread", 1, false},
+  };
+
+  Table table({"SERIES", "1 pair", "2 pairs", "3 pairs", "4 pairs"});
+  AsciiChart chart("app/server pairs", "update TPS");
+  const char markers[] = {'G', '2', '5', '1'};
+  int series_index = 0;
+  for (const auto& s : series) {
+    std::vector<std::string> row{s.name};
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (int pairs = 1; pairs <= 4; ++pairs) {
+      ThroughputConfig cfg;
+      cfg.pairs = pairs;
+      cfg.kind = TxnKind::kWrite;
+      cfg.tranman_threads = s.threads;
+      cfg.group_commit = s.group_commit;
+      cfg.duration = Sec(60);
+      cfg.seed = 5 + static_cast<uint64_t>(pairs);
+      ThroughputResult result = RunThroughputExperiment(cfg);
+      row.push_back(Table::Num(result.tps, 1));
+      xs.push_back(pairs);
+      ys.push_back(result.tps);
+    }
+    table.AddRow(row);
+    chart.AddSeries(s.name, markers[series_index++ % 4], xs, ys);
+  }
+  table.Print();
+  std::printf("\n");
+  chart.Print();
+
+  std::printf("\nPaper reference (Figure 4, 4 pairs): group commit ~9.5, 20 thr ~8.5,\n");
+  std::printf("5 thr ~8, 1 thread ~6.5 TPS (absolute numbers testbed-specific; the\n");
+  std::printf("ORDERING and the 1-thread saturation are the reproduced result).\n");
+  std::printf("Growth 1->2 pairs should be visibly smaller than the read test's\n");
+  std::printf("(paper: 32%% vs 52%%), because every update transaction drags a log force.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 5: "Read Transaction Throughput (Appl./server pairs vs TPS)".
+//
+// Same closed-loop experiment as Figure 4 but with read-only transactions, so
+// the logger is idle and the TranMan + message system carry all the load. The
+// paper's findings: a single TranMan thread "can accommodate more than 1
+// client but not more than 2" (the curve flattens); 5 and 20 threads yield
+// somewhat better results (so the 1-thread experiment is TranMan-bound, not
+// OS-bound); and reads grow faster with offered load than updates do.
+#include <cstdio>
+
+#include "src/harness/experiments.h"
+#include "src/stats/ascii_chart.h"
+#include "src/stats/table.h"
+
+int main() {
+  using namespace camelot;
+  std::printf("=== Figure 5: Read Transaction Throughput (pairs vs TPS) ===\n");
+  std::printf("(VAX 8200 profile; 60 s of virtual time per point)\n\n");
+
+  Table table({"SERIES", "1 pair", "2 pairs", "3 pairs", "4 pairs"});
+  AsciiChart chart("app/server pairs", "read TPS");
+  uint64_t queued_at_4[3] = {0, 0, 0};
+  const char markers[] = {'2', '5', '1'};
+  double one_pair[3] = {0, 0, 0};
+  double two_pair[3] = {0, 0, 0};
+  int series_index = 0;
+  for (size_t threads : {20u, 5u, 1u}) {
+    std::vector<std::string> row{std::to_string(threads) + " thread" +
+                                 (threads == 1 ? "" : "s")};
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (int pairs = 1; pairs <= 4; ++pairs) {
+      ThroughputConfig cfg;
+      cfg.pairs = pairs;
+      cfg.kind = TxnKind::kRead;
+      cfg.tranman_threads = threads;
+      cfg.duration = Sec(60);
+      cfg.seed = 11 + static_cast<uint64_t>(pairs);
+      ThroughputResult result = RunThroughputExperiment(cfg);
+      row.push_back(Table::Num(result.tps, 1));
+      xs.push_back(pairs);
+      ys.push_back(result.tps);
+      if (pairs == 4) {
+        queued_at_4[series_index] = result.pool_queued_events;
+      }
+      if (pairs == 1) {
+        one_pair[series_index] = result.tps;
+      }
+      if (pairs == 2) {
+        two_pair[series_index] = result.tps;
+      }
+    }
+    table.AddRow(row);
+    chart.AddSeries(row[0], markers[series_index % 3], xs, ys);
+    ++series_index;
+  }
+  table.Print();
+  std::printf("\n");
+  chart.Print();
+
+  std::printf("\nGrowth from 1 to 2 pairs: %.0f%% (paper: 52%% for reads vs 32%% for\n",
+              (two_pair[2] / one_pair[2] - 1.0) * 100.0);
+  std::printf("updates at 1 thread — reads scale better because there is no log force).\n");
+  std::printf("\nWhy the 1-thread curve flattens (\"TranMan-bound\"): events queued waiting\n");
+  std::printf("for a worker at 4 pairs — 20 thr: %llu, 5 thr: %llu, 1 thr: %llu.\n",
+              static_cast<unsigned long long>(queued_at_4[0]),
+              static_cast<unsigned long long>(queued_at_4[1]),
+              static_cast<unsigned long long>(queued_at_4[2]));
+  std::printf("Paper reference (Figure 5): 1 thread flattens ~29 TPS by 2-3 pairs; 5 and 20\n");
+  std::printf("threads reach ~36 TPS at 4 pairs and are nearly identical to each other.\n");
+  return 0;
+}

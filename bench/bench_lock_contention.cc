@@ -1,0 +1,103 @@
+// Section 4.2's lock-contention analysis: two pipelined transactions that
+// lock and update the same data element.
+//
+// The paper computes: the second transaction's remote operation reaches the
+// data element ~21 ms after the first commit-transaction call returns, while
+// the first transaction's locks take ~26 ms to drop (commit datagram + commit
+// log force + remote drop-locks call under the unoptimized protocol), so the
+// second operation waits ~5 ms "by this simple analysis" — and the optimized
+// protocol (locks dropped before the commit-record force) removes most of the
+// wait. We measure the second operation's service time directly.
+#include <cstdio>
+
+#include "src/harness/world.h"
+#include "src/stats/summary.h"
+#include "src/stats/table.h"
+
+namespace camelot {
+namespace {
+
+struct Outcome {
+  Summary second_op_wait_ms;  // Extra service time of the contended write.
+  Summary baseline_op_ms;     // Service time of an uncontended write.
+};
+
+Async<void> RunPipelined(World& world, CommitOptions options, int reps, Outcome* out) {
+  AppClient app(world.site(0));
+  Scheduler& sched = world.sched();
+
+  for (int rep = 0; rep < reps; ++rep) {
+    // Uncontended baseline.
+    {
+      auto t1 = co_await app.Begin();
+      const SimTime op_start = sched.now();
+      co_await app.WriteInt(*t1, "server:1", "elem", rep);
+      out->baseline_op_ms.Add(ToMs(sched.now() - op_start));
+      co_await app.Commit(*t1, options);
+      co_await sched.Delay(Usec(250000));
+    }
+    // Pipelined pair: T2's operation is issued the instant T1's commit call
+    // returns (the paper's scenario).
+    auto t1 = co_await app.Begin();
+    co_await app.WriteInt(*t1, "server:1", "elem", rep);
+    Status c1 = co_await app.Commit(*t1, options);
+    if (!c1.ok()) {
+      continue;
+    }
+    auto t2 = co_await app.Begin();
+    const SimTime op_start = sched.now();
+    Status w2 = co_await app.WriteInt(*t2, "server:1", "elem", rep + 1000);
+    if (w2.ok()) {
+      out->second_op_wait_ms.Add(ToMs(sched.now() - op_start));
+      co_await app.Commit(*t2, options);
+    } else {
+      co_await app.Abort(*t2);
+    }
+    co_await sched.Delay(Usec(250000));
+  }
+}
+
+double MeasureWait(CommitOptions options, const char** label) {
+  static Outcome outcome;
+  outcome = Outcome{};
+  WorldConfig cfg;
+  cfg.site_count = 2;
+  cfg.seed = 71;
+  World world(cfg);
+  for (int i = 0; i < 2; ++i) {
+    DataServer* server = world.AddServer(i, "server:" + std::to_string(i));
+    server->CreateObjectForSetup("elem", EncodeInt64(0));
+  }
+  world.sched().Spawn(RunPipelined(world, options, 150, &outcome));
+  world.RunUntilIdle();
+  (void)label;
+  return outcome.second_op_wait_ms.mean() - outcome.baseline_op_ms.mean();
+}
+
+}  // namespace
+}  // namespace camelot
+
+int main() {
+  using namespace camelot;
+  std::printf("=== Section 4.2: lock contention between pipelined transactions ===\n");
+  std::printf("(second transaction updates the same data element at the subordinate;\n");
+  std::printf(" extra wait = contended remote-write time minus uncontended time)\n\n");
+
+  const char* unused = nullptr;
+  const double unopt_wait = MeasureWait(CommitOptions::Unoptimized(), &unused);
+  const double opt_wait = MeasureWait(CommitOptions::Optimized(), &unused);
+
+  Table table({"PROTOCOL VARIANT", "second op extra wait (ms)", "paper's static estimate"});
+  table.AddRow({"Unoptimized (locks drop after commit force)", Table::Num(unopt_wait, 1),
+                "~5 ms (26 - 21)"});
+  table.AddRow({"Optimized (locks drop before commit record)", Table::Num(opt_wait, 1),
+                "~0 (wait removed)"});
+  table.Print();
+
+  std::printf("\nThe unoptimized subordinate holds its write locks through a 15 ms commit\n");
+  std::printf("force; the paper's interleaving analysis predicts the successor operation\n");
+  std::printf("waits ~5 ms (\"could be much longer\" under coordinator interleaving). The\n");
+  std::printf("optimized protocol drops locks first, which is its second benefit: \"locks\n");
+  std::printf("are retained at the subordinate for a slightly shorter time\".\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Section 4.2 / Conclusions: multicast from coordinator to subordinates.
+//
+// "A surprising result is that multicasting messages from coordinator to
+// subordinates reduces variance substantially, suggesting that much of the
+// variance is created by the coordinator's repeated sends" — and, from the
+// conclusions, "multicast communication for coordinator to subordinates does
+// not reduce commit latency, but does reduce variance."
+//
+// We run the 3-subordinate minimal-update experiment with sequential sends vs
+// multicast fan-out and compare means and standard deviations.
+#include <cstdio>
+
+#include "src/harness/experiments.h"
+#include "src/stats/table.h"
+
+int main() {
+  using namespace camelot;
+  std::printf("=== Multicast vs sequential datagram fan-out (3 subordinates) ===\n");
+  std::printf("(200 repetitions per cell; optimized two-phase commit)\n\n");
+
+  Table table({"FAN-OUT", "write mean (stddev) ms", "read mean (stddev) ms"});
+  double uni_stddev = 0;
+  double multi_stddev = 0;
+  for (bool multicast : {false, true}) {
+    std::vector<std::string> row{multicast ? "Multicast" : "Sequential sends"};
+    for (TxnKind kind : {TxnKind::kWrite, TxnKind::kRead}) {
+      LatencyConfig cfg;
+      cfg.subordinates = 3;
+      cfg.kind = kind;
+      cfg.repetitions = 300;
+      cfg.multicast = multicast;
+      cfg.seed = 41;
+      cfg.pipelined = false;  // Isolate each commit so the fan-out variance
+                              // is what gets measured, not lock-wait coupling.
+      LatencyResult result = RunLatencyExperiment(cfg);
+      row.push_back(result.total_ms.MeanStddevString());
+      if (kind == TxnKind::kWrite) {
+        (multicast ? multi_stddev : uni_stddev) = result.total_ms.stddev();
+      }
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+
+  std::printf("\nWrite-latency stddev: sequential %.1f ms -> multicast %.1f ms "
+              "(%.0f%% reduction).\n",
+              uni_stddev, multi_stddev, (1.0 - multi_stddev / uni_stddev) * 100.0);
+  std::printf("Mechanism: sequential fan-out draws one OS-scheduling jitter PER send and\n"
+              "the delays accumulate across the coordinator's back-to-back sends; a\n"
+              "multicast is one physical transmission with one jitter draw shared by the\n"
+              "whole group. The mean barely moves; the spread collapses — the paper's\n"
+              "conclusion 4.\n");
+  return 0;
+}

@@ -1,0 +1,171 @@
+// Bank transfers with crash-recovery: atomicity under fire.
+//
+// Three bank branches, one per site, each holding accounts. A stream of
+// transfers runs between branches under two-phase commit; mid-stream the
+// coordinating site crashes at a nasty moment (after subordinates prepared).
+// The subordinate shows the classic 2PC BLOCKED state (holding locks, asking
+// the dead coordinator for status), then the coordinator restarts, recovery
+// replays its log, and presumed abort / commit-record replay resolve every
+// in-doubt transaction. Total money is conserved throughout.
+//
+// Run:  ./build/examples/bank_transfer
+#include <cstdio>
+#include <string>
+
+#include "src/harness/world.h"
+
+using namespace camelot;
+
+namespace {
+
+std::string Branch(int i) { return "branch:" + std::to_string(i); }
+
+Async<Status> Transfer(AppClient& app, int from, int to, int64_t amount) {
+  auto begin = co_await app.Begin();
+  if (!begin.ok()) {
+    co_return begin.status();
+  }
+  const Tid tid = *begin;
+  auto src = co_await app.ReadInt(tid, Branch(from), "vault");
+  auto dst = co_await app.ReadInt(tid, Branch(to), "vault");
+  if (!src.ok() || !dst.ok()) {
+    co_await app.Abort(tid);
+    co_return AbortedError("read failed");
+  }
+  if (*src < amount) {
+    co_await app.Abort(tid);
+    co_return AbortedError("insufficient funds");
+  }
+  Status w1 = co_await app.WriteInt(tid, Branch(from), "vault", *src - amount);
+  Status w2 = co_await app.WriteInt(tid, Branch(to), "vault", *dst + amount);
+  if (!w1.ok() || !w2.ok()) {
+    co_await app.Abort(tid);
+    co_return AbortedError("write failed");
+  }
+  Status st = co_await app.Commit(tid);
+  co_return st;
+}
+
+int64_t TotalMoney(World& world) {
+  // Audit from a healthy site, transactionally.
+  int up_site = 0;
+  for (int i = 0; i < world.site_count(); ++i) {
+    if (world.site(i).site().up()) {
+      up_site = i;
+      break;
+    }
+  }
+  AppClient auditor(world.site(up_site));
+  auto total = world.RunSync([](AppClient& app, int branches) -> Async<int64_t> {
+    auto begin = co_await app.Begin();
+    int64_t sum = 0;
+    for (int i = 0; i < branches; ++i) {
+      auto v = co_await app.ReadInt(*begin, Branch(i), "vault");
+      if (!v.ok()) {
+        co_await app.Abort(*begin);
+        co_return -1;
+      }
+      sum += *v;
+    }
+    co_await app.Commit(*begin);
+    co_return sum;
+  }(auditor, world.site_count()));
+  return total.value_or(-1);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Bank transfers across three branches, with a coordinator crash ===\n\n");
+  WorldConfig cfg;
+  cfg.site_count = 3;
+  cfg.tranman.outcome_timeout = Usec(600000);  // Snappier blocking demo.
+  World world(cfg);
+  for (int i = 0; i < 3; ++i) {
+    world.AddServer(i, Branch(i))->CreateObjectForSetup("vault", EncodeInt64(1000));
+  }
+  std::printf("Initial: each branch vault holds 1000 (total 3000).\n\n");
+
+  // A stream of transfers from the site-0 application.
+  int committed = 0;
+  int aborted = 0;
+  world.sched().Spawn([](World& w, int* ok, int* bad) -> Async<void> {
+    AppClient app(w.site(0));
+    for (int i = 0; i < 6; ++i) {
+      Status st = co_await Transfer(app, i % 3, (i + 1) % 3, 50);
+      if (st.ok()) {
+        ++*ok;
+        std::printf("[%7.1f ms] transfer #%d committed\n", ToMs(w.sched().now()), i);
+      } else {
+        ++*bad;
+        std::printf("[%7.1f ms] transfer #%d ABORTED: %s\n", ToMs(w.sched().now()), i,
+                    st.ToString().c_str());
+      }
+      if (!w.site(0).site().up()) {
+        co_return;
+      }
+    }
+  }(world, &committed, &aborted));
+
+  // Crash the coordinator the moment some subordinate is prepared (in the
+  // window of vulnerability).
+  auto watcher = std::make_shared<std::function<void()>>();
+  *watcher = [&world, watcher] {
+    for (int s = 1; s < 3; ++s) {
+      for (const auto& rec : world.site(s).log().ReadDurable()) {
+        if (rec.kind == LogRecordKind::kPrepare &&
+            world.site(s).tranman().QueryState(rec.tid.family) == TmTxnState::kPrepared) {
+          std::printf("[%7.1f ms] *** site 0 (coordinator) CRASHES: subordinate %d is "
+                      "prepared and in doubt ***\n",
+                      ToMs(world.sched().now()), s);
+          world.Crash(0);
+          return;
+        }
+      }
+    }
+    world.sched().Post(Usec(500), *watcher);
+  };
+  world.sched().Post(Usec(500), *watcher);
+
+  world.RunFor(Sec(3));
+  std::printf("\n--- 3 s after the crash ---\n");
+  for (int s = 1; s < 3; ++s) {
+    size_t blocked = 0;
+    for (const auto& rec : world.site(s).log().ReadDurable()) {
+      if (rec.kind == LogRecordKind::kPrepare &&
+          world.site(s).tranman().IsBlocked(rec.tid.family)) {
+        ++blocked;
+      }
+    }
+    std::printf("branch %d: %zu BLOCKED prepared transaction(s), %zu lock(s) held\n", s,
+                blocked, world.site(s).server(Branch(s))->locks().held_lock_count());
+  }
+  world.RunUntilIdle();
+
+  std::printf("\n[%7.1f ms] site 0 restarts; recovery replays its log...\n",
+              ToMs(world.sched().now()));
+  world.Restart(0);
+  world.RunUntilIdle();
+
+  std::printf("\n--- After recovery ---\n");
+  int64_t balances[3];
+  AppClient reader(world.site(0));
+  for (int i = 0; i < 3; ++i) {
+    auto v = world.RunSync([](AppClient& app, std::string branch) -> Async<int64_t> {
+      auto begin = co_await app.Begin();
+      auto value = co_await app.ReadInt(*begin, branch, "vault");
+      co_await app.Commit(*begin);
+      co_return value.value_or(-1);
+    }(reader, Branch(i)));
+    balances[i] = v.value_or(-1);
+    std::printf("branch %d vault: %lld\n", i, static_cast<long long>(balances[i]));
+  }
+  const int64_t total = TotalMoney(world);
+  std::printf("\nTotal money: %lld (must be 3000 — every transfer was atomic)\n",
+              static_cast<long long>(total));
+  std::printf("Transfers committed before/after the crash: %d, aborted: %d\n", committed,
+              aborted);
+  std::printf("%s\n", total == 3000 ? "ATOMICITY HELD." : "*** MONEY LEAKED — BUG ***");
+  std::printf("\n--- Operational snapshot ---\n%s", world.StatsReport().c_str());
+  return total == 3000 ? 0 : 1;
+}

@@ -1,0 +1,124 @@
+// Nested transactions (Moss model): a travel booking with partial failure.
+//
+// A trip books a flight, a hotel, and a rental car as NESTED transactions
+// under one top-level transaction, each against a server on a different site.
+// The car rental fails (no cars left) and its nested transaction aborts —
+// undoing ONLY the car subtree — while the flight and hotel bookings, already
+// nested-committed and anti-inherited by the parent, commit atomically with
+// the top-level transaction. "In Camelot, transactions can be arbitrarily
+// nested and distributed. This permits programs to be written more
+// naturally" (Section 1).
+//
+// Run:  ./build/examples/nested_travel
+#include <cstdio>
+#include <string>
+
+#include "src/harness/world.h"
+
+using namespace camelot;
+
+namespace {
+
+// Books `count` units of `item` at `server` inside nested transaction `tid`.
+Async<Status> Book(AppClient& app, const Tid& tid, const std::string& server,
+                   const std::string& item, int64_t count) {
+  auto available = co_await app.ReadInt(tid, server, item);
+  if (!available.ok()) {
+    co_return available.status();
+  }
+  if (*available < count) {
+    co_return AbortedError("sold out: " + item);
+  }
+  Status st = co_await app.WriteInt(tid, server, item, *available - count);
+  co_return st;
+}
+
+Async<void> PlanTrip(World& world, bool* trip_committed) {
+  AppClient app(world.site(0));
+  Scheduler& clock = world.sched();
+  auto top = co_await app.Begin();
+  const Tid trip = *top;
+  std::printf("[%7.1f ms] trip = %s (top-level)\n", ToMs(clock.now()),
+              ToString(trip).c_str());
+
+  // --- Flight (nested transaction #1) -------------------------------------
+  auto flight = co_await app.Begin(trip);
+  Status booked = co_await Book(app, *flight, "airline", "seats", 2);
+  if (booked.ok()) {
+    co_await app.Commit(*flight);  // Nested commit: seats anti-inherited by the trip.
+    std::printf("[%7.1f ms] flight booked (nested commit -> effects now belong to "
+                "the trip)\n", ToMs(clock.now()));
+  }
+
+  // --- Hotel (nested transaction #2) ---------------------------------------
+  auto hotel = co_await app.Begin(trip);
+  booked = co_await Book(app, *hotel, "hotel", "rooms", 1);
+  if (booked.ok()) {
+    co_await app.Commit(*hotel);
+    std::printf("[%7.1f ms] hotel booked\n", ToMs(clock.now()));
+  }
+
+  // --- Rental car (nested transaction #3): FAILS ----------------------------
+  auto car = co_await app.Begin(trip);
+  booked = co_await Book(app, *car, "rentacar", "cars", 1);
+  if (!booked.ok()) {
+    std::printf("[%7.1f ms] car rental failed (%s) -> nested ABORT undoes only the "
+                "car subtree\n",
+                ToMs(clock.now()), booked.ToString().c_str());
+    co_await app.Abort(*car);
+  } else {
+    co_await app.Commit(*car);
+  }
+
+  // The trip proceeds without the car: commit the whole family. One atomic
+  // distributed commit covers the flight and hotel updates on their sites.
+  Status st = co_await app.Commit(trip);
+  *trip_committed = st.ok();
+  std::printf("[%7.1f ms] trip commit: %s\n", ToMs(clock.now()), st.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Nested transactions: a travel booking with partial failure ===\n\n");
+  WorldConfig cfg;
+  cfg.site_count = 3;
+  World world(cfg);
+  world.AddServer(0, "airline")->CreateObjectForSetup("seats", EncodeInt64(100));
+  world.AddServer(1, "hotel")->CreateObjectForSetup("rooms", EncodeInt64(5));
+  world.AddServer(2, "rentacar")->CreateObjectForSetup("cars", EncodeInt64(0));  // Sold out!
+  std::printf("airline: 100 seats | hotel: 5 rooms | rentacar: 0 cars (sold out)\n\n");
+
+  bool trip_committed = false;
+  world.sched().Spawn(PlanTrip(world, &trip_committed));
+  world.RunUntilIdle();
+
+  std::printf("\n--- Final inventory (read transactionally) ---\n");
+  AppClient reader(world.site(0));
+  struct Check {
+    const char* server;
+    const char* item;
+    int64_t expect;
+  };
+  bool all_ok = trip_committed;
+  for (const Check& c : {Check{"airline", "seats", 98}, Check{"hotel", "rooms", 4},
+                         Check{"rentacar", "cars", 0}}) {
+    auto v = world.RunSync([](AppClient& app, std::string srv, std::string item)
+                               -> Async<int64_t> {
+      auto begin = co_await app.Begin();
+      auto value = co_await app.ReadInt(*begin, srv, item);
+      co_await app.Commit(*begin);
+      co_return value.value_or(-1);
+    }(reader, c.server, c.item));
+    const bool ok = v.value_or(-1) == c.expect;
+    all_ok = all_ok && ok;
+    std::printf("%-9s %-6s = %lld (expected %lld) %s\n", c.server, c.item,
+                static_cast<long long>(v.value_or(-1)), static_cast<long long>(c.expect),
+                ok ? "ok" : "WRONG");
+  }
+  std::printf("\n%s\n", all_ok
+                            ? "Flight and hotel committed atomically; the aborted car "
+                              "subtree left no trace."
+                            : "*** UNEXPECTED STATE — BUG ***");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,122 @@
+// Non-blocking commitment: a warehouse reservation that survives the death of
+// its coordinator.
+//
+// An order reserves stock at three warehouses (one per site) and commits with
+// the NON-BLOCKING protocol (Section 3.3). The coordinator crashes right
+// after the replication phase put commit-intent at a quorum; under two-phase
+// commit the warehouses would now be BLOCKED holding locks until the
+// coordinator returned. Instead they time out, elect themselves coordinators
+// (multiple simultaneous coordinators are fine), read the quorum's
+// replicated decision, and finish the COMMIT on their own. The restarted
+// coordinator adopts the outcome from their tombstones.
+//
+// Run:  ./build/examples/nonblocking_inventory
+#include <cstdio>
+#include <string>
+
+#include "src/harness/world.h"
+
+using namespace camelot;
+
+namespace {
+std::string Warehouse(int i) { return "warehouse:" + std::to_string(i); }
+}  // namespace
+
+int main() {
+  std::printf("=== Non-blocking commit: order reservation vs coordinator crash ===\n\n");
+  WorldConfig cfg;
+  cfg.site_count = 3;
+  cfg.tranman.outcome_timeout = Usec(600000);
+  cfg.tranman.retry_interval = Usec(400000);
+  World world(cfg);
+  for (int i = 0; i < 3; ++i) {
+    world.AddServer(i, Warehouse(i))->CreateObjectForSetup("widgets", EncodeInt64(10));
+  }
+  std::printf("Each of 3 warehouses stocks 10 widgets. Order: reserve 4 from each,\n");
+  std::printf("committed with the non-blocking protocol (Qc=2, Qa=2 of 3 sites).\n\n");
+
+  std::optional<Status> order_status;
+  world.sched().Spawn([](World& w, std::optional<Status>* out) -> Async<void> {
+    AppClient app(w.site(0));
+    auto begin = co_await app.Begin();
+    const Tid tid = *begin;
+    for (int i = 0; i < 3; ++i) {
+      auto stock = co_await app.ReadInt(tid, Warehouse(i), "widgets");
+      if (!stock.ok() || *stock < 4) {
+        co_await app.Abort(tid);
+        *out = AbortedError("stock check failed");
+        co_return;
+      }
+      co_await app.WriteInt(tid, Warehouse(i), "widgets", *stock - 4);
+    }
+    std::printf("[%7.1f ms] all three reservations written; committing (non-blocking)\n",
+                ToMs(w.sched().now()));
+    *out = co_await app.Commit(tid, CommitOptions::NonBlocking());
+  }(world, &order_status));
+
+  // Kill the coordinator once both subordinates hold replication records
+  // (commit intent at a quorum) but before they learn the outcome.
+  auto watcher = std::make_shared<std::function<void()>>();
+  *watcher = [&world, watcher] {
+    int replicated = 0;
+    for (int s = 1; s < 3; ++s) {
+      for (const auto& rec : world.site(s).log().ReadDurable()) {
+        if (rec.kind == LogRecordKind::kReplication) {
+          ++replicated;
+          break;
+        }
+      }
+    }
+    if (replicated == 2) {
+      std::printf("[%7.1f ms] *** coordinator CRASHES (commit intent replicated at a "
+                  "quorum, outcome unsent) ***\n",
+                  ToMs(world.sched().now()));
+      world.Crash(0);
+      return;
+    }
+    world.sched().Post(Usec(300), *watcher);
+  };
+  world.sched().Post(Usec(300), *watcher);
+
+  world.RunUntilIdle();
+
+  std::printf("\n--- After the subordinates' takeover (coordinator still down) ---\n");
+  for (int s = 1; s < 3; ++s) {
+    AppClient probe(world.site(s));
+    auto stock = world.RunSync([](AppClient& app, std::string wh) -> Async<int64_t> {
+      auto begin = co_await app.Begin();
+      auto value = co_await app.ReadInt(*begin, wh, "widgets");
+      co_await app.Commit(*begin);
+      co_return value.value_or(-1);
+    }(probe, Warehouse(s)));
+    std::printf("warehouse %d: stock=%lld, locks held=%zu, takeovers run=%llu\n", s,
+                static_cast<long long>(stock.value_or(-1)),
+                world.site(s).server(Warehouse(s))->locks().held_lock_count(),
+                static_cast<unsigned long long>(world.site(s).tranman().counters().takeovers));
+  }
+  std::printf("(stock=6 at both: the order COMMITTED without its coordinator —\n"
+              " no blocking, exactly the protocol's reason to exist)\n");
+
+  std::printf("\n[%7.1f ms] coordinator restarts; recovery + status queries converge it\n",
+              ToMs(world.sched().now()));
+  world.Restart(0);
+  world.RunUntilIdle();
+
+  AppClient reader(world.site(0));
+  auto local = world.RunSync([](AppClient& app) -> Async<int64_t> {
+    auto begin = co_await app.Begin();
+    auto value = co_await app.ReadInt(*begin, Warehouse(0), "widgets");
+    co_await app.Commit(*begin);
+    co_return value.value_or(-1);
+  }(reader));
+  std::printf("warehouse 0 (recovered coordinator): stock=%lld\n",
+              static_cast<long long>(local.value_or(-1)));
+  const bool ok = local.value_or(-1) == 6;
+  std::printf("\n%s\n", ok ? "All three warehouses agree: reservation committed exactly once."
+                           : "*** INCONSISTENT STOCK — BUG ***");
+  std::printf("\nCost of the insurance (paper Section 4.3): the non-blocking protocol's\n"
+              "critical path is 4 log forces + 5 messages vs two-phase's 2 + 3 — use it\n"
+              "for transactions whose value exceeds ~2x commit latency (see\n"
+              "bench_fig3_nonblocking).\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,78 @@
+// Quickstart: the smallest complete Camelot-TM program.
+//
+// Builds a two-site world, creates a data server with one recoverable object
+// per site, and runs the paper's Figure-1 flow end to end: begin-transaction,
+// transactional operations (local and remote), commit with two-phase commit,
+// and a read-back. Prints the major events with virtual timestamps.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+#include <cstdio>
+
+#include "src/harness/world.h"
+
+using namespace camelot;
+
+namespace {
+
+Async<void> Quickstart(World& world) {
+  Scheduler& clock = world.sched();
+  AppClient app(world.site(0));
+  auto say = [&](const char* msg) { std::printf("[%7.1f ms] %s\n", ToMs(clock.now()), msg); };
+
+  // Figure 1, event 2: get a transaction identifier from the TranMan.
+  auto begin = co_await app.Begin();
+  if (!begin.ok()) {
+    std::printf("begin failed: %s\n", begin.status().ToString().c_str());
+    co_return;
+  }
+  const Tid tid = *begin;
+  std::printf("[%7.1f ms] begin-transaction -> %s\n", ToMs(clock.now()),
+              ToString(tid).c_str());
+
+  // Events 3-6: operations. The first operation at each server makes it join
+  // the transaction; the Communication Manager spies on the remote call so
+  // the coordinator learns site 1 is involved.
+  Status w1 = co_await app.WriteInt(tid, "server:local", "greeting", 1989);
+  say(w1.ok() ? "local write OK (server:local joined the transaction)"
+              : "local write FAILED");
+  Status w2 = co_await app.WriteInt(tid, "server:remote", "greeting", 2026);
+  say(w2.ok() ? "remote write OK (~29 ms: the Camelot RPC path of Section 4.1)"
+              : "remote write FAILED");
+
+  // Events 7-10: commit. One log force at the subordinate (prepare), one at
+  // the coordinator (the commit point); the subordinate's own commit record
+  // is written lazily and the ack piggybacked — the Section 3.2 optimization.
+  Status committed = co_await app.Commit(tid, CommitOptions::Optimized());
+  say(committed.ok() ? "commit-transaction OK (optimized presumed-abort 2PC)"
+                     : "commit FAILED");
+
+  // Read back in a fresh transaction.
+  auto check = co_await app.Begin();
+  auto local_value = co_await app.ReadInt(*check, "server:local", "greeting");
+  auto remote_value = co_await app.ReadInt(*check, "server:remote", "greeting");
+  co_await app.Commit(*check);
+  std::printf("[%7.1f ms] read back: local=%lld remote=%lld\n", ToMs(clock.now()),
+              static_cast<long long>(local_value.value_or(-1)),
+              static_cast<long long>(remote_value.value_or(-1)));
+
+  std::printf("\nLog records forced at site 0 (coordinator): %llu disk write(s)\n",
+              static_cast<unsigned long long>(world.site(0).log().counters().disk_writes));
+  std::printf("Log records forced at site 1 (subordinate): %llu disk write(s)\n",
+              static_cast<unsigned long long>(world.site(1).log().counters().disk_writes));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Camelot-TM quickstart: one distributed transaction ===\n\n");
+  WorldConfig cfg;
+  cfg.site_count = 2;
+  World world(cfg);
+  world.AddServer(0, "server:local")->CreateObjectForSetup("greeting", EncodeInt64(0));
+  world.AddServer(1, "server:remote")->CreateObjectForSetup("greeting", EncodeInt64(0));
+
+  world.sched().Spawn(Quickstart(world));
+  world.RunUntilIdle();
+  return 0;
+}

@@ -1,0 +1,130 @@
+#include "src/analysis/static_analysis.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace camelot {
+
+double PathAnalysis::TotalMs() const {
+  double total = 0;
+  for (const auto& ev : events) {
+    total += ev.ms;
+  }
+  return total;
+}
+
+std::string PathAnalysis::Formula() const {
+  int forces = 0;
+  int datagrams = 0;
+  int rpcs = 0;
+  double local = 0;
+  for (const auto& ev : events) {
+    if (ev.name.find("log force") != std::string::npos) {
+      ++forces;
+    } else if (ev.name.find("datagram") != std::string::npos) {
+      ++datagrams;
+    } else if (ev.name.find("remote op") != std::string::npos) {
+      ++rpcs;
+    } else {
+      local += ev.ms;
+    }
+  }
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%d LF + %d DG + %d RPC + %.1fms local", forces, datagrams,
+                rpcs, local);
+  return buf;
+}
+
+double OperationProcessingMs(int subordinates, const PrimitiveCosts& costs) {
+  return (costs.local_ipc_server + costs.get_lock) + subordinates * costs.remote_rpc;
+}
+
+namespace {
+
+// The shared front of every minimal transaction: begin, the (serial)
+// operations at each site, and the commit call with the local vote.
+void FrontEvents(PathAnalysis* path, TxnKind kind, int subordinates,
+                 const PrimitiveCosts& c) {
+  (void)kind;
+  path->events.push_back({"begin-transaction (local IPC)", c.local_ipc});
+  path->events.push_back({"local operation (IPC to server)", c.local_ipc_server});
+  path->events.push_back({"join-transaction (local IPC)", c.local_ipc});
+  path->events.push_back({"get lock", c.get_lock});
+  for (int i = 0; i < subordinates; ++i) {
+    path->events.push_back({"remote op " + std::to_string(i + 1), c.remote_rpc});
+  }
+  path->events.push_back({"commit-transaction call (local IPC)", c.local_ipc});
+  path->events.push_back({"vote local server (local IPC)", c.local_ipc});
+}
+
+}  // namespace
+
+PathAnalysis CompletionPath(CommitProtocol protocol, TxnKind kind, int subordinates,
+                            const PrimitiveCosts& c) {
+  PathAnalysis path;
+  FrontEvents(&path, kind, subordinates, c);
+
+  if (subordinates == 0) {
+    if (kind == TxnKind::kWrite) {
+      path.events.push_back({"commit log force", c.log_force});
+    }
+    return path;
+  }
+
+  if (protocol == CommitProtocol::kTwoPhase) {
+    path.events.push_back({"prepare datagram", c.datagram});
+    path.events.push_back({"subordinate vote (local IPC)", c.local_ipc});
+    if (kind == TxnKind::kWrite) {
+      path.events.push_back({"subordinate prepare log force", c.log_force});
+    }
+    path.events.push_back({"vote datagram", c.datagram});
+    if (kind == TxnKind::kWrite) {
+      path.events.push_back({"coordinator commit log force", c.log_force});
+    }
+    return path;
+  }
+
+  // Non-blocking commitment. Read-only transactions skip the coordinator
+  // prepare, replication, and notify phases entirely (same shape as 2PC).
+  if (kind == TxnKind::kRead) {
+    path.events.push_back({"prepare datagram", c.datagram});
+    path.events.push_back({"subordinate vote (local IPC)", c.local_ipc});
+    path.events.push_back({"vote datagram", c.datagram});
+    return path;
+  }
+  path.events.push_back({"coordinator prepare log force", c.log_force});
+  path.events.push_back({"prepare datagram", c.datagram});
+  path.events.push_back({"subordinate vote (local IPC)", c.local_ipc});
+  path.events.push_back({"subordinate prepare log force", c.log_force});
+  path.events.push_back({"vote datagram", c.datagram});
+  path.events.push_back({"replicate datagram", c.datagram});
+  path.events.push_back({"subordinate replication log force", c.log_force});
+  path.events.push_back({"replicate-ack datagram", c.datagram});
+  path.events.push_back({"coordinator commit log force", c.log_force});
+  return path;
+}
+
+PathAnalysis CriticalPath(CommitProtocol protocol, TxnKind kind, int subordinates,
+                          const PrimitiveCosts& c) {
+  PathAnalysis path = CompletionPath(protocol, kind, subordinates, c);
+  if (subordinates == 0) {
+    path.events.push_back({"drop-locks call (local one-way)", c.local_oneway});
+    path.events.push_back({"drop lock", c.drop_lock});
+    return path;
+  }
+  if (kind == TxnKind::kWrite) {
+    // "The length of the completion path is one datagram shorter for both
+    // protocols": the outcome notification to the subordinates.
+    path.events.push_back({"commit datagram", c.datagram});
+    path.events.push_back({"subordinate drop-locks call (local one-way)", c.local_oneway});
+    path.events.push_back({"drop lock", c.drop_lock});
+  } else {
+    // Read-only subordinates drop their (read) locks when they vote; only the
+    // local read locks remain until the call returns.
+    path.events.push_back({"drop-locks call (local one-way)", c.local_oneway});
+    path.events.push_back({"drop lock", c.drop_lock});
+  }
+  return path;
+}
+
+}  // namespace camelot

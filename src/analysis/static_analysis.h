@@ -1,0 +1,66 @@
+// The paper's "static" (non-empirical) latency analysis (Section 4.2):
+// protocol latency predicted as the sum of primitive costs along the
+// completion path (until commit-transaction returns) or the critical path
+// (until all locks are dropped). "Assuming that identical parallel operations
+// proceed perfectly in parallel and have constant service time, the length of
+// the critical path is simply that of the serial portion plus the time of the
+// slowest of each group of parallel operations."
+//
+// The analysis deliberately ignores CPU time inside processes, so it tends to
+// UNDERESTIMATE measured latency — reproducing that bias is part of the
+// reproduction (Table 3).
+#ifndef SRC_ANALYSIS_STATIC_ANALYSIS_H_
+#define SRC_ANALYSIS_STATIC_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/wal/log_record.h"
+
+namespace camelot {
+
+// Table 2 of the paper, in milliseconds.
+struct PrimitiveCosts {
+  double local_ipc = 1.5;         // Local in-line IPC (call + reply).
+  double local_ipc_server = 3.0;  // Local in-line IPC to a data server.
+  double local_out_of_line = 5.5;
+  double local_oneway = 1.0;
+  double remote_rpc = 29.0;       // Remote operation (28.5 RPC + 0.5 lock/data).
+  double log_force = 15.0;
+  double datagram = 10.0;
+  double get_lock = 0.5;
+  double drop_lock = 0.5;
+};
+
+enum class TxnKind { kRead, kWrite };
+
+struct PathEvent {
+  std::string name;
+  double ms = 0;
+};
+
+struct PathAnalysis {
+  std::vector<PathEvent> events;
+
+  double TotalMs() const;
+  // Compact formula, e.g. "2 LF + 3 DG + 1 RPC + 13.0ms local".
+  std::string Formula() const;
+};
+
+// The shortest sequence of actions before the commit-transaction call returns.
+PathAnalysis CompletionPath(CommitProtocol protocol, TxnKind kind, int subordinates,
+                            const PrimitiveCosts& costs = {});
+
+// The shortest sequence of actions before ALL locks are dropped and the call
+// has returned (always at least as long as the completion path).
+PathAnalysis CriticalPath(CommitProtocol protocol, TxnKind kind, int subordinates,
+                          const PrimitiveCosts& costs = {});
+
+// The paper derives "transaction management cost" by subtracting operation
+// processing: 3.5 ms for the local operation plus 29 ms per (serial) remote
+// operation.
+double OperationProcessingMs(int subordinates, const PrimitiveCosts& costs = {});
+
+}  // namespace camelot
+
+#endif  // SRC_ANALYSIS_STATIC_ANALYSIS_H_

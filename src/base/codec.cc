@@ -1,0 +1,35 @@
+#include "src/base/codec.h"
+
+namespace camelot {
+
+namespace {
+
+// Precomputed CRC32C table (Castagnoli, reflected polynomial 0x82f63b78).
+const uint32_t* CrcTable() {
+  static uint32_t table[256];
+  static bool initialized = false;
+  if (!initialized) {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc >> 1) ^ ((crc & 1) ? 0x82f63b78u : 0u);
+      }
+      table[i] = crc;
+    }
+    initialized = true;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t len) {
+  const uint32_t* table = CrcTable();
+  uint32_t crc = 0xffffffffu;
+  for (size_t i = 0; i < len; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ data[i]) & 0xff];
+  }
+  return crc ^ 0xffffffffu;
+}
+
+}  // namespace camelot

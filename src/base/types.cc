@@ -1,0 +1,30 @@
+#include "src/base/types.h"
+
+#include <cstdio>
+
+namespace camelot {
+
+std::string ToString(SiteId site) {
+  if (site == kInvalidSite) {
+    return "site:invalid";
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "site:%u", site.value);
+  return buf;
+}
+
+std::string ToString(const FamilyId& family) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "fam:%u.%llu", family.origin.value,
+                static_cast<unsigned long long>(family.sequence));
+  return buf;
+}
+
+std::string ToString(const Tid& tid) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "tid:%u.%llu/%u", tid.family.origin.value,
+                static_cast<unsigned long long>(tid.family.sequence), tid.serial);
+  return buf;
+}
+
+}  // namespace camelot

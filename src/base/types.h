@@ -1,0 +1,108 @@
+// Fundamental identifier and time types shared by every Camelot-TM module.
+//
+// Virtual time is measured in microseconds. All identifiers are strong types so
+// that a SiteId cannot be silently passed where an Lsn is expected.
+#ifndef SRC_BASE_TYPES_H_
+#define SRC_BASE_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace camelot {
+
+// Virtual time in microseconds since the start of the simulation.
+using SimTime = int64_t;
+
+// Duration in virtual microseconds.
+using SimDuration = int64_t;
+
+inline constexpr SimDuration Usec(int64_t n) { return n; }
+inline constexpr SimDuration Msec(double n) { return static_cast<SimDuration>(n * 1000.0); }
+inline constexpr SimDuration Sec(double n) { return static_cast<SimDuration>(n * 1e6); }
+
+inline double ToMs(SimDuration d) { return static_cast<double>(d) / 1000.0; }
+
+// Identifies one site (machine) in the distributed system.
+struct SiteId {
+  uint32_t value = 0;
+
+  friend bool operator==(const SiteId&, const SiteId&) = default;
+  friend auto operator<=>(const SiteId&, const SiteId&) = default;
+};
+
+inline constexpr SiteId kInvalidSite{UINT32_MAX};
+
+// A transaction family is identified by the site that created the top-level
+// transaction plus a per-site sequence number. Nested transactions within the
+// family carry an additional nesting index (see Tid).
+struct FamilyId {
+  SiteId origin;
+  uint64_t sequence = 0;
+
+  bool IsValid() const { return origin != kInvalidSite; }
+
+  friend bool operator==(const FamilyId&, const FamilyId&) = default;
+  friend auto operator<=>(const FamilyId&, const FamilyId&) = default;
+};
+
+// A transaction identifier. `serial == 0` names the top-level transaction of a
+// family; nested transactions get successive serials, with `parent_serial`
+// recording the tree structure.
+struct Tid {
+  FamilyId family;
+  uint32_t serial = 0;         // Unique within the family.
+  uint32_t parent_serial = 0;  // Meaningful only when serial != 0.
+
+  bool IsValid() const { return family.IsValid(); }
+  bool IsTopLevel() const { return serial == 0; }
+
+  // The top-level transaction of this transaction's family.
+  Tid TopLevel() const { return Tid{family, 0, 0}; }
+
+  friend bool operator==(const Tid&, const Tid&) = default;
+  friend auto operator<=>(const Tid&, const Tid&) = default;
+};
+
+inline constexpr Tid kInvalidTid{FamilyId{kInvalidSite, 0}, 0, 0};
+
+// Log sequence number: byte offset of a record in the stable log.
+struct Lsn {
+  uint64_t value = 0;
+
+  bool IsValid() const { return value != UINT64_MAX; }
+
+  friend bool operator==(const Lsn&, const Lsn&) = default;
+  friend auto operator<=>(const Lsn&, const Lsn&) = default;
+};
+
+inline constexpr Lsn kInvalidLsn{UINT64_MAX};
+
+std::string ToString(SiteId site);
+std::string ToString(const FamilyId& family);
+std::string ToString(const Tid& tid);
+
+}  // namespace camelot
+
+template <>
+struct std::hash<camelot::SiteId> {
+  size_t operator()(const camelot::SiteId& s) const noexcept {
+    return std::hash<uint32_t>{}(s.value);
+  }
+};
+
+template <>
+struct std::hash<camelot::FamilyId> {
+  size_t operator()(const camelot::FamilyId& f) const noexcept {
+    return std::hash<uint64_t>{}((static_cast<uint64_t>(f.origin.value) << 40) ^ f.sequence);
+  }
+};
+
+template <>
+struct std::hash<camelot::Tid> {
+  size_t operator()(const camelot::Tid& t) const noexcept {
+    return std::hash<camelot::FamilyId>{}(t.family) ^ (static_cast<size_t>(t.serial) << 1);
+  }
+};
+
+#endif  // SRC_BASE_TYPES_H_

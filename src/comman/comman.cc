@@ -1,0 +1,117 @@
+#include "src/comman/comman.h"
+
+#include "src/base/logging.h"
+
+namespace camelot {
+
+ComMan::ComMan(Site& site, NetMsgServer& netmsg, NameService& names)
+    : site_(site), netmsg_(netmsg), names_(names) {
+  // Spy hooks on the RPC path (Section 3.1).
+  netmsg_.set_request_ingest([this](const Tid& tid, SiteId caller) {
+    involved_[tid.family].insert(caller);
+  });
+  netmsg_.set_response_decorator([this](const Tid& tid) { return EncodeSitesFor(tid); });
+  netmsg_.set_response_ingest(
+      [this](const Tid& tid, const Bytes& piggyback, SiteId responder, uint32_t incarnation) {
+        IngestSites(tid, piggyback, responder, incarnation);
+      });
+  // The tracking tables are volatile.
+  site_.AddCrashListener([this] {
+    involved_.clear();
+    incarnations_.clear();
+    poisoned_.clear();
+  });
+}
+
+Bytes ComMan::EncodeSitesFor(const Tid& tid) const {
+  ByteWriter w;
+  auto it = involved_.find(tid.family);
+  std::vector<SiteId> sites;
+  if (it != involved_.end()) {
+    sites.assign(it->second.begin(), it->second.end());
+  }
+  // Always include ourselves: we took part in generating this response.
+  sites.push_back(site_.id());
+  w.SiteList(sites);
+  return w.Take();
+}
+
+void ComMan::IngestSites(const Tid& tid, const Bytes& piggyback, SiteId responder,
+                         uint32_t incarnation) {
+  ByteReader r(piggyback);
+  std::vector<SiteId> sites = r.SiteList();
+  if (!r.ok()) {
+    return;
+  }
+  auto& known = involved_[tid.family];
+  for (SiteId s : sites) {
+    if (s != site_.id()) {
+      known.insert(s);
+    }
+  }
+  // Crash detection: a participant answering with a NEWER incarnation lost
+  // this transaction's locks and volatile state — the transaction is doomed.
+  auto [it, inserted] = incarnations_[tid.family].try_emplace(responder, incarnation);
+  if (!inserted && it->second != incarnation) {
+    poisoned_.insert(tid.family);
+    CTRACE("[%8.1fms] %s poisons %s: %s restarted mid-transaction",
+           ToMs(site_.sched().now()), ToString(site_.id()).c_str(),
+           ToString(tid).c_str(), ToString(responder).c_str());
+  }
+}
+
+Async<RpcResult> ComMan::Call(const std::string& service, uint32_t method, Bytes body,
+                              const Tid& tid, RpcTrace* trace) {
+  if (tid.IsValid() && IsPoisoned(tid.family)) {
+    co_return RpcResult{
+        AbortedError("a participant site restarted mid-transaction; abort required"), {}};
+  }
+  auto where = names_.Resolve(service);
+  if (!where.ok()) {
+    co_return RpcResult{where.status(), {}};
+  }
+  RpcContext ctx{site_.id(), tid};
+  if (*where == site_.id()) {
+    RpcResult result = co_await site_.CallLocal(service, method, std::move(body), ctx,
+                                                /*to_data_server=*/true);
+    co_return result;
+  }
+  RpcResult result =
+      co_await netmsg_.Call(*where, service, method, std::move(body), ctx,
+                            /*via_comman=*/true, trace);
+  // Re-check: THIS response may be the one that revealed the restart. The
+  // operation may have executed at the restarted site, but the transaction is
+  // doomed either way, so fail it here rather than let the caller continue.
+  if (result.status.ok() && tid.IsValid() && IsPoisoned(tid.family)) {
+    co_return RpcResult{
+        AbortedError("a participant site restarted mid-transaction; abort required"), {}};
+  }
+  co_return result;
+}
+
+Async<Result<SiteId>> ComMan::Lookup(const std::string& service) {
+  auto result = co_await names_.Lookup(site_, service);
+  co_return result;
+}
+
+std::vector<SiteId> ComMan::KnownSites(const FamilyId& family) const {
+  auto it = involved_.find(family);
+  if (it == involved_.end()) {
+    return {};
+  }
+  return {it->second.begin(), it->second.end()};
+}
+
+void ComMan::NoteSite(const FamilyId& family, SiteId site) {
+  if (site != site_.id()) {
+    involved_[family].insert(site);
+  }
+}
+
+void ComMan::Forget(const FamilyId& family) {
+  involved_.erase(family);
+  incarnations_.erase(family);
+  poisoned_.erase(family);
+}
+
+}  // namespace camelot

@@ -1,0 +1,230 @@
+#include "src/diskmgr/disk_manager.h"
+
+#include "src/base/logging.h"
+
+#include <cstdio>
+
+namespace camelot {
+
+DiskManager::DiskManager(Scheduler& sched, StableLog& log, DiskConfig config)
+    : sched_(sched), log_(log), config_(config), io_(sched) {}
+
+std::string DiskManager::PageKey(const std::string& segment, const std::string& object) {
+  return segment + "\x1f" + object;
+}
+
+void DiskManager::Touch(const std::string& key, Frame& frame) {
+  lru_.erase(frame.lru_pos);
+  lru_.push_front(key);
+  frame.lru_pos = lru_.begin();
+}
+
+Async<Result<Bytes>> DiskManager::Read(const std::string& segment, const std::string& object) {
+  const std::string key = PageKey(segment, object);
+  auto it = frames_.find(key);
+  if (it != frames_.end()) {
+    ++counters_.reads_hit;
+    Touch(key, it->second);
+    co_return it->second.value;
+  }
+  // Miss: fault from the data disk.
+  auto disk_it = disk_.find(key);
+  if (disk_it == disk_.end()) {
+    co_return NotFoundError("object not found: " + object);
+  }
+  ++counters_.reads_miss;
+  co_await io_.Lock();
+  co_await sched_.Delay(config_.disk_read_latency);
+  io_.Unlock();
+  // Re-check: another reader may have faulted it while we waited.
+  it = frames_.find(key);
+  if (it == frames_.end()) {
+    co_await EnsureRoom();
+    Frame frame;
+    frame.value = disk_.at(key);
+    frame.dirty = false;
+    lru_.push_front(key);
+    frame.lru_pos = lru_.begin();
+    it = frames_.emplace(key, std::move(frame)).first;
+  } else {
+    Touch(key, it->second);
+  }
+  co_return it->second.value;
+}
+
+Async<Status> DiskManager::Write(const std::string& segment, const std::string& object,
+                                 Bytes value, Lsn rec_lsn) {
+  const std::string key = PageKey(segment, object);
+  auto it = frames_.find(key);
+  if (it == frames_.end()) {
+    co_await EnsureRoom();
+    Frame frame;
+    lru_.push_front(key);
+    frame.lru_pos = lru_.begin();
+    it = frames_.emplace(key, std::move(frame)).first;
+  } else {
+    Touch(key, it->second);
+  }
+  it->second.value = std::move(value);
+  it->second.dirty = true;
+  if (rec_lsn > it->second.page_lsn) {
+    it->second.page_lsn = rec_lsn;
+  }
+  ++counters_.writes;
+  co_return OkStatus();
+}
+
+Async<bool> DiskManager::Exists(const std::string& segment, const std::string& object) {
+  const std::string key = PageKey(segment, object);
+  co_return frames_.contains(key) || disk_.contains(key);
+}
+
+Async<void> DiskManager::EnsureRoom() {
+  while (frames_.size() >= config_.pool_frames && !lru_.empty()) {
+    const std::string victim_key = lru_.back();
+    auto it = frames_.find(victim_key);
+    CAMELOT_CHECK(it != frames_.end());
+    ++counters_.evictions;
+    if (it->second.dirty) {
+      co_await FlushFrame(victim_key, it->second);
+    }
+    // Re-find: the map may have been reshaped while flushing.
+    it = frames_.find(victim_key);
+    if (it != frames_.end() && !it->second.dirty) {
+      lru_.erase(it->second.lru_pos);
+      frames_.erase(it);
+    }
+  }
+}
+
+Async<void> DiskManager::FlushFrame(const std::string& key, Frame& frame) {
+  // WAL rule: the log must cover the page before the page reaches the disk.
+  if (!log_.IsDurable(frame.page_lsn)) {
+    ++counters_.wal_forces;
+    const bool durable = co_await log_.Force(frame.page_lsn);
+    if (!durable) {
+      co_return;  // Crashed mid-force; the pool is gone anyway.
+    }
+  }
+  co_await io_.Lock();
+  co_await sched_.Delay(config_.disk_write_latency);
+  io_.Unlock();
+  auto it = frames_.find(key);
+  if (it == frames_.end()) {
+    co_return;  // Evaporated during I/O (crash).
+  }
+  disk_[key] = it->second.value;
+  it->second.dirty = false;
+}
+
+Async<void> DiskManager::FlushAll() {
+  // Snapshot keys first; FlushFrame awaits and the map may change under us.
+  std::vector<std::string> keys;
+  keys.reserve(frames_.size());
+  for (auto& [key, frame] : frames_) {
+    if (frame.dirty) {
+      keys.push_back(key);
+    }
+  }
+  for (const auto& key : keys) {
+    auto it = frames_.find(key);
+    if (it != frames_.end() && it->second.dirty) {
+      co_await FlushFrame(key, it->second);
+    }
+  }
+}
+
+void DiskManager::OnCrash() {
+  frames_.clear();
+  lru_.clear();
+}
+
+void DiskManager::RecoveryWrite(const std::string& segment, const std::string& object,
+                                Bytes value) {
+  disk_[PageKey(segment, object)] = std::move(value);
+}
+
+Result<Bytes> DiskManager::RecoveryRead(const std::string& segment,
+                                        const std::string& object) const {
+  auto it = disk_.find(PageKey(segment, object));
+  if (it == disk_.end()) {
+    return NotFoundError("object not on disk: " + object);
+  }
+  return it->second;
+}
+
+bool DiskManager::SaveToFile(const std::string& path) const {
+  ByteWriter w;
+  w.U32(0x43444953u);  // "CDIS"
+  w.U64(disk_.size());
+  for (const auto& [key, value] : disk_) {
+    w.Str(key);
+    w.Blob(value);
+  }
+  const Bytes& image = w.bytes();
+  ByteWriter trailer;
+  trailer.U32(Crc32(image));
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return false;
+  }
+  bool ok = std::fwrite(image.data(), 1, image.size(), f) == image.size();
+  ok = ok && std::fwrite(trailer.bytes().data(), 1, 4, f) == 4;
+  std::fclose(f);
+  return ok;
+}
+
+bool DiskManager::LoadFromFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return false;
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 16) {
+    std::fclose(f);
+    return false;
+  }
+  Bytes raw(static_cast<size_t>(size));
+  const bool read_ok = std::fread(raw.data(), 1, raw.size(), f) == raw.size();
+  std::fclose(f);
+  if (!read_ok) {
+    return false;
+  }
+  const Bytes image(raw.begin(), raw.end() - 4);
+  ByteReader trailer(raw.data() + raw.size() - 4, 4);
+  if (Crc32(image) != trailer.U32()) {
+    return false;
+  }
+  ByteReader r(image);
+  if (r.U32() != 0x43444953u) {
+    return false;
+  }
+  const uint64_t count = r.U64();
+  std::unordered_map<std::string, Bytes> loaded;
+  for (uint64_t i = 0; i < count && r.ok(); ++i) {
+    std::string key = r.Str();
+    Bytes value = r.Blob();
+    loaded.emplace(std::move(key), std::move(value));
+  }
+  if (!r.ok()) {
+    return false;
+  }
+  disk_ = std::move(loaded);
+  frames_.clear();
+  lru_.clear();
+  return true;
+}
+
+size_t DiskManager::dirty_frames() const {
+  size_t n = 0;
+  for (const auto& [key, frame] : frames_) {
+    if (frame.dirty) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace camelot

@@ -1,0 +1,117 @@
+// Disk Manager: the per-site process that owns recoverable storage.
+//
+// In Camelot the disk manager is a virtual-memory buffer manager that
+// cooperates with servers and the kernel's external-pager interface to
+// implement the write-ahead-log protocol, and is the single point of access
+// to the common log (so it is also where log batching lives; see
+// src/wal/stable_log.h, which it owns).
+//
+// Here it manages a buffer pool of object-granularity pages over a simulated
+// data disk and enforces the WAL rule: a dirty page may reach the data disk
+// only after the log is durable up to that page's LSN. Committed-but-unflushed
+// and flushed-but-uncommitted states are both reachable, which is exactly what
+// the recovery module's redo/undo passes exist to repair.
+#ifndef SRC_DISKMGR_DISK_MANAGER_H_
+#define SRC_DISKMGR_DISK_MANAGER_H_
+
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "src/base/codec.h"
+#include "src/base/status.h"
+#include "src/base/types.h"
+#include "src/sim/scheduler.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+#include "src/wal/stable_log.h"
+
+namespace camelot {
+
+struct DiskConfig {
+  // Frames in the buffer pool; evictions beyond this trigger real disk I/O.
+  size_t pool_frames = 256;
+  // One data-disk transfer (Table 1: raw disk write 26.8 ms/track; reads similar).
+  SimDuration disk_read_latency = Usec(20000);
+  SimDuration disk_write_latency = Usec(26800);
+};
+
+struct DiskCounters {
+  uint64_t reads_hit = 0;
+  uint64_t reads_miss = 0;
+  uint64_t writes = 0;
+  uint64_t evictions = 0;
+  uint64_t wal_forces = 0;  // Forces triggered by the WAL rule at eviction/flush.
+};
+
+// Pages are keyed by (segment, object); each recoverable object occupies its
+// own page (a deliberate simplification documented in DESIGN.md).
+class DiskManager {
+ public:
+  DiskManager(Scheduler& sched, StableLog& log, DiskConfig config);
+
+  StableLog& log() { return log_; }
+
+  // Reads an object's current buffered value; faults it from the data disk on
+  // a miss. NotFound if the object has never been written or flushed.
+  Async<Result<Bytes>> Read(const std::string& segment, const std::string& object);
+
+  // Installs a new value in the buffer pool. `rec_lsn` is the log record
+  // protecting this write (the page cannot be flushed before the log covers
+  // it). The data disk is NOT touched here.
+  Async<Status> Write(const std::string& segment, const std::string& object, Bytes value,
+                      Lsn rec_lsn);
+
+  // True if the object exists in buffer or on disk.
+  Async<bool> Exists(const std::string& segment, const std::string& object);
+
+  // Flushes every dirty page (checkpoint); honours the WAL rule.
+  Async<void> FlushAll();
+
+  // Crash: the buffer pool is volatile and vanishes; the data disk and the
+  // durable log survive. Callers then run recovery (src/recovery).
+  void OnCrash();
+
+  // Recovery-only: writes directly to the data disk image without WAL checks
+  // (used by redo/undo which re-derive correctness from the log itself).
+  void RecoveryWrite(const std::string& segment, const std::string& object, Bytes value);
+  // Recovery-only synchronous read of the disk image (no buffering, no delay).
+  Result<Bytes> RecoveryRead(const std::string& segment, const std::string& object) const;
+
+  // Cold backup/restore of the data-disk image (pairs with
+  // StableLog::SaveToFile for a full stable-storage snapshot). Load replaces
+  // the disk image and clears the buffer pool; run recovery afterwards.
+  bool SaveToFile(const std::string& path) const;
+  bool LoadFromFile(const std::string& path);
+
+  const DiskCounters& counters() const { return counters_; }
+  size_t dirty_frames() const;
+  size_t buffered_frames() const { return frames_.size(); }
+
+ private:
+  struct Frame {
+    Bytes value;
+    Lsn page_lsn = Lsn{0};  // Highest log record covering this page.
+    bool dirty = false;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  static std::string PageKey(const std::string& segment, const std::string& object);
+  void Touch(const std::string& key, Frame& frame);
+  // Evicts LRU frames until the pool has room; flushes dirty victims.
+  Async<void> EnsureRoom();
+  Async<void> FlushFrame(const std::string& key, Frame& frame);
+
+  Scheduler& sched_;
+  StableLog& log_;
+  DiskConfig config_;
+  std::unordered_map<std::string, Frame> frames_;
+  std::list<std::string> lru_;  // Front = most recent.
+  std::unordered_map<std::string, Bytes> disk_;  // The data-disk image.
+  SimMutex io_;  // Serializes physical data-disk transfers.
+  DiskCounters counters_;
+};
+
+}  // namespace camelot
+
+#endif  // SRC_DISKMGR_DISK_MANAGER_H_

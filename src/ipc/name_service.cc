@@ -1,0 +1,28 @@
+#include "src/ipc/name_service.h"
+
+namespace camelot {
+
+Status NameService::Register(const std::string& name, SiteId site) {
+  auto [it, inserted] = names_.emplace(name, site);
+  if (!inserted) {
+    return AlreadyExistsError("name already registered: " + name);
+  }
+  return OkStatus();
+}
+
+void NameService::Unregister(const std::string& name) { names_.erase(name); }
+
+Result<SiteId> NameService::Resolve(const std::string& name) const {
+  auto it = names_.find(name);
+  if (it == names_.end()) {
+    return NotFoundError("unknown service name: " + name);
+  }
+  return it->second;
+}
+
+Async<Result<SiteId>> NameService::Lookup(Site& from, const std::string& name) const {
+  co_await from.sched().Delay(from.ipc().local_rpc);
+  co_return Resolve(name);
+}
+
+}  // namespace camelot

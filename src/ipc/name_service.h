@@ -1,0 +1,35 @@
+// Name service: maps service names ("server:accounts") to the site hosting
+// them. In Camelot this is provided by the NetMsgServer/ComMan pair; here it
+// is a world-global registry, with lookups charged one local IPC (the paper's
+// Figure 1, event 1: "Application uses the ComMan as a name server").
+#ifndef SRC_IPC_NAME_SERVICE_H_
+#define SRC_IPC_NAME_SERVICE_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "src/base/status.h"
+#include "src/base/types.h"
+#include "src/ipc/site.h"
+#include "src/sim/task.h"
+
+namespace camelot {
+
+class NameService {
+ public:
+  Status Register(const std::string& name, SiteId site);
+  void Unregister(const std::string& name);
+
+  // Immediate lookup (no cost); used internally by system components.
+  Result<SiteId> Resolve(const std::string& name) const;
+
+  // Application-facing lookup: costs one local IPC to the ComMan.
+  Async<Result<SiteId>> Lookup(Site& from, const std::string& name) const;
+
+ private:
+  std::unordered_map<std::string, SiteId> names_;
+};
+
+}  // namespace camelot
+
+#endif  // SRC_IPC_NAME_SERVICE_H_

@@ -1,0 +1,235 @@
+#include "src/recovery/recovery.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "src/base/logging.h"
+
+namespace camelot {
+
+namespace {
+
+struct FamilyTrace {
+  Tid top;
+  bool committed = false;
+  bool aborted = false;
+  bool ended = false;
+  bool prepared = false;
+  LogRecord prepare;      // Last prepare record.
+  bool has_replication = false;
+  LogRecord replication;  // Highest-epoch replication record.
+  std::vector<SiteId> commit_sites;  // Subordinates listed in our commit record.
+  std::vector<const LogRecord*> updates;  // In log order.
+  std::set<std::string> servers;
+};
+
+}  // namespace
+
+RecoveryManager::RecoveryManager(Site& site, DiskManager& diskmgr, StableLog& log,
+                                 TranMan& tranman)
+    : site_(site), diskmgr_(diskmgr), log_(log), tranman_(tranman) {}
+
+Async<Status> RecoveryManager::WriteCheckpoint() {
+  if (tranman_.live_family_count() != 0) {
+    co_return FailedPreconditionError("live transactions present; checkpoint must be quiescent");
+  }
+  co_await diskmgr_.FlushAll();
+  if (tranman_.live_family_count() != 0) {
+    co_return FailedPreconditionError("transaction began during checkpoint flush");
+  }
+  const Lsn checkpoint_start = log_.buffered_lsn();
+  const Lsn lsn = log_.Append(LogRecord::Checkpoint());
+  const bool durable = co_await log_.Force(lsn);
+  if (!durable) {
+    co_return UnavailableError("crashed during checkpoint force");
+  }
+  // Everything before the checkpoint record is flushed data of finished
+  // transactions: reclaim the space.
+  log_.ReclaimBefore(checkpoint_start);
+  co_return OkStatus();
+}
+
+Async<RecoveryReport> RecoveryManager::Recover(
+    const std::map<std::string, DataServer*>& servers) {
+  RecoveryReport report;
+  std::vector<LogRecord> records = log_.ReadDurable();
+  // Replay starts at the LAST durable checkpoint: everything before it is
+  // flushed data of finished transactions.
+  size_t start = 0;
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (records[i].kind == LogRecordKind::kCheckpoint) {
+      start = i + 1;
+    }
+  }
+  report.records_skipped = start;
+  if (start > 0) {
+    records.erase(records.begin(), records.begin() + static_cast<ptrdiff_t>(start));
+  }
+  report.records_replayed = records.size();
+
+  // --- Pass 1: analysis -------------------------------------------------------
+  std::unordered_map<FamilyId, FamilyTrace> traces;
+  std::vector<FamilyId> family_order;  // First-touched order, for determinism.
+  for (const LogRecord& rec : records) {
+    auto [it, inserted] = traces.try_emplace(rec.tid.family);
+    FamilyTrace& trace = it->second;
+    if (inserted) {
+      trace.top = rec.tid.TopLevel();
+      family_order.push_back(rec.tid.family);
+    }
+    switch (rec.kind) {
+      case LogRecordKind::kUpdate:
+        trace.updates.push_back(&rec);
+        trace.servers.insert(rec.server);
+        break;
+      case LogRecordKind::kPrepare:
+        trace.prepared = true;
+        trace.prepare = rec;
+        break;
+      case LogRecordKind::kCommit:
+        trace.committed = true;
+        trace.commit_sites = rec.sites;
+        break;
+      case LogRecordKind::kAbort:
+        trace.aborted = true;
+        break;
+      case LogRecordKind::kReplication:
+        if (!trace.has_replication || rec.epoch >= trace.replication.epoch) {
+          trace.has_replication = true;
+          trace.replication = rec;
+        }
+        break;
+      case LogRecordKind::kEnd:
+        trace.ended = true;
+        break;
+      case LogRecordKind::kCheckpoint:
+        break;  // Stripped above; a torn trailing one is harmless.
+    }
+  }
+
+  // --- Pass 2: redo — "repeat history" -------------------------------------------
+  // EVERY update record is replayed in log order, including losers' forwards
+  // and their compensation records (CLRs): a live abort's undo is itself part
+  // of history, and replaying it keeps interleavings with later winners
+  // correct (strict 2PL serializes per-object record sequences).
+  for (const LogRecord& rec : records) {
+    if (rec.kind != LogRecordKind::kUpdate) {
+      continue;
+    }
+    diskmgr_.RecoveryWrite(rec.server, rec.object, rec.new_value);
+    ++report.redo_writes;
+  }
+
+  // --- Pass 3: undo losers' UN-compensated forwards (newest first) ----------------
+  // A loser record needs undoing only if no CLR compensated it. Because the
+  // aborting transaction held its locks until its undo finished, every
+  // un-compensated forward is the newest record on its object, so writing its
+  // old_value after full replay is correct. Per (family, object) the records
+  // form a stack: forwards push, CLRs pop; the survivors get undone.
+  for (const FamilyId& family : family_order) {
+    const FamilyTrace& trace = traces.at(family);
+    const bool in_doubt =
+        (trace.prepared || trace.has_replication) && !trace.committed && !trace.aborted;
+    if (trace.committed || in_doubt) {
+      continue;
+    }
+    std::unordered_map<std::string, std::vector<const LogRecord*>> pending;
+    for (const LogRecord* rec : trace.updates) {
+      auto& stack = pending[rec->server + "\x1f" + rec->object];
+      if (rec->is_undo) {
+        if (!stack.empty()) {
+          stack.pop_back();
+        }
+      } else {
+        stack.push_back(rec);
+      }
+    }
+    std::vector<const LogRecord*> survivors;
+    for (auto& [key, stack] : pending) {
+      survivors.insert(survivors.end(), stack.begin(), stack.end());
+    }
+    std::sort(survivors.begin(), survivors.end(),
+              [](const LogRecord* a, const LogRecord* b) { return a->lsn > b->lsn; });
+    for (const LogRecord* rec : survivors) {
+      diskmgr_.RecoveryWrite(rec->server, rec->object, rec->old_value);
+      ++report.undo_writes;
+    }
+  }
+
+  // --- Pass 4: rebuild volatile state ------------------------------------------
+  for (const FamilyId& family : family_order) {
+    FamilyTrace& trace = traces.at(family);
+    if (trace.committed) {
+      ++report.families_committed;
+      if (!trace.commit_sites.empty() && !trace.ended) {
+        // We were the coordinator and phase 2 was cut short: resume it so the
+        // remaining subordinates drop their locks and ack.
+        std::vector<std::string> server_names(trace.servers.begin(), trace.servers.end());
+        tranman_.RestoreCoordinator(trace.top, trace.commit_sites, std::move(server_names),
+                                    CommitOptions::Optimized());
+        ++report.coordinators_resumed;
+      } else {
+        tranman_.RestoreTombstone(trace.top, TmTxnState::kCommitted);
+      }
+      continue;
+    }
+    if (trace.aborted) {
+      ++report.families_aborted;
+      tranman_.RestoreTombstone(trace.top, TmTxnState::kAborted);
+      continue;
+    }
+    if (trace.prepared || trace.has_replication) {
+      // In doubt: re-take locks, re-register updates, re-park the participant.
+      // (A replication record without a prepare record happens for a read-only
+      // NBC coordinator or a passive acceptor — still a quorum participant.)
+      ++report.families_prepared;
+      for (const LogRecord* update : trace.updates) {
+        auto server_it = servers.find(update->server);
+        if (server_it == servers.end()) {
+          continue;  // Server no longer configured; its data stays redone.
+        }
+        co_await server_it->second->RestorePreparedUpdate(update->tid, update->object,
+                                                          update->old_value, update->new_value,
+                                                          update->lsn);
+      }
+      TranMan::RestoredSubordinate restored;
+      restored.tid = trace.top;
+      if (trace.prepared) {
+        restored.coordinator = trace.prepare.coordinator;
+        restored.sites = trace.prepare.sites;
+        restored.protocol = trace.prepare.protocol;
+        restored.commit_quorum = trace.prepare.commit_quorum;
+        restored.abort_quorum = trace.prepare.abort_quorum;
+      } else {
+        // Only replication records: an NBC participant. Default quorums are
+        // the majority rule every coordinator uses.
+        restored.coordinator = trace.replication.coordinator;
+        restored.sites = trace.replication.sites;
+        restored.protocol = CommitProtocol::kNonBlocking;
+        const uint32_t n = static_cast<uint32_t>(trace.replication.sites.size());
+        restored.commit_quorum = n / 2 + 1;
+        restored.abort_quorum = n + 1 - restored.commit_quorum;
+      }
+      restored.has_replication = trace.has_replication;
+      if (trace.has_replication) {
+        restored.replicated_epoch = trace.replication.epoch;
+        restored.replicated_decision = static_cast<TmDecision>(trace.replication.decision);
+      }
+      restored.local_servers.assign(trace.servers.begin(), trace.servers.end());
+      tranman_.RestoreSubordinate(std::move(restored));
+      continue;
+    }
+    // Loser with no outcome record: presumed abort, already undone.
+    ++report.families_presumed;
+  }
+
+  CTRACE("[%8.1fms] %s recovery: %zu records, %zu committed, %zu aborted, %zu presumed, "
+         "%zu prepared, %zu coordinators resumed",
+         ToMs(site_.sched().now()), ToString(site_.id()).c_str(), report.records_replayed,
+         report.families_committed, report.families_aborted, report.families_presumed,
+         report.families_prepared, report.coordinators_resumed);
+  co_return report;
+}
+
+}  // namespace camelot

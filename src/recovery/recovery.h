@@ -1,0 +1,67 @@
+// Recovery Process: after a failure, reads the log and repairs the site.
+//
+// Restart sequence (value logging, locks serialize per-object histories):
+//   1. Analysis — one pass over the durable log classifying every family:
+//      committed (commit record), aborted (abort record), prepared-undecided
+//      (prepare without outcome), or loser (updates with no outcome: presumed
+//      abort).
+//   2. Redo — updates of committed AND prepared families are reapplied to the
+//      data disk in log order ("repeat history" for winners; prepared
+//      transactions keep their updates AND their locks so the eventual
+//      outcome can be applied through the normal commit/abort paths).
+//   3. Undo — updates of losers are reversed, newest first.
+//   4. Rebuild — servers re-take the exclusive locks of prepared transactions;
+//      the transaction manager re-parks prepared subordinates (status query /
+//      takeover), resumes committed coordinators whose End record is missing,
+//      and plants outcome tombstones (NBC change 4).
+#ifndef SRC_RECOVERY_RECOVERY_H_
+#define SRC_RECOVERY_RECOVERY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/diskmgr/disk_manager.h"
+#include "src/ipc/site.h"
+#include "src/server/data_server.h"
+#include "src/tranman/tranman.h"
+#include "src/wal/stable_log.h"
+
+namespace camelot {
+
+struct RecoveryReport {
+  size_t records_replayed = 0;   // Records AFTER the last checkpoint.
+  size_t records_skipped = 0;    // Records before the last checkpoint.
+  size_t families_committed = 0;
+  size_t families_aborted = 0;     // Explicit abort records.
+  size_t families_presumed = 0;    // No outcome record: presumed abort.
+  size_t families_prepared = 0;    // Left prepared (in doubt), locks re-taken.
+  size_t coordinators_resumed = 0; // Commit without End: phase 2 restarted.
+  size_t redo_writes = 0;
+  size_t undo_writes = 0;
+};
+
+class RecoveryManager {
+ public:
+  RecoveryManager(Site& site, DiskManager& diskmgr, StableLog& log, TranMan& tranman);
+
+  // Runs the full restart sequence. `servers` maps server name -> instance
+  // (freshly re-constructed, empty volatile state).
+  Async<RecoveryReport> Recover(const std::map<std::string, DataServer*>& servers);
+
+  // Writes a quiescent checkpoint: flushes every dirty page and appends a
+  // forced CHECKPOINT record, after which restart replay begins there. Fails
+  // kFailedPrecondition while any transaction is live at this site (the
+  // simple policy Camelot-era systems used between batch windows).
+  Async<Status> WriteCheckpoint();
+
+ private:
+  Site& site_;
+  DiskManager& diskmgr_;
+  StableLog& log_;
+  TranMan& tranman_;
+};
+
+}  // namespace camelot
+
+#endif  // SRC_RECOVERY_RECOVERY_H_

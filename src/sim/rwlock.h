@@ -1,0 +1,123 @@
+// SimRwLock: the "rw-lock" package of the paper's Section 3.4 — shared/
+// exclusive locks that make waiters sleep on condition variables instead of
+// spinning, "resulting in considerable CPU savings if a thread must wait for
+// a lock for an extended period". Used for long-held internal resources;
+// FIFO-fair with writer batching semantics like SimMutex.
+#ifndef SRC_SIM_RWLOCK_H_
+#define SRC_SIM_RWLOCK_H_
+
+#include <coroutine>
+#include <deque>
+
+#include "src/base/logging.h"
+#include "src/sim/scheduler.h"
+
+namespace camelot {
+
+class SimRwLock {
+ public:
+  explicit SimRwLock(Scheduler& sched) : sched_(&sched) {}
+
+  SimRwLock(const SimRwLock&) = delete;
+  SimRwLock& operator=(const SimRwLock&) = delete;
+
+  // co_await rw.LockShared(); ... rw.UnlockShared();
+  auto LockShared() {
+    struct Awaiter {
+      SimRwLock* rw;
+      bool await_ready() {
+        // Readers do not jump a queued writer (no writer starvation).
+        if (rw->writer_held_ || HasQueuedWriter(*rw)) {
+          return false;
+        }
+        ++rw->readers_;
+        return true;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        rw->waiters_.push_back({h, /*writer=*/false});
+      }
+      void await_resume() const noexcept {}
+      static bool HasQueuedWriter(const SimRwLock& rw) {
+        for (const auto& w : rw.waiters_) {
+          if (w.writer) {
+            return true;
+          }
+        }
+        return false;
+      }
+    };
+    return Awaiter{this};
+  }
+
+  // co_await rw.LockExclusive(); ... rw.UnlockExclusive();
+  auto LockExclusive() {
+    struct Awaiter {
+      SimRwLock* rw;
+      bool await_ready() {
+        if (rw->writer_held_ || rw->readers_ > 0 || !rw->waiters_.empty()) {
+          return false;
+        }
+        rw->writer_held_ = true;
+        return true;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        rw->waiters_.push_back({h, /*writer=*/true});
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  void UnlockShared() {
+    CAMELOT_CHECK(readers_ > 0);
+    --readers_;
+    if (readers_ == 0) {
+      WakeFront();
+    }
+  }
+
+  void UnlockExclusive() {
+    CAMELOT_CHECK(writer_held_);
+    writer_held_ = false;
+    WakeFront();
+  }
+
+  int readers() const { return readers_; }
+  bool writer_held() const { return writer_held_; }
+  size_t waiter_count() const { return waiters_.size(); }
+
+ private:
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    bool writer;
+  };
+
+  // Grants the front waiter: a writer alone, or the whole run of readers.
+  void WakeFront() {
+    if (waiters_.empty() || writer_held_ || readers_ > 0) {
+      return;
+    }
+    if (waiters_.front().writer) {
+      writer_held_ = true;
+      auto h = waiters_.front().handle;
+      waiters_.pop_front();
+      sched_->Post(0, [h] { h.resume(); });
+      return;
+    }
+    while (!waiters_.empty() && !waiters_.front().writer) {
+      ++readers_;
+      auto h = waiters_.front().handle;
+      waiters_.pop_front();
+      sched_->Post(0, [h] { h.resume(); });
+    }
+  }
+
+  Scheduler* sched_;
+  int readers_ = 0;
+  bool writer_held_ = false;
+  std::deque<Waiter> waiters_;
+};
+
+}  // namespace camelot
+
+#endif  // SRC_SIM_RWLOCK_H_

@@ -1,0 +1,75 @@
+#include "src/sim/scheduler.h"
+
+#include <utility>
+
+namespace camelot {
+
+namespace {
+
+// A self-destroying wrapper that drives a detached root Async<void>.
+struct Detached {
+  struct promise_type {
+    Detached get_return_object() {
+      return Detached{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }  // Frame self-frees.
+    void return_void() {}
+    void unhandled_exception() { std::terminate(); }
+  };
+  std::coroutine_handle<promise_type> handle;
+};
+
+Detached RunDetached(Async<void> task) { co_await std::move(task); }
+
+}  // namespace
+
+Scheduler::Scheduler(uint64_t seed) : rng_(seed) {}
+
+void Scheduler::Post(SimDuration delay, std::function<void()> fn) {
+  CAMELOT_CHECK(delay >= 0);
+  PostAt(now_ + delay, std::move(fn));
+}
+
+void Scheduler::PostAt(SimTime t, std::function<void()> fn) {
+  CAMELOT_CHECK(t >= now_);
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Scheduler::Spawn(Async<void> task) {
+  if (!task.valid()) {
+    return;
+  }
+  Detached d = RunDetached(std::move(task));
+  Post(0, [h = d.handle] { h.resume(); });
+}
+
+size_t Scheduler::RunUntilIdle(size_t max_events) {
+  size_t processed = 0;
+  while (!queue_.empty() && processed < max_events) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    CAMELOT_CHECK(ev.time >= now_);
+    now_ = ev.time;
+    ev.fn();
+    ++processed;
+  }
+  return processed;
+}
+
+size_t Scheduler::RunUntil(SimTime t) {
+  size_t processed = 0;
+  while (!queue_.empty() && queue_.top().time <= t) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+    ++processed;
+  }
+  if (t > now_) {
+    now_ = t;
+  }
+  return processed;
+}
+
+}  // namespace camelot

@@ -1,0 +1,91 @@
+// The discrete-event scheduler: a virtual clock plus an ordered queue of
+// thunks. Coroutines suspend on awaitables (Delay, channel receives, mutexes)
+// that post their resumption as future events.
+//
+// Determinism: events at equal times run in posting order (FIFO tie-break),
+// and all randomness flows from the seed given at construction, so any run is
+// exactly reproducible.
+#ifndef SRC_SIM_SCHEDULER_H_
+#define SRC_SIM_SCHEDULER_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/base/logging.h"
+#include "src/base/rng.h"
+#include "src/base/types.h"
+#include "src/sim/task.h"
+
+namespace camelot {
+
+class Scheduler {
+ public:
+  explicit Scheduler(uint64_t seed = 1);
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  SimTime now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  // Run `fn` after `delay` of virtual time (delay >= 0).
+  void Post(SimDuration delay, std::function<void()> fn);
+
+  // Run `fn` at absolute virtual time `t` (>= now).
+  void PostAt(SimTime t, std::function<void()> fn);
+
+  // Awaitable: suspend the current coroutine for `delay` of virtual time.
+  auto Delay(SimDuration delay) {
+    struct Awaiter {
+      Scheduler* sched;
+      SimDuration delay;
+      bool await_ready() const noexcept { return delay <= 0; }
+      void await_suspend(std::coroutine_handle<> h) {
+        sched->Post(delay, [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, delay};
+  }
+
+  // Launch a root task. The frame is freed when the task completes; tasks
+  // still suspended when the simulation stops are leaked (the simulator never
+  // destroys a suspended coroutine, so dangling-waiter bugs cannot occur).
+  void Spawn(Async<void> task);
+
+  // Drain the event queue. Returns the number of events processed. Stops after
+  // max_events as a runaway guard.
+  size_t RunUntilIdle(size_t max_events = SIZE_MAX);
+
+  // Process events with time <= t, then set now to t. Returns events processed.
+  size_t RunUntil(SimTime t);
+
+  size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  Rng rng_;
+  std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
+};
+
+}  // namespace camelot
+
+#endif  // SRC_SIM_SCHEDULER_H_

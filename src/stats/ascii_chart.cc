@@ -1,0 +1,101 @@
+#include "src/stats/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace camelot {
+
+AsciiChart::AsciiChart(std::string x_label, std::string y_label, int width, int height)
+    : x_label_(std::move(x_label)), y_label_(std::move(y_label)), width_(width),
+      height_(height) {}
+
+void AsciiChart::AddSeries(std::string name, char marker, std::vector<double> xs,
+                           std::vector<double> ys) {
+  series_.push_back(Series{std::move(name), marker, std::move(xs), std::move(ys)});
+}
+
+std::string AsciiChart::Render() const {
+  double x_min = 0;
+  double x_max = 1;
+  double y_max = 1;
+  bool first = true;
+  for (const auto& s : series_) {
+    for (size_t i = 0; i < s.xs.size() && i < s.ys.size(); ++i) {
+      if (first) {
+        x_min = x_max = s.xs[i];
+        first = false;
+      }
+      x_min = std::min(x_min, s.xs[i]);
+      x_max = std::max(x_max, s.xs[i]);
+      y_max = std::max(y_max, s.ys[i]);
+    }
+  }
+  if (x_max == x_min) {
+    x_max = x_min + 1;
+  }
+  y_max *= 1.05;  // Headroom so the top point is visible.
+
+  // Grid of (height_) rows x (width_) columns; row 0 is the TOP.
+  std::vector<std::string> grid(static_cast<size_t>(height_),
+                                std::string(static_cast<size_t>(width_), ' '));
+  auto plot = [&](double x, double y, char marker) {
+    const int col = static_cast<int>(std::lround((x - x_min) / (x_max - x_min) *
+                                                 (width_ - 1)));
+    const int row = height_ - 1 -
+                    static_cast<int>(std::lround(y / y_max * (height_ - 1)));
+    if (col >= 0 && col < width_ && row >= 0 && row < height_) {
+      grid[static_cast<size_t>(row)][static_cast<size_t>(col)] = marker;
+    }
+  };
+  // Connect consecutive points with interpolated marks, then overwrite the
+  // exact points with the series marker so vertices stand out.
+  for (const auto& s : series_) {
+    for (size_t i = 0; i + 1 < s.xs.size() && i + 1 < s.ys.size(); ++i) {
+      const int steps = width_ / std::max<int>(1, static_cast<int>(s.xs.size()) - 1);
+      for (int k = 1; k < steps; ++k) {
+        const double t = static_cast<double>(k) / steps;
+        plot(s.xs[i] + t * (s.xs[i + 1] - s.xs[i]), s.ys[i] + t * (s.ys[i + 1] - s.ys[i]),
+             '.');
+      }
+    }
+  }
+  for (const auto& s : series_) {
+    for (size_t i = 0; i < s.xs.size() && i < s.ys.size(); ++i) {
+      plot(s.xs[i], s.ys[i], s.marker);
+    }
+  }
+
+  std::string out;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s\n", y_label_.c_str());
+  out += buf;
+  for (int row = 0; row < height_; ++row) {
+    const double y_at_row = y_max * (height_ - 1 - row) / (height_ - 1);
+    if (row % 4 == 0 || row == height_ - 1) {
+      std::snprintf(buf, sizeof(buf), "%7.1f |", y_at_row);
+    } else {
+      std::snprintf(buf, sizeof(buf), "        |");
+    }
+    out += buf;
+    out += grid[static_cast<size_t>(row)];
+    out += '\n';
+  }
+  out += "        +";
+  out += std::string(static_cast<size_t>(width_), '-');
+  out += '\n';
+  std::snprintf(buf, sizeof(buf), "        %-6.1f", x_min);
+  out += buf;
+  out += std::string(static_cast<size_t>(std::max(0, width_ - 12)), ' ');
+  std::snprintf(buf, sizeof(buf), "%6.1f  (%s)\n", x_max, x_label_.c_str());
+  out += buf;
+  for (const auto& s : series_) {
+    std::snprintf(buf, sizeof(buf), "        %c = %s\n", s.marker, s.name.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+void AsciiChart::Print() const { std::fputs(Render().c_str(), stdout); }
+
+}  // namespace camelot

@@ -1,0 +1,43 @@
+// ASCII line charts for the figure benches: renders latency/throughput series
+// the way the paper's Figures 2-5 plot them (x = subordinates or app/server
+// pairs, y = ms or TPS), so a bench's output is readable as the figure itself.
+#ifndef SRC_STATS_ASCII_CHART_H_
+#define SRC_STATS_ASCII_CHART_H_
+
+#include <string>
+#include <vector>
+
+namespace camelot {
+
+class AsciiChart {
+ public:
+  // `width` and `height` are the plot-area dimensions in characters.
+  AsciiChart(std::string x_label, std::string y_label, int width = 60, int height = 16);
+
+  // Adds one series; `marker` is the character plotted at each point.
+  // x values may be arbitrary (not necessarily evenly spaced).
+  void AddSeries(std::string name, char marker, std::vector<double> xs,
+                 std::vector<double> ys);
+
+  // Renders the chart with axes, y-scale labels, and a legend.
+  std::string Render() const;
+  void Print() const;
+
+ private:
+  struct Series {
+    std::string name;
+    char marker;
+    std::vector<double> xs;
+    std::vector<double> ys;
+  };
+
+  std::string x_label_;
+  std::string y_label_;
+  int width_;
+  int height_;
+  std::vector<Series> series_;
+};
+
+}  // namespace camelot
+
+#endif  // SRC_STATS_ASCII_CHART_H_

@@ -1,0 +1,55 @@
+#include "src/stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace camelot {
+
+void Summary::Add(double x) {
+  if (samples_.empty()) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  samples_.push_back(x);
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(samples_.size());
+  m2_ += delta * (x - mean_);
+}
+
+double Summary::stddev() const {
+  if (samples_.size() < 2) {
+    return 0.0;
+  }
+  return std::sqrt(m2_ / static_cast<double>(samples_.size() - 1));
+}
+
+double Summary::Percentile(double p) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const size_t rank = static_cast<size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+std::string Summary::MeanStddevString(int precision) const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f (%.*f)", precision, mean(), precision, stddev());
+  return buf;
+}
+
+void Summary::Clear() {
+  samples_.clear();
+  mean_ = 0.0;
+  m2_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+}  // namespace camelot

@@ -1,0 +1,46 @@
+// Streaming statistics: mean/stddev via Welford, min/max, and exact percentiles
+// over retained samples. Used by every bench to report the paper's
+// "mean (stddev)" numbers.
+#ifndef SRC_STATS_SUMMARY_H_
+#define SRC_STATS_SUMMARY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace camelot {
+
+class Summary {
+ public:
+  void Add(double x);
+
+  size_t count() const { return samples_.size(); }
+  double mean() const { return count() == 0 ? 0.0 : mean_; }
+  // Sample standard deviation (n-1 denominator), as reported in the paper's figures.
+  double stddev() const;
+  double min() const { return count() == 0 ? 0.0 : min_; }
+  double max() const { return count() == 0 ? 0.0 : max_; }
+  double sum() const { return mean_ * static_cast<double>(count()); }
+
+  // Exact p-th percentile (0 <= p <= 100) by nearest-rank over retained samples.
+  double Percentile(double p) const;
+  double median() const { return Percentile(50.0); }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+  // "12.3 (1.4)" — mean with stddev in parentheses, the paper's display format.
+  std::string MeanStddevString(int precision = 1) const;
+
+  void Clear();
+
+ private:
+  std::vector<double> samples_;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace camelot
+
+#endif  // SRC_STATS_SUMMARY_H_

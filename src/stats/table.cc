@@ -1,0 +1,83 @@
+#include "src/stats/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace camelot {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::Render() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto pad = [](const std::string& s, size_t w) {
+    std::string out = s;
+    out.resize(w, ' ');
+    return out;
+  };
+  std::string out;
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    out += pad(headers_[c], widths[c]);
+    out += (c + 1 < headers_.size()) ? "  " : "\n";
+  }
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    out += std::string(widths[c], '-');
+    out += (c + 1 < headers_.size()) ? "  " : "\n";
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      out += pad(row[c], widths[c]);
+      out += (c + 1 < headers_.size()) ? "  " : "\n";
+    }
+  }
+  return out;
+}
+
+std::string Table::RenderCsv() const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) {
+      return s;
+    }
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') {
+        out += '"';
+      }
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::string out;
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    out += quote(headers_[c]);
+    out += (c + 1 < headers_.size()) ? "," : "\n";
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      out += quote(row[c]);
+      out += (c + 1 < headers_.size()) ? "," : "\n";
+    }
+  }
+  return out;
+}
+
+void Table::Print() const { std::fputs(Render().c_str(), stdout); }
+
+}  // namespace camelot

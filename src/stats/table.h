@@ -1,0 +1,35 @@
+// Fixed-width ASCII table printer used by the benches to render the paper's
+// tables and figure data series side by side with the paper's reference values.
+#ifndef SRC_STATS_TABLE_H_
+#define SRC_STATS_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace camelot {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: format a double with the given precision.
+  static std::string Num(double v, int precision = 1);
+
+  // Renders with a header underline and column padding.
+  std::string Render() const;
+
+  // Renders as CSV (for downstream plotting).
+  std::string RenderCsv() const;
+
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace camelot
+
+#endif  // SRC_STATS_TABLE_H_

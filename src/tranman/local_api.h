@@ -1,0 +1,142 @@
+// The local RPC protocol spoken between applications, data servers, and the
+// transaction manager on one site (Figure 1 of the paper). This header defines
+// method numbers and payload encodings only; it creates no link dependency
+// between the server and tranman libraries.
+#ifndef SRC_TRANMAN_LOCAL_API_H_
+#define SRC_TRANMAN_LOCAL_API_H_
+
+#include <string>
+
+#include "src/base/codec.h"
+#include "src/base/types.h"
+#include "src/wal/log_record.h"  // CommitProtocol.
+
+namespace camelot {
+
+// Every site's transaction manager registers under this service name.
+inline constexpr char kTranManServiceName[] = "tranman";
+
+// --- Transaction manager methods (application- and server-facing) -------------
+enum TmMethod : uint32_t {
+  kTmBegin = 1,   // {Transaction parent?}            -> {Transaction tid}
+  kTmCommit = 2,  // {Transaction, CommitOptions}     -> status only
+  kTmAbort = 3,   // {Transaction}                    -> status only
+  kTmJoin = 4,    // {Transaction, Str server_name}   -> status only (server -> TranMan)
+  // Remote TranMan-to-TranMan control (sent via NetMsgServer RPC, not datagrams,
+  // because they are off the commit critical path):
+  kTmNestedCommitRemote = 10,  // {Transaction child, Transaction parent} -> status
+  kTmAbortSubtreeRemote = 11,  // {Transaction top, U32 n, n x U32 serials} -> status
+  kTmQueryStatus = 12,         // {Transaction} -> {U8 TmTxnState} (orphan probing)
+};
+
+// The commitment protocol variant requested on commit-transaction. The paper's
+// Section 3.2 optimization corresponds to {force_subordinate_commit = false,
+// piggyback_commit_ack = true}; the unoptimized baseline is {true, false}; the
+// dissected intermediate is {true, true}.
+struct CommitOptions {
+  CommitProtocol protocol = CommitProtocol::kTwoPhase;
+  bool force_subordinate_commit = false;
+  bool piggyback_commit_ack = true;
+
+  static CommitOptions Optimized() { return {CommitProtocol::kTwoPhase, false, true}; }
+  static CommitOptions Unoptimized() { return {CommitProtocol::kTwoPhase, true, false}; }
+  static CommitOptions Intermediate() { return {CommitProtocol::kTwoPhase, true, true}; }
+  static CommitOptions NonBlocking() { return {CommitProtocol::kNonBlocking, false, true}; }
+};
+
+inline Bytes EncodeBeginRequest(const Tid& parent) {
+  ByteWriter w;
+  w.Transaction(parent);
+  return w.Take();
+}
+
+inline Bytes EncodeCommitRequest(const Tid& tid, const CommitOptions& options) {
+  ByteWriter w;
+  w.Transaction(tid);
+  w.U8(static_cast<uint8_t>(options.protocol));
+  w.U8(options.force_subordinate_commit ? 1 : 0);
+  w.U8(options.piggyback_commit_ack ? 1 : 0);
+  return w.Take();
+}
+
+inline Bytes EncodeTidOnly(const Tid& tid) {
+  ByteWriter w;
+  w.Transaction(tid);
+  return w.Take();
+}
+
+inline Bytes EncodeJoinRequest(const Tid& tid, const std::string& server_name) {
+  ByteWriter w;
+  w.Transaction(tid);
+  w.Str(server_name);
+  return w.Take();
+}
+
+// --- Data server methods --------------------------------------------------------
+enum ServerMethod : uint32_t {
+  // Client-facing operations.
+  kSrvRead = 1,    // {Transaction, Str object}              -> {Blob value}
+  kSrvWrite = 2,   // {Transaction, Str object, Blob value}  -> status only
+  kSrvCreate = 3,  // {Transaction, Str object, Blob value}  -> status only
+
+  // TranMan-facing transaction management upcalls.
+  kSrvVote = 10,          // {Transaction top}              -> {U8 ServerVote}
+  kSrvCommitFamily = 11,  // {Transaction top}              -> status (drop locks)
+  kSrvAbortFamily = 12,   // {Transaction top}              -> status (undo + drop locks)
+  kSrvNestedCommit = 13,  // {Transaction child, Transaction parent} -> status
+  kSrvAbortSubtree = 14,  // {Transaction top, U32 n, n x U32 serials} -> status
+};
+
+enum class ServerVote : uint8_t {
+  kNo = 0,        // Refuse to commit (forces abort).
+  kUpdate = 1,    // Prepared; transaction wrote here.
+  kReadOnly = 2,  // Participated read-only; no second phase needed.
+};
+
+inline Bytes EncodeObjectRequest(const Tid& tid, const std::string& object) {
+  ByteWriter w;
+  w.Transaction(tid);
+  w.Str(object);
+  return w.Take();
+}
+
+inline Bytes EncodeWriteRequest(const Tid& tid, const std::string& object, const Bytes& value) {
+  ByteWriter w;
+  w.Transaction(tid);
+  w.Str(object);
+  w.Blob(value);
+  return w.Take();
+}
+
+inline Bytes EncodeNestedCommitRequest(const Tid& child, const Tid& parent) {
+  ByteWriter w;
+  w.Transaction(child);
+  w.Transaction(parent);
+  return w.Take();
+}
+
+inline Bytes EncodeAbortSubtreeRequest(const Tid& top, const std::vector<uint32_t>& serials) {
+  ByteWriter w;
+  w.Transaction(top);
+  w.U32(static_cast<uint32_t>(serials.size()));
+  for (uint32_t s : serials) {
+    w.U32(s);
+  }
+  return w.Take();
+}
+
+// Helpers for int64-valued objects (bank balances, counters, ...).
+inline Bytes EncodeInt64(int64_t v) {
+  ByteWriter w;
+  w.I64(v);
+  return w.Take();
+}
+
+inline int64_t DecodeInt64(const Bytes& b) {
+  ByteReader r(b);
+  return r.I64();
+}
+
+}  // namespace camelot
+
+#endif  // SRC_TRANMAN_LOCAL_API_H_

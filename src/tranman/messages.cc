@@ -1,0 +1,77 @@
+#include "src/tranman/messages.h"
+
+namespace camelot {
+
+const char* TmMsgTypeName(TmMsgType type) {
+  switch (type) {
+    case TmMsgType::kPrepare:
+      return "PREPARE";
+    case TmMsgType::kVote:
+      return "VOTE";
+    case TmMsgType::kCommit:
+      return "COMMIT";
+    case TmMsgType::kAbort:
+      return "ABORT";
+    case TmMsgType::kCommitAck:
+      return "COMMIT-ACK";
+    case TmMsgType::kReplicate:
+      return "REPLICATE";
+    case TmMsgType::kReplicateAck:
+      return "REPLICATE-ACK";
+    case TmMsgType::kStatusReq:
+      return "STATUS-REQ";
+    case TmMsgType::kStatusResp:
+      return "STATUS-RESP";
+    case TmMsgType::kSiteUp:
+      return "SITE-UP";
+  }
+  return "UNKNOWN";
+}
+
+Bytes TmMsg::Encode() const {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(type));
+  w.Transaction(tid);
+  w.Site(from);
+  w.U8(static_cast<uint8_t>(protocol));
+  w.U8(force_subordinate_commit ? 1 : 0);
+  w.U8(piggyback_commit_ack ? 1 : 0);
+  w.SiteList(sites);
+  w.U32(commit_quorum);
+  w.U32(abort_quorum);
+  w.U8(static_cast<uint8_t>(vote));
+  w.U64(epoch);
+  w.U8(static_cast<uint8_t>(decision));
+  w.U8(static_cast<uint8_t>(state));
+  w.U8(has_replication ? 1 : 0);
+  w.U64(replicated_epoch);
+  w.U8(static_cast<uint8_t>(replicated_decision));
+  return w.Take();
+}
+
+Result<TmMsg> TmMsg::Decode(const Bytes& wire) {
+  ByteReader r(wire);
+  TmMsg m;
+  m.type = static_cast<TmMsgType>(r.U8());
+  m.tid = r.Transaction();
+  m.from = r.Site();
+  m.protocol = static_cast<CommitProtocol>(r.U8());
+  m.force_subordinate_commit = r.U8() != 0;
+  m.piggyback_commit_ack = r.U8() != 0;
+  m.sites = r.SiteList();
+  m.commit_quorum = r.U32();
+  m.abort_quorum = r.U32();
+  m.vote = static_cast<TmVote>(r.U8());
+  m.epoch = r.U64();
+  m.decision = static_cast<TmDecision>(r.U8());
+  m.state = static_cast<TmTxnState>(r.U8());
+  m.has_replication = r.U8() != 0;
+  m.replicated_epoch = r.U64();
+  m.replicated_decision = static_cast<TmDecision>(r.U8());
+  if (!r.ok() || !r.AtEnd()) {
+    return CorruptionError("bad TmMsg wire format");
+  }
+  return m;
+}
+
+}  // namespace camelot

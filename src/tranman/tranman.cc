@@ -1,0 +1,1801 @@
+#include "src/tranman/tranman.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+#include "src/sim/sync.h"
+
+namespace camelot {
+
+namespace {
+
+// Epochs encode (round, site) so concurrent takeover coordinators never collide.
+uint64_t MakeEpoch(uint64_t round, SiteId site) { return (round << 8) | (site.value & 0xff); }
+uint64_t EpochRound(uint64_t epoch) { return epoch >> 8; }
+
+Bytes EncodeTid(const Tid& tid) {
+  ByteWriter w;
+  w.Transaction(tid);
+  return w.Take();
+}
+
+}  // namespace
+
+TranMan::TranMan(Site& site, Network& net, ComMan& comman, StableLog& log, TranManConfig config)
+    : site_(site),
+      net_(net),
+      comman_(comman),
+      log_(log),
+      config_(config),
+      pool_(site.sched(), config.worker_threads) {
+  site_.RegisterService(kTranManServiceName,
+                        [this](RpcContext ctx, uint32_t method, Bytes body) {
+                          return Handle(ctx, method, std::move(body));
+                        });
+  net_.Bind(site_.id(), kTranManService, [this](Datagram dg) { OnDatagram(std::move(dg)); });
+  site_.AddCrashListener([this] {
+    // Volatile state evaporates; coroutines mid-protocol notice via closed
+    // inboxes and incarnation checks. Family memory moves to the graveyard so
+    // suspended coroutines holding pointers stay memory-safe.
+    for (auto& [id, fam] : families_) {
+      if (fam->inbox) {
+        fam->inbox->Close();
+      }
+      graveyard_.push_back(std::move(fam));
+    }
+    families_.clear();
+    readonly_voted_.clear();
+    offpath_queue_.clear();
+  });
+}
+
+// --- Plumbing --------------------------------------------------------------------
+
+TranMan::Family* TranMan::FindFamily(const FamilyId& id) {
+  auto it = families_.find(id);
+  return it == families_.end() ? nullptr : it->second.get();
+}
+
+const TranMan::Family* TranMan::FindFamily(const FamilyId& id) const {
+  auto it = families_.find(id);
+  return it == families_.end() ? nullptr : it->second.get();
+}
+
+TranMan::Family* TranMan::CreateFamily(const Tid& top) {
+  auto fam = std::make_unique<Family>();
+  fam->top = top.TopLevel();
+  Family* raw = fam.get();
+  families_.emplace(top.family, std::move(fam));
+  return raw;
+}
+
+void TranMan::RetireFamily(const FamilyId& id) {
+  auto it = families_.find(id);
+  if (it == families_.end()) {
+    return;
+  }
+  if (it->second->inbox) {
+    it->second->inbox->Close();
+  }
+  graveyard_.push_back(std::move(it->second));
+  families_.erase(it);
+  comman_.Forget(id);
+}
+
+Async<bool> TranMan::ForceHoldingWorker(Lsn lsn) {
+  co_await pool_.Acquire();
+  const bool durable = co_await log_.Force(lsn);
+  pool_.Release();
+  co_return durable;
+}
+
+uint64_t TranMan::NextEpoch(Family* fam) {
+  uint64_t round = fam->takeover_round + 1;
+  const uint64_t seen = std::max(fam->promised_epoch, fam->replicated_epoch);
+  round = std::max(round, EpochRound(seen) + 1);
+  fam->takeover_round = round;
+  return MakeEpoch(round, site_.id());
+}
+
+Status TranMan::HeuristicResolve(const FamilyId& family, TmDecision decision) {
+  Family* fam = FindFamily(family);
+  if (fam == nullptr) {
+    return NotFoundError("unknown transaction");
+  }
+  if (fam->state != TmTxnState::kPrepared || fam->passive_acceptor) {
+    return FailedPreconditionError("only a prepared (in-doubt) participant can be "
+                                   "heuristically resolved");
+  }
+  ++counters_.heuristic_resolutions;
+  fam->heuristic = true;
+  if (decision == TmDecision::kCommit) {
+    // Deliver a synthetic COMMIT to the waiting subordinate coroutine; the
+    // normal path writes the commit record and acks the (absent) coordinator.
+    TmMsg commit;
+    commit.type = TmMsgType::kCommit;
+    commit.tid = fam->top;
+    commit.from = site_.id();
+    if (fam->inbox && !fam->inbox->closed()) {
+      fam->inbox->Send(std::move(commit));
+    }
+  } else {
+    TmMsg abort;
+    abort.type = TmMsgType::kAbort;
+    abort.tid = fam->top;
+    abort.from = site_.id();
+    if (fam->inbox && !fam->inbox->closed()) {
+      fam->inbox->Send(std::move(abort));
+    }
+  }
+  return OkStatus();
+}
+
+TmTxnState TranMan::QueryState(const FamilyId& family) const {
+  const Family* fam = FindFamily(family);
+  return fam == nullptr ? TmTxnState::kUnknown : fam->state;
+}
+
+bool TranMan::IsBlocked(const FamilyId& family) const {
+  const Family* fam = FindFamily(family);
+  return fam != nullptr && fam->blocked;
+}
+
+size_t TranMan::live_family_count() const {
+  size_t n = 0;
+  for (const auto& [id, fam] : families_) {
+    if (fam->state != TmTxnState::kCommitted && fam->state != TmTxnState::kAborted) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+// --- Datagram layer ----------------------------------------------------------------
+
+namespace {
+
+Bytes EncodeBatch(const std::vector<TmMsg>& msgs) {
+  ByteWriter w;
+  w.U16(static_cast<uint16_t>(msgs.size()));
+  for (const TmMsg& m : msgs) {
+    w.Blob(m.Encode());
+  }
+  return w.Take();
+}
+
+}  // namespace
+
+void TranMan::SendMsg(SiteId dst, TmMsg msg) {
+  msg.from = site_.id();
+  std::vector<TmMsg> batch{std::move(msg)};
+  // Piggyback: queued off-path messages for this destination ride along.
+  auto it = offpath_queue_.find(dst);
+  if (it != offpath_queue_.end() && !it->second.empty()) {
+    counters_.messages_piggybacked += it->second.size();
+    for (TmMsg& queued : it->second) {
+      batch.push_back(std::move(queued));
+    }
+    offpath_queue_.erase(it);
+  }
+  net_.Send(Datagram{site_.id(), dst, kTranManService,
+                     static_cast<uint32_t>(batch.front().type), EncodeBatch(batch)});
+}
+
+void TranMan::SendMsgToAll(const std::vector<SiteId>& dsts, TmMsg msg) {
+  if (dsts.empty()) {
+    return;
+  }
+  msg.from = site_.id();
+  bool any_queued = false;
+  for (SiteId dst : dsts) {
+    auto it = offpath_queue_.find(dst);
+    any_queued = any_queued || (it != offpath_queue_.end() && !it->second.empty());
+  }
+  if (any_queued) {
+    // Per-destination payloads differ: fall back to unicast sends.
+    for (SiteId dst : dsts) {
+      TmMsg copy = msg;
+      SendMsg(dst, std::move(copy));
+    }
+    return;
+  }
+  net_.SendToAll(site_.id(), dsts, kTranManService, static_cast<uint32_t>(msg.type),
+                 EncodeBatch({msg}));
+}
+
+void TranMan::QueueOffPath(SiteId dst, TmMsg msg) {
+  msg.from = site_.id();
+  if (config_.piggyback_delay <= 0) {
+    std::vector<TmMsg> batch{std::move(msg)};
+    net_.Send(Datagram{site_.id(), dst, kTranManService,
+                       static_cast<uint32_t>(batch.front().type), EncodeBatch(batch)});
+    return;
+  }
+  const bool first = offpath_queue_[dst].empty();
+  offpath_queue_[dst].push_back(std::move(msg));
+  if (first) {
+    const uint32_t inc = site_.incarnation();
+    site_.sched().Post(config_.piggyback_delay, [this, dst, inc] {
+      if (!Dead(inc)) {
+        FlushOffPath(dst);
+      }
+    });
+  }
+}
+
+void TranMan::FlushOffPath(SiteId dst) {
+  auto it = offpath_queue_.find(dst);
+  if (it == offpath_queue_.end() || it->second.empty()) {
+    return;
+  }
+  std::vector<TmMsg> batch = std::move(it->second);
+  offpath_queue_.erase(it);
+  net_.Send(Datagram{site_.id(), dst, kTranManService,
+                     static_cast<uint32_t>(batch.front().type), EncodeBatch(batch)});
+}
+
+void TranMan::OnDatagram(Datagram dg) {
+  if (!site_.up()) {
+    return;
+  }
+  ByteReader r(dg.body);
+  const uint16_t count = r.U16();
+  for (uint16_t i = 0; i < count && r.ok(); ++i) {
+    const Bytes wire = r.Blob();
+    auto msg = TmMsg::Decode(wire);
+    if (msg.ok()) {
+      site_.sched().Spawn(DispatchMsg(std::move(*msg)));
+    }
+  }
+}
+
+Async<void> TranMan::DispatchMsg(TmMsg msg) {
+  const uint32_t inc = site_.incarnation();
+  // Every protocol event passes through the worker pool (Section 3.4).
+  co_await pool_.Run(config_.cpu_per_event);
+  if (Dead(inc)) {
+    co_return;
+  }
+  switch (msg.type) {
+    case TmMsgType::kPrepare:
+      co_await HandleRemotePrepare(std::move(msg));
+      co_return;
+    case TmMsgType::kVote:
+    case TmMsgType::kCommitAck:
+    case TmMsgType::kReplicateAck:
+    case TmMsgType::kStatusResp: {
+      Family* fam = FindFamily(msg.tid.family);
+      if (fam != nullptr && fam->inbox && !fam->inbox->closed()) {
+        fam->inbox->Send(std::move(msg));
+      }
+      co_return;
+    }
+    case TmMsgType::kCommit: {
+      Family* fam = FindFamily(msg.tid.family);
+      if (fam == nullptr) {
+        // Already finished and forgotten: the ack must have been lost.
+        co_await HandleCommitForUnknown(std::move(msg));
+        co_return;
+      }
+      if (fam->state == TmTxnState::kCommitted) {
+        TmMsg ack;
+        ack.type = TmMsgType::kCommitAck;
+        ack.tid = msg.tid;
+        SendMsg(msg.from, ack);
+        co_return;
+      }
+      if (fam->state == TmTxnState::kAborted && fam->heuristic) {
+        // We guessed ABORT; the real outcome is COMMIT. Record the damage and
+        // ack so the coordinator can finish (the data here is already wrong —
+        // exactly the risk LU 6.2 accepts).
+        ++counters_.heuristic_damage;
+        CTRACE("[%8.1fms] %s HEURISTIC DAMAGE: aborted %s but coordinator committed",
+               ToMs(site_.sched().now()), ToString(site_.id()).c_str(),
+               ToString(msg.tid).c_str());
+        TmMsg ack;
+        ack.type = TmMsgType::kCommitAck;
+        ack.tid = msg.tid;
+        SendMsg(msg.from, ack);
+        co_return;
+      }
+      if (fam->passive_acceptor && fam->state == TmTxnState::kPrepared) {
+        fam->state = TmTxnState::kCommitted;  // Outcome tombstone (change 4).
+        TmMsg ack;
+        ack.type = TmMsgType::kCommitAck;
+        ack.tid = msg.tid;
+        SendMsg(msg.from, ack);
+        co_return;
+      }
+      if (fam->state == TmTxnState::kPrepared && fam->inbox && !fam->inbox->closed()) {
+        fam->inbox->Send(std::move(msg));
+      }
+      co_return;
+    }
+    case TmMsgType::kAbort:
+      co_await HandleAbortMsg(std::move(msg));
+      co_return;
+    case TmMsgType::kReplicate:
+      co_await HandleReplicate(std::move(msg));
+      co_return;
+    case TmMsgType::kStatusReq:
+      co_await HandleStatusReq(std::move(msg));
+      co_return;
+    case TmMsgType::kSiteUp: {
+      // A site recovered: nudge every in-doubt family so its parked waiter
+      // gets a fresh status answer (the response lands in the inbox).
+      for (auto& [id, fam] : families_) {
+        if (fam->state == TmTxnState::kPrepared && fam->committing && !fam->passive_acceptor) {
+          fam->takeover_round = 0;
+          TmMsg req;
+          req.type = TmMsgType::kStatusReq;
+          req.tid = fam->top;
+          SendMsg(msg.from, req);
+        }
+      }
+      co_return;
+    }
+  }
+}
+
+void TranMan::AnnounceRecovered() {
+  TmMsg up;
+  up.type = TmMsgType::kSiteUp;
+  up.from = site_.id();
+  net_.Broadcast(site_.id(), kTranManService, static_cast<uint32_t>(TmMsgType::kSiteUp),
+                 EncodeBatch({up}));
+}
+
+// --- Service handler ----------------------------------------------------------------
+
+Async<RpcResult> TranMan::Handle(RpcContext /*ctx*/, uint32_t method, Bytes body) {
+  const uint32_t inc = site_.incarnation();
+  co_await pool_.Run(config_.cpu_per_event);
+  if (Dead(inc)) {
+    co_return RpcResult{UnavailableError("site down"), {}};
+  }
+  ByteReader r(body);
+  switch (method) {
+    case kTmBegin: {
+      const Tid parent = r.Transaction();
+      RpcResult result = co_await HandleBegin(parent);
+      co_return result;
+    }
+    case kTmCommit: {
+      const Tid tid = r.Transaction();
+      CommitOptions options;
+      options.protocol = static_cast<CommitProtocol>(r.U8());
+      options.force_subordinate_commit = r.U8() != 0;
+      options.piggyback_commit_ack = r.U8() != 0;
+      if (!r.ok()) {
+        co_return RpcResult{InvalidArgumentError("bad commit request"), {}};
+      }
+      if (tid.IsTopLevel()) {
+        RpcResult result = co_await HandleCommit(tid, options);
+        co_return result;
+      }
+      RpcResult result = co_await HandleNestedCommit(tid);
+      co_return result;
+    }
+    case kTmAbort: {
+      const Tid tid = r.Transaction();
+      if (tid.IsTopLevel()) {
+        RpcResult result = co_await HandleAbort(tid);
+        co_return result;
+      }
+      RpcResult result = co_await HandleNestedAbort(tid);
+      co_return result;
+    }
+    case kTmJoin: {
+      const Tid tid = r.Transaction();
+      const std::string server = r.Str();
+      if (!r.ok()) {
+        co_return RpcResult{InvalidArgumentError("bad join request"), {}};
+      }
+      RpcResult result = co_await HandleJoin(tid, server);
+      co_return result;
+    }
+    case kTmNestedCommitRemote: {
+      const Tid child = r.Transaction();
+      const Tid parent = r.Transaction();
+      RpcResult result = co_await HandleNestedCommitRemote(child, parent);
+      co_return result;
+    }
+    case kTmQueryStatus: {
+      const Tid tid = r.Transaction();
+      ByteWriter w;
+      w.U8(static_cast<uint8_t>(QueryState(tid.family)));
+      co_return RpcResult{OkStatus(), w.Take()};
+    }
+    case kTmAbortSubtreeRemote: {
+      const Tid top = r.Transaction();
+      const uint32_t n = r.U32();
+      std::vector<uint32_t> serials;
+      for (uint32_t i = 0; i < n && r.ok(); ++i) {
+        serials.push_back(r.U32());
+      }
+      RpcResult result = co_await HandleAbortSubtreeRemote(top, std::move(serials));
+      co_return result;
+    }
+    default:
+      co_return RpcResult{InvalidArgumentError("unknown tranman method"), {}};
+  }
+}
+
+Async<RpcResult> TranMan::HandleBegin(const Tid& parent) {
+  if (!parent.IsValid()) {
+    // New top-level transaction; this site is the family origin.
+    const Tid tid{FamilyId{site_.id(), next_family_seq_++}, 0, 0};
+    CreateFamily(tid);
+    ++counters_.begun;
+    co_return RpcResult{OkStatus(), EncodeTid(tid)};
+  }
+  // Nested transaction under `parent` (created at the family origin).
+  Family* fam = FindFamily(parent.family);
+  if (fam == nullptr || fam->state != TmTxnState::kActive || fam->committing) {
+    co_return RpcResult{FailedPreconditionError("parent not active"), {}};
+  }
+  if (parent.family.origin != site_.id()) {
+    co_return RpcResult{InvalidArgumentError("nested begin must run at the family origin"), {}};
+  }
+  const bool parent_ok =
+      parent.IsTopLevel() || fam->active_nested.contains(parent.serial);
+  if (!parent_ok) {
+    co_return RpcResult{FailedPreconditionError("parent transaction is not active"), {}};
+  }
+  Tid child = parent;
+  child.serial = fam->next_serial++;
+  child.parent_serial = parent.serial;
+  fam->nested_parent[child.serial] = parent.serial;
+  fam->active_nested.insert(child.serial);
+  ++counters_.begun;
+  co_return RpcResult{OkStatus(), EncodeTid(child)};
+}
+
+Async<RpcResult> TranMan::HandleJoin(const Tid& tid, const std::string& server) {
+  Family* fam = FindFamily(tid.family);
+  if (fam == nullptr) {
+    // First contact with this family at this (subordinate) site.
+    fam = CreateFamily(tid);
+    if (tid.family.origin != site_.id()) {
+      site_.sched().Spawn(OrphanWatch(tid.family, site_.incarnation()));
+    }
+  }
+  if (fam->state != TmTxnState::kActive || fam->committing) {
+    co_return RpcResult{FailedPreconditionError("transaction no longer active"), {}};
+  }
+  if (std::find(fam->local_servers.begin(), fam->local_servers.end(), server) ==
+      fam->local_servers.end()) {
+    fam->local_servers.push_back(server);
+  }
+  co_return RpcResult{OkStatus(), {}};
+}
+
+// --- Server upcalls --------------------------------------------------------------------
+
+Async<ServerVote> TranMan::VoteLocalServers(Family* fam) {
+  if (fam->local_servers.empty()) {
+    co_return ServerVote::kReadOnly;
+  }
+  std::vector<Async<RpcResult>> calls;
+  calls.reserve(fam->local_servers.size());
+  for (const auto& server : fam->local_servers) {
+    calls.push_back(site_.CallLocal(server, kSrvVote, EncodeTidOnly(fam->top),
+                                    RpcContext{site_.id(), fam->top},
+                                    /*to_data_server=*/false));
+  }
+  std::vector<RpcResult> results = co_await JoinAll(site_.sched(), std::move(calls));
+  bool any_update = false;
+  for (const auto& result : results) {
+    if (!result.status.ok()) {
+      co_return ServerVote::kNo;
+    }
+    ByteReader r(result.body);
+    const auto vote = static_cast<ServerVote>(r.U8());
+    if (vote == ServerVote::kNo) {
+      co_return ServerVote::kNo;
+    }
+    if (vote == ServerVote::kUpdate) {
+      any_update = true;
+    }
+  }
+  co_return any_update ? ServerVote::kUpdate : ServerVote::kReadOnly;
+}
+
+void TranMan::NotifyServersDropLocks(const Family& fam) {
+  for (const auto& server : fam.local_servers) {
+    site_.NotifyLocal(server, kSrvCommitFamily, EncodeTidOnly(fam.top),
+                      RpcContext{site_.id(), fam.top});
+  }
+}
+
+Async<Status> TranMan::CallServersAbort(const Family& fam) {
+  std::vector<Async<RpcResult>> calls;
+  calls.reserve(fam.local_servers.size());
+  for (const auto& server : fam.local_servers) {
+    calls.push_back(site_.CallLocal(server, kSrvAbortFamily, EncodeTidOnly(fam.top),
+                                    RpcContext{site_.id(), fam.top},
+                                    /*to_data_server=*/false));
+  }
+  if (calls.empty()) {
+    co_return OkStatus();
+  }
+  co_await JoinAll(site_.sched(), std::move(calls));
+  co_return OkStatus();
+}
+
+// --- Commit entry point -------------------------------------------------------------------
+
+Async<RpcResult> TranMan::HandleCommit(const Tid& tid, const CommitOptions& options) {
+  Family* fam = FindFamily(tid.family);
+  if (fam == nullptr) {
+    co_return RpcResult{NotFoundError("unknown transaction"), {}};
+  }
+  if (fam->state != TmTxnState::kActive || fam->committing) {
+    co_return RpcResult{FailedPreconditionError("transaction not active"), {}};
+  }
+  if (!fam->active_nested.empty()) {
+    co_return RpcResult{FailedPreconditionError("nested transactions still active"), {}};
+  }
+  fam->committing = true;
+  const uint32_t inc = site_.incarnation();
+
+  // Figure 1, event 8: ask local servers whether they are willing to commit.
+  const ServerVote local_vote = co_await VoteLocalServers(fam);
+  if (Dead(inc)) {
+    co_return RpcResult{UnavailableError("site crashed"), {}};
+  }
+  std::vector<SiteId> subs = comman_.KnownSites(tid.family);
+  if (local_vote == ServerVote::kNo) {
+    co_await AbortDistributed(fam, subs);
+    co_return RpcResult{AbortedError("a local server refused to commit"), {}};
+  }
+  if (comman_.IsPoisoned(tid.family)) {
+    // A participant crashed and restarted while this transaction ran: its
+    // locks and joins there are gone, so any reads made at it may be stale.
+    co_await AbortDistributed(fam, subs);
+    co_return RpcResult{AbortedError("a participant restarted mid-transaction"), {}};
+  }
+  const bool local_updates = local_vote == ServerVote::kUpdate;
+
+  Status status;
+  if (subs.empty()) {
+    status = co_await CommitLocalOnly(fam, local_updates);
+  } else if (options.protocol == CommitProtocol::kNonBlocking) {
+    status = co_await CoordinateNonBlocking(fam, options, std::move(subs), local_updates);
+  } else {
+    status = co_await CoordinateTwoPhase(fam, options, std::move(subs), local_updates);
+  }
+  co_return RpcResult{std::move(status), {}};
+}
+
+Async<Status> TranMan::CommitLocalOnly(Family* fam, bool has_updates) {
+  const uint32_t inc = site_.incarnation();
+  if (has_updates) {
+    // Figure 1, event 9: the single log force that commits the transaction.
+    const Lsn lsn = log_.Append(LogRecord::Commit(fam->top, {}));
+    const bool durable = co_await ForceHoldingWorker(lsn);
+    if (!durable || Dead(inc)) {
+      co_return UnavailableError("crashed during commit force");
+    }
+  }
+  fam->state = TmTxnState::kCommitted;
+  ++counters_.committed;
+  NotifyServersDropLocks(*fam);  // Event 11, off the completion path.
+  RetireFamily(fam->top.family);
+  co_return OkStatus();
+}
+
+Async<RpcResult> TranMan::HandleAbort(const Tid& tid) {
+  Family* fam = FindFamily(tid.family);
+  if (fam == nullptr) {
+    co_return RpcResult{NotFoundError("unknown transaction"), {}};
+  }
+  if (fam->committing) {
+    co_return RpcResult{FailedPreconditionError("commitment already in progress"), {}};
+  }
+  fam->committing = true;
+  std::vector<SiteId> subs = comman_.KnownSites(tid.family);
+  co_await AbortDistributed(fam, subs);
+  co_return RpcResult{OkStatus(), {}};
+}
+
+Async<void> TranMan::AbortDistributed(Family* fam, const std::vector<SiteId>& notify) {
+  const uint32_t inc = site_.incarnation();
+  // Presumed abort: the abort record is never forced.
+  log_.Append(LogRecord::Abort(fam->top));
+  co_await CallServersAbort(*fam);
+  if (Dead(inc)) {
+    co_return;
+  }
+  TmMsg abort;
+  abort.type = TmMsgType::kAbort;
+  abort.tid = fam->top;
+  SendMsgToAll(notify, abort);
+  fam->state = TmTxnState::kAborted;
+  ++counters_.aborted;
+  if (fam->protocol == CommitProtocol::kNonBlocking && fam->committing && fam->is_coordinator) {
+    // Change 4: NBC participants keep a tombstone so late status queries see
+    // the outcome instead of inferring the wrong one.
+    comman_.Forget(fam->top.family);
+  } else {
+    RetireFamily(fam->top.family);
+  }
+}
+
+// --- Two-phase commitment (coordinator) ------------------------------------------------------
+
+Async<TranMan::VoteRound> TranMan::GatherVotes(Family* fam, const TmMsg& prepare_template,
+                                               const std::vector<SiteId>& subs) {
+  const uint32_t inc = site_.incarnation();
+  VoteRound round;
+  std::set<SiteId> pending(subs.begin(), subs.end());
+  std::unordered_map<SiteId, TmVote> votes;
+
+  SendMsgToAll(subs, prepare_template);
+  const SimTime deadline = site_.sched().now() + config_.vote_timeout;
+  bool any_abort = false;
+  while (!pending.empty() && !any_abort) {
+    const SimDuration wait =
+        std::min<SimDuration>(config_.retry_interval, deadline - site_.sched().now());
+    if (wait <= 0) {
+      break;  // Vote timeout: presume the worst.
+    }
+    auto msg = co_await fam->inbox->ReceiveTimeout(wait);
+    if (Dead(inc) || fam->inbox->closed()) {
+      co_return round;  // all_yes stays false.
+    }
+    if (!msg.has_value()) {
+      // Silence: retransmit the prepare to the laggards.
+      SendMsgToAll({pending.begin(), pending.end()}, prepare_template);
+      continue;
+    }
+    if (msg->type != TmMsgType::kVote || !pending.contains(msg->from)) {
+      continue;
+    }
+    pending.erase(msg->from);
+    votes[msg->from] = msg->vote;
+    if (msg->vote == TmVote::kAbort) {
+      any_abort = true;
+    }
+  }
+  round.all_yes = pending.empty() && !any_abort;
+  for (const auto& [sub_site, vote] : votes) {
+    if (vote == TmVote::kCommit) {
+      round.update_subs.push_back(sub_site);
+    }
+  }
+  std::sort(round.update_subs.begin(), round.update_subs.end());
+  co_return round;
+}
+
+Async<Status> TranMan::CoordinateTwoPhase(Family* fam, const CommitOptions& options,
+                                          std::vector<SiteId> subs, bool local_updates) {
+  const uint32_t inc = site_.incarnation();
+  fam->is_coordinator = true;
+  fam->coordinator = site_.id();
+  fam->protocol = CommitProtocol::kTwoPhase;
+  fam->force_sub_commit = options.force_subordinate_commit;
+  fam->piggyback_ack = options.piggyback_commit_ack;
+  fam->sites.clear();
+  fam->sites.push_back(site_.id());
+  fam->sites.insert(fam->sites.end(), subs.begin(), subs.end());
+  fam->inbox = std::make_shared<Channel<TmMsg>>(site_.sched());
+
+  TmMsg prepare;
+  prepare.type = TmMsgType::kPrepare;
+  prepare.tid = fam->top;
+  prepare.protocol = CommitProtocol::kTwoPhase;
+  prepare.force_subordinate_commit = options.force_subordinate_commit;
+  prepare.piggyback_commit_ack = options.piggyback_commit_ack;
+  prepare.sites = fam->sites;
+
+  VoteRound votes = co_await GatherVotes(fam, prepare, subs);
+  if (Dead(inc)) {
+    co_return UnavailableError("site crashed");
+  }
+  if (!votes.all_yes) {
+    co_await AbortDistributed(fam, subs);
+    co_return AbortedError("a participant voted no or timed out");
+  }
+
+  if (votes.update_subs.empty() && !local_updates) {
+    // The entire transaction was read-only: commit without writing anything.
+    fam->state = TmTxnState::kCommitted;
+    ++counters_.committed;
+    NotifyServersDropLocks(*fam);
+    RetireFamily(fam->top.family);
+    co_return OkStatus();
+  }
+
+  // Commit point: force the commit record listing subordinates needing acks.
+  const Lsn lsn = log_.Append(LogRecord::Commit(fam->top, votes.update_subs));
+  const bool durable = co_await ForceHoldingWorker(lsn);
+  if (!durable || Dead(inc)) {
+    co_return UnavailableError("crashed during commit force");
+  }
+  fam->state = TmTxnState::kCommitted;
+  ++counters_.committed;
+  NotifyServersDropLocks(*fam);
+  // Phase 2 is off the completion path: the application's call returns now.
+  site_.sched().Spawn(CoordinatorPhase2(fam->top.family, std::move(votes.update_subs)));
+  co_return OkStatus();
+}
+
+Async<void> TranMan::CoordinatorPhase2(FamilyId family, std::vector<SiteId> update_subs) {
+  const uint32_t inc = site_.incarnation();
+  Family* fam = FindFamily(family);
+  if (fam == nullptr) {
+    co_return;
+  }
+  std::set<SiteId> pending(update_subs.begin(), update_subs.end());
+  TmMsg commit;
+  commit.type = TmMsgType::kCommit;
+  commit.tid = fam->top;
+
+  int silent_rounds = 0;
+  while (!pending.empty()) {
+    if (Dead(inc) || fam->inbox->closed()) {
+      co_return;
+    }
+    if (silent_rounds < 30) {
+      SendMsgToAll({pending.begin(), pending.end()}, commit);
+    }
+    std::optional<TmMsg> msg;
+    if (silent_rounds < 30) {
+      msg = co_await fam->inbox->ReceiveTimeout(config_.retry_interval);
+    } else {
+      // Park: a subordinate is unreachable. Its recovery will ask us for
+      // status and then ack; we stay receptive without flooding the network.
+      msg = co_await fam->inbox->Receive();
+    }
+    if (Dead(inc)) {
+      co_return;
+    }
+    if (!msg.has_value()) {
+      if (fam->inbox->closed()) {
+        co_return;
+      }
+      ++silent_rounds;
+      continue;
+    }
+    if (msg->type == TmMsgType::kCommitAck) {
+      pending.erase(msg->from);
+      silent_rounds = 0;
+    }
+  }
+  // Presumed abort epilogue: now that everyone wrote a commit record, the
+  // coordinator may forget (End is never forced).
+  log_.Append(LogRecord::End(fam->top));
+  if (fam->protocol == CommitProtocol::kNonBlocking) {
+    comman_.Forget(fam->top.family);  // Keep the tombstone itself (change 4).
+  } else {
+    RetireFamily(family);
+  }
+}
+
+// --- Non-blocking commitment (coordinator) ------------------------------------------------
+
+Async<Status> TranMan::CoordinateNonBlocking(Family* fam, const CommitOptions& /*options*/,
+                                             std::vector<SiteId> subs, bool local_updates) {
+  const uint32_t inc = site_.incarnation();
+  fam->is_coordinator = true;
+  fam->coordinator = site_.id();
+  fam->protocol = CommitProtocol::kNonBlocking;
+  fam->force_sub_commit = false;  // NBC notify phase always uses the optimized form.
+  fam->piggyback_ack = true;
+  fam->sites.clear();
+  fam->sites.push_back(site_.id());
+  fam->sites.insert(fam->sites.end(), subs.begin(), subs.end());
+  const uint32_t n = static_cast<uint32_t>(fam->sites.size());
+  fam->commit_quorum = n / 2 + 1;
+  fam->abort_quorum = n + 1 - fam->commit_quorum;
+  fam->inbox = std::make_shared<Channel<TmMsg>>(site_.sched());
+
+  // Change 5: the coordinator prepares (forces its prepare record, which also
+  // hardens its own update records) BEFORE sending the prepare message. A
+  // read-only coordinator skips this so that a completely read-only
+  // transaction keeps the two-phase critical path (paper, Section 6).
+  if (local_updates) {
+    const Lsn prep_lsn = log_.Append(LogRecord::Prepare(fam->top, site_.id(), fam->sites,
+                                                        CommitProtocol::kNonBlocking,
+                                                        fam->commit_quorum, fam->abort_quorum));
+    if (!co_await ForceHoldingWorker(prep_lsn) || Dead(inc)) {
+      co_return UnavailableError("crashed during prepare force");
+    }
+  }
+  fam->state = TmTxnState::kPrepared;
+
+  // Change 1: the prepare message carries the site list and quorum sizes.
+  TmMsg prepare;
+  prepare.type = TmMsgType::kPrepare;
+  prepare.tid = fam->top;
+  prepare.protocol = CommitProtocol::kNonBlocking;
+  prepare.sites = fam->sites;
+  prepare.commit_quorum = fam->commit_quorum;
+  prepare.abort_quorum = fam->abort_quorum;
+
+  VoteRound votes = co_await GatherVotes(fam, prepare, subs);
+  if (Dead(inc)) {
+    co_return UnavailableError("site crashed");
+  }
+  if (!votes.all_yes) {
+    // No commit intent was ever replicated, so a plain presumed-abort is safe.
+    co_await AbortDistributed(fam, subs);
+    co_return AbortedError("a participant voted no or timed out");
+  }
+
+  if (votes.update_subs.empty()) {
+    // Only this site (at most) made updates: no replication phase is needed,
+    // the local commit record alone decides.
+    Status status = co_await CommitLocalOnlyNbc(fam, local_updates, subs);
+    co_return status;
+  }
+
+  // Replication phase (change 3): replicate the commit intent until a commit
+  // quorum (counting our own forced records) exists.
+  fam->has_replication = true;
+  fam->replicated_epoch = MakeEpoch(0, site_.id());
+  fam->replicated_decision = TmDecision::kCommit;
+  const Lsn rep_lsn = log_.Append(LogRecord::Replication(
+      fam->top, site_.id(), fam->replicated_epoch, static_cast<uint8_t>(TmDecision::kCommit),
+      fam->sites));
+  if (!co_await ForceHoldingWorker(rep_lsn) || Dead(inc)) {
+    co_return UnavailableError("crashed during replication force");
+  }
+
+  TmMsg replicate;
+  replicate.type = TmMsgType::kReplicate;
+  replicate.tid = fam->top;
+  replicate.epoch = fam->replicated_epoch;
+  replicate.decision = TmDecision::kCommit;
+  replicate.commit_quorum = fam->commit_quorum;
+  replicate.abort_quorum = fam->abort_quorum;
+
+  std::set<SiteId> acked;
+  // Read-only subordinates linger as passive acceptors; widen to them if the
+  // update subordinates alone cannot form the quorum ("read-only sites...
+  // often need not participate in the replication phase" — but when update
+  // sites are short, they must).
+  std::vector<SiteId> targets = votes.update_subs;
+  std::set<SiteId> readonly_pool;
+  for (SiteId s : subs) {
+    if (std::find(targets.begin(), targets.end(), s) == targets.end()) {
+      readonly_pool.insert(s);
+    }
+  }
+  if (targets.size() + 1 < fam->commit_quorum) {
+    // Not enough update acceptors even if all ack: draft passive acceptors now.
+    targets.insert(targets.end(), readonly_pool.begin(), readonly_pool.end());
+    readonly_pool.clear();
+  }
+  int rounds = 0;
+  SendMsgToAll(targets, replicate);
+  while (acked.size() + 1 < fam->commit_quorum) {
+    auto msg = co_await fam->inbox->ReceiveTimeout(config_.retry_interval);
+    if (Dead(inc) || fam->inbox->closed()) {
+      co_return UnavailableError("site crashed");
+    }
+    if (msg.has_value()) {
+      if (msg->type == TmMsgType::kReplicateAck && msg->epoch == replicate.epoch) {
+        acked.insert(msg->from);
+      } else if (msg->type == TmMsgType::kCommit) {
+        // A takeover coordinator beat us to the decision: adopt it.
+        co_await SubordinateCommit(fam);
+        co_return OkStatus();
+      } else if (msg->type == TmMsgType::kAbort) {
+        co_await SubordinateAbort(fam);
+        co_return AbortedError("aborted by a takeover coordinator");
+      }
+      continue;
+    }
+    ++rounds;
+    if (rounds > 2 && !readonly_pool.empty()) {
+      targets.insert(targets.end(), readonly_pool.begin(), readonly_pool.end());
+      readonly_pool.clear();
+    }
+    if (rounds > config_.max_takeover_rounds) {
+      // Cannot reach a commit quorum (multiple failures / partition). Demote
+      // ourselves to an ordinary blocked participant: the takeover machinery
+      // (ours, or a subordinate's) finishes the job when connectivity returns.
+      fam->takeover_round = 0;
+      site_.sched().Spawn(SubordinateWait(fam->top.family, inc));
+      co_return BlockedError("commit quorum unreachable; transaction left prepared");
+    }
+    std::vector<SiteId> missing;
+    for (SiteId s : targets) {
+      if (!acked.contains(s)) {
+        missing.push_back(s);
+      }
+    }
+    SendMsgToAll(missing, replicate);
+  }
+
+  // Commit point: the log write that completes a commit quorum.
+  const Lsn commit_lsn = log_.Append(LogRecord::Commit(fam->top, votes.update_subs));
+  if (!co_await ForceHoldingWorker(commit_lsn) || Dead(inc)) {
+    co_return UnavailableError("crashed during commit force");
+  }
+  fam->state = TmTxnState::kCommitted;
+  ++counters_.committed;
+  NotifyServersDropLocks(*fam);
+  // Notify phase covers EVERY subordinate still holding state: update subs
+  // write their commit records; read-only passive acceptors tombstone the
+  // outcome (change 4) and ack immediately.
+  site_.sched().Spawn(CoordinatorPhase2(fam->top.family, subs));
+  co_return OkStatus();
+}
+
+Async<Status> TranMan::CommitLocalOnlyNbc(Family* fam, bool local_updates,
+                                          const std::vector<SiteId>& subs) {
+  const uint32_t inc = site_.incarnation();
+  if (local_updates) {
+    const Lsn lsn = log_.Append(LogRecord::Commit(fam->top, {}));
+    if (!co_await ForceHoldingWorker(lsn) || Dead(inc)) {
+      co_return UnavailableError("crashed during commit force");
+    }
+  }
+  fam->state = TmTxnState::kCommitted;
+  ++counters_.committed;
+  NotifyServersDropLocks(*fam);
+  // Tell read-only subordinates (passive acceptors) the outcome so their
+  // tombstones are right; no acks matter.
+  TmMsg commit;
+  commit.type = TmMsgType::kCommit;
+  commit.tid = fam->top;
+  SendMsgToAll(subs, commit);
+  co_return OkStatus();
+}
+
+// --- Subordinate side ----------------------------------------------------------------------
+
+Async<void> TranMan::HandleRemotePrepare(TmMsg msg) {
+  const uint32_t inc = site_.incarnation();
+  ++counters_.prepares_handled;
+  Family* fam = FindFamily(msg.tid.family);
+
+  if (fam != nullptr && fam->state == TmTxnState::kPrepared && !fam->passive_acceptor) {
+    // Duplicate prepare: our vote was lost; re-vote.
+    TmMsg vote;
+    vote.type = TmMsgType::kVote;
+    vote.tid = msg.tid;
+    vote.vote = TmVote::kCommit;
+    SendMsg(msg.from, vote);
+    co_return;
+  }
+  if (fam != nullptr && (fam->state == TmTxnState::kCommitted ||
+                         fam->state == TmTxnState::kAborted)) {
+    co_return;  // Stale retransmission.
+  }
+  if (fam != nullptr && fam->passive_acceptor) {
+    TmMsg vote;
+    vote.type = TmMsgType::kVote;
+    vote.tid = msg.tid;
+    vote.vote = TmVote::kReadOnly;
+    SendMsg(msg.from, vote);
+    co_return;
+  }
+  if (fam == nullptr) {
+    if (readonly_voted_.contains(msg.tid.family)) {
+      TmMsg vote;
+      vote.type = TmMsgType::kVote;
+      vote.tid = msg.tid;
+      vote.vote = TmVote::kReadOnly;
+      SendMsg(msg.from, vote);
+      co_return;
+    }
+    // We know nothing (e.g. our volatile state died): refuse, forcing abort.
+    TmMsg vote;
+    vote.type = TmMsgType::kVote;
+    vote.tid = msg.tid;
+    vote.vote = TmVote::kAbort;
+    SendMsg(msg.from, vote);
+    co_return;
+  }
+
+  fam->committing = true;
+  fam->coordinator = msg.from;
+  fam->sites = msg.sites;
+  fam->protocol = msg.protocol;
+  fam->force_sub_commit = msg.force_subordinate_commit;
+  fam->piggyback_ack = msg.piggyback_commit_ack;
+  fam->commit_quorum = msg.commit_quorum;
+  fam->abort_quorum = msg.abort_quorum;
+
+  const ServerVote local_vote = co_await VoteLocalServers(fam);
+  if (Dead(inc)) {
+    co_return;
+  }
+  // Revalidate: the family may have been aborted while we polled the servers.
+  fam = FindFamily(msg.tid.family);
+  if (fam == nullptr || fam->state != TmTxnState::kActive) {
+    co_return;
+  }
+
+  if (local_vote == ServerVote::kNo) {
+    log_.Append(LogRecord::Abort(fam->top));
+    co_await CallServersAbort(*fam);
+    if (Dead(inc)) {
+      co_return;
+    }
+    TmMsg vote;
+    vote.type = TmMsgType::kVote;
+    vote.tid = msg.tid;
+    vote.vote = TmVote::kAbort;
+    SendMsg(msg.from, vote);
+    fam->state = TmTxnState::kAborted;
+    ++counters_.aborted;
+    RetireFamily(msg.tid.family);
+    co_return;
+  }
+
+  if (local_vote == ServerVote::kReadOnly) {
+    // Read-only optimization: no log records, locks dropped now, and no part
+    // in the second (or replication/notify) phase.
+    ++counters_.read_only_votes;
+    NotifyServersDropLocks(*fam);
+    TmMsg vote;
+    vote.type = TmMsgType::kVote;
+    vote.tid = msg.tid;
+    vote.vote = TmVote::kReadOnly;
+    SendMsg(msg.from, vote);
+    if (msg.protocol == CommitProtocol::kNonBlocking) {
+      // Linger as a passive acceptor / status responder (change 4).
+      fam->passive_acceptor = true;
+      fam->state = TmTxnState::kPrepared;
+    } else {
+      readonly_voted_.insert(msg.tid.family);
+      RetireFamily(msg.tid.family);
+    }
+    co_return;
+  }
+
+  // Update subordinate: force the prepare record (which also hardens all our
+  // update records, making this the "one fewer log force" baseline).
+  const Lsn prep_lsn = log_.Append(LogRecord::Prepare(fam->top, msg.from, msg.sites,
+                                                      msg.protocol, msg.commit_quorum,
+                                                      msg.abort_quorum));
+  if (!co_await ForceHoldingWorker(prep_lsn) || Dead(inc)) {
+    co_return;
+  }
+  fam = FindFamily(msg.tid.family);
+  if (fam == nullptr) {
+    co_return;
+  }
+  fam->state = TmTxnState::kPrepared;
+  fam->inbox = std::make_shared<Channel<TmMsg>>(site_.sched());
+
+  TmMsg vote;
+  vote.type = TmMsgType::kVote;
+  vote.tid = msg.tid;
+  vote.vote = TmVote::kCommit;
+  SendMsg(msg.from, vote);
+  site_.sched().Spawn(SubordinateWait(msg.tid.family, inc));
+}
+
+Async<void> TranMan::SubordinateWait(FamilyId family_id, uint32_t inc) {
+  bool counted_blocked = false;
+  int status_rounds = 0;
+  while (true) {
+    Family* fam = FindFamily(family_id);
+    if (fam == nullptr || Dead(inc)) {
+      co_return;
+    }
+    if (fam->state == TmTxnState::kCommitted || fam->state == TmTxnState::kAborted) {
+      co_return;
+    }
+    const bool park =
+        (fam->protocol == CommitProtocol::kNonBlocking &&
+         fam->takeover_round >= static_cast<uint64_t>(config_.max_takeover_rounds)) ||
+        (fam->protocol == CommitProtocol::kTwoPhase && status_rounds >= config_.max_status_rounds);
+    std::optional<TmMsg> msg;
+    if (park) {
+      msg = co_await fam->inbox->Receive();
+    } else {
+      msg = co_await fam->inbox->ReceiveTimeout(config_.outcome_timeout);
+    }
+    fam = FindFamily(family_id);
+    if (fam == nullptr || Dead(inc)) {
+      co_return;
+    }
+    if (!msg.has_value()) {
+      if (fam->inbox->closed()) {
+        co_return;
+      }
+      // Silence inside the window of vulnerability.
+      if (fam->protocol == CommitProtocol::kTwoPhase) {
+        // 2PC: we are blocked; all we can do is ask the coordinator.
+        if (!fam->blocked) {
+          fam->blocked = true;
+          ++counters_.blocked_periods;
+          counted_blocked = true;
+          (void)counted_blocked;
+        }
+        ++counters_.status_queries;
+        ++status_rounds;
+        TmMsg req;
+        req.type = TmMsgType::kStatusReq;
+        req.tid = fam->top;
+        SendMsg(fam->coordinator, req);
+        continue;
+      }
+      // NBC: become a coordinator (change 2).
+      const bool resolved = co_await Takeover(family_id, inc);
+      if (resolved || Dead(inc)) {
+        co_return;
+      }
+      continue;
+    }
+    switch (msg->type) {
+      case TmMsgType::kCommit:
+        co_await SubordinateCommit(fam);
+        co_return;
+      case TmMsgType::kAbort:
+        co_await SubordinateAbort(fam);
+        co_return;
+      case TmMsgType::kStatusResp: {
+        if (msg->state == TmTxnState::kCommitted) {
+          co_await SubordinateCommit(fam);
+          co_return;
+        }
+        if (msg->state == TmTxnState::kAborted || msg->state == TmTxnState::kUnknown) {
+          // Presumed abort: an unknown transaction aborted.
+          co_await SubordinateAbort(fam);
+          co_return;
+        }
+        status_rounds = 0;  // Coordinator alive but undecided: keep waiting.
+        continue;
+      }
+      default:
+        continue;
+    }
+  }
+}
+
+Async<void> TranMan::SubordinateCommit(Family* fam) {
+  const uint32_t inc = site_.incarnation();
+  fam->blocked = false;
+  fam->state = TmTxnState::kCommitted;
+  ++counters_.committed;
+  const FamilyId family_id = fam->top.family;
+
+  if (fam->force_sub_commit) {
+    // Unoptimized: force the commit record, then drop locks, then ack.
+    const Lsn lsn = log_.Append(LogRecord::Commit(fam->top, {}));
+    if (!co_await ForceHoldingWorker(lsn) || Dead(inc)) {
+      co_return;
+    }
+    fam = FindFamily(family_id);
+    if (fam == nullptr) {
+      co_return;
+    }
+    NotifyServersDropLocks(*fam);
+    if (fam->piggyback_ack) {
+      site_.sched().Spawn(DelayedCommitAck(family_id, fam->top, fam->coordinator, lsn, inc));
+    } else {
+      TmMsg ack;
+      ack.type = TmMsgType::kCommitAck;
+      ack.tid = fam->top;
+      SendMsg(fam->coordinator, ack);
+      if (fam->protocol == CommitProtocol::kTwoPhase && !fam->heuristic) {
+        RetireFamily(family_id);
+      }
+    }
+    co_return;
+  }
+
+  // Optimized (Section 3.2): drop locks FIRST, append the commit record
+  // without forcing it, and ack only once it is durable — the coordinator's
+  // commit record meanwhile guarantees the outcome.
+  NotifyServersDropLocks(*fam);
+  const Lsn lsn = log_.Append(LogRecord::Commit(fam->top, {}));
+  site_.sched().Spawn(DelayedCommitAck(family_id, fam->top, fam->coordinator, lsn, inc));
+  co_return;
+}
+
+Async<void> TranMan::DelayedCommitAck(FamilyId family_id, Tid top, SiteId coordinator,
+                                      Lsn commit_lsn, uint32_t inc) {
+  co_await site_.sched().Delay(config_.ack_delay);
+  if (Dead(inc)) {
+    co_return;
+  }
+  // Usually free: a group-commit batch or later traffic already hardened it.
+  if (!co_await log_.Force(commit_lsn) || Dead(inc)) {
+    co_return;
+  }
+  TmMsg ack;
+  ack.type = TmMsgType::kCommitAck;
+  ack.tid = top;
+  // The ack is never on anyone's critical path: let it ride other traffic.
+  QueueOffPath(coordinator, ack);
+  Family* fam = FindFamily(family_id);
+  if (fam != nullptr && fam->protocol == CommitProtocol::kTwoPhase && !fam->heuristic) {
+    RetireFamily(family_id);
+  }
+}
+
+Async<void> TranMan::SubordinateAbort(Family* fam) {
+  const uint32_t inc = site_.incarnation();
+  fam->blocked = false;
+  const FamilyId family_id = fam->top.family;
+  log_.Append(LogRecord::Abort(fam->top));
+  co_await CallServersAbort(*fam);
+  if (Dead(inc)) {
+    co_return;
+  }
+  fam = FindFamily(family_id);
+  if (fam == nullptr) {
+    co_return;
+  }
+  fam->state = TmTxnState::kAborted;
+  ++counters_.aborted;
+  if (fam->protocol == CommitProtocol::kTwoPhase && !fam->heuristic) {
+    RetireFamily(family_id);
+  }
+  co_return;
+}
+
+Async<void> TranMan::OrphanWatch(FamilyId family_id, uint32_t inc) {
+  int failed_probes = 0;
+  while (true) {
+    co_await site_.sched().Delay(config_.orphan_check_interval);
+    if (Dead(inc)) {
+      co_return;
+    }
+    Family* fam = FindFamily(family_id);
+    if (fam == nullptr || fam->state != TmTxnState::kActive || fam->committing) {
+      co_return;  // Resolved, or the commit protocol now owns the family.
+    }
+    const SiteId origin = family_id.origin;
+    RpcResult result = co_await comman_.netmsg().Call(
+        origin, kTranManServiceName, kTmQueryStatus, EncodeTid(fam->top),
+        RpcContext{site_.id(), fam->top}, /*via_comman=*/false);
+    if (Dead(inc)) {
+      co_return;
+    }
+    fam = FindFamily(family_id);
+    if (fam == nullptr || fam->state != TmTxnState::kActive || fam->committing) {
+      co_return;
+    }
+    bool presume_dead = false;
+    if (!result.status.ok()) {
+      presume_dead = ++failed_probes >= config_.max_orphan_probes;
+    } else {
+      ByteReader r(result.body);
+      const auto state = static_cast<TmTxnState>(r.U8());
+      if (state == TmTxnState::kUnknown || state == TmTxnState::kAborted) {
+        presume_dead = true;  // Origin has forgotten or aborted: abort here too.
+      } else {
+        failed_probes = 0;  // Alive and still active: keep watching.
+      }
+    }
+    if (presume_dead) {
+      // Safe: we never prepared, so the transaction cannot have committed.
+      fam->committing = true;
+      log_.Append(LogRecord::Abort(fam->top));
+      co_await CallServersAbort(*fam);
+      if (Dead(inc)) {
+        co_return;
+      }
+      fam = FindFamily(family_id);
+      if (fam != nullptr) {
+        fam->state = TmTxnState::kAborted;
+        ++counters_.aborted;
+        ++counters_.orphans_aborted;
+        RetireFamily(family_id);
+      }
+      co_return;
+    }
+  }
+}
+
+// --- Takeover (NBC, change 2) -----------------------------------------------------------------
+
+Async<bool> TranMan::Takeover(FamilyId family_id, uint32_t inc) {
+  Family* fam = FindFamily(family_id);
+  if (fam == nullptr) {
+    co_return true;
+  }
+  ++counters_.takeovers;
+  const uint64_t epoch = NextEpoch(fam);
+  std::vector<SiteId> others;
+  for (SiteId s : fam->sites) {
+    if (s != site_.id()) {
+      others.push_back(s);
+    }
+  }
+  const uint32_t n = static_cast<uint32_t>(fam->sites.size());
+  const uint32_t qc = fam->commit_quorum != 0 ? fam->commit_quorum : n / 2 + 1;
+  const uint32_t qa = fam->abort_quorum != 0 ? fam->abort_quorum : n + 1 - qc;
+
+  // Status phase: read the participants' states (and take their promises).
+  TmMsg req;
+  req.type = TmMsgType::kStatusReq;
+  req.tid = fam->top;
+  req.epoch = epoch;
+  SendMsgToAll(others, req);
+
+  std::unordered_map<SiteId, TmMsg> responses;
+  {
+    const SimTime deadline = site_.sched().now() + 2 * config_.retry_interval;
+    while (site_.sched().now() < deadline &&
+           responses.size() < others.size()) {
+      auto msg = co_await fam->inbox->ReceiveTimeout(deadline - site_.sched().now());
+      if (Dead(inc)) {
+        co_return true;
+      }
+      fam = FindFamily(family_id);
+      if (fam == nullptr || fam->inbox->closed()) {
+        co_return true;
+      }
+      if (!msg.has_value()) {
+        break;
+      }
+      if (msg->type == TmMsgType::kStatusResp) {
+        responses[msg->from] = *msg;
+      } else if (msg->type == TmMsgType::kCommit) {
+        co_await SubordinateCommit(fam);
+        co_return true;
+      } else if (msg->type == TmMsgType::kAbort) {
+        co_await SubordinateAbort(fam);
+        co_return true;
+      }
+    }
+  }
+
+  // Adopt any already-final outcome.
+  for (const auto& [from, resp] : responses) {
+    if (resp.state == TmTxnState::kCommitted) {
+      co_await SubordinateCommit(fam);
+      TmMsg commit;
+      commit.type = TmMsgType::kCommit;
+      commit.tid = fam->top;
+      SendMsgToAll(others, commit);
+      co_return true;
+    }
+    if (resp.state == TmTxnState::kAborted) {
+      co_await SubordinateAbort(fam);
+      TmMsg abort;
+      abort.type = TmMsgType::kAbort;
+      abort.tid = fam->top;
+      SendMsgToAll(others, abort);
+      co_return true;
+    }
+  }
+
+  // Choose a proposal: the highest-epoch replicated decision wins; with no
+  // replication evidence anywhere, abort is the safe default.
+  TmDecision proposal = TmDecision::kAbort;
+  uint64_t best_epoch = 0;
+  bool any_replication = false;
+  auto consider = [&](bool has, uint64_t rep_epoch, TmDecision dec) {
+    if (has && (!any_replication || rep_epoch > best_epoch)) {
+      any_replication = true;
+      best_epoch = rep_epoch;
+      proposal = dec;
+    }
+  };
+  consider(fam->has_replication, fam->replicated_epoch, fam->replicated_decision);
+  uint32_t abort_static_support = 0;  // kUnknown/read-only: can never join a commit quorum.
+  uint32_t prepared_count = 0;
+  for (const auto& [from, resp] : responses) {
+    consider(resp.has_replication, resp.replicated_epoch, resp.replicated_decision);
+    if (resp.state == TmTxnState::kUnknown) {
+      ++abort_static_support;
+    } else if (resp.state == TmTxnState::kPrepared) {
+      ++prepared_count;
+    }
+  }
+
+  // Safety: the read (promise) set must intersect every quorum of the other
+  // decision. With Qc + Qa = n + 1 that means max(Qc, Qa) responses incl. us.
+  const uint32_t read_set = static_cast<uint32_t>(responses.size()) + 1;
+  if (read_set < std::max(qc, qa)) {
+    co_await site_.sched().Delay(config_.takeover_backoff);
+    co_return false;  // Not enough of the cohort reachable; stay blocked.
+  }
+
+  const uint32_t needed = proposal == TmDecision::kCommit ? qc : qa;
+
+  // Accept our own proposal durably.
+  fam->promised_epoch = std::max(fam->promised_epoch, epoch);
+  fam->has_replication = true;
+  fam->replicated_epoch = epoch;
+  fam->replicated_decision = proposal;
+  const Lsn rep_lsn = log_.Append(LogRecord::Replication(fam->top, site_.id(), epoch,
+                                                         static_cast<uint8_t>(proposal),
+                                                         fam->sites));
+  if (!co_await log_.Force(rep_lsn) || Dead(inc)) {
+    co_return true;
+  }
+  fam = FindFamily(family_id);
+  if (fam == nullptr) {
+    co_return true;
+  }
+
+  TmMsg replicate;
+  replicate.type = TmMsgType::kReplicate;
+  replicate.tid = fam->top;
+  replicate.epoch = epoch;
+  replicate.decision = proposal;
+  std::vector<SiteId> acceptors;
+  for (const auto& [from, resp] : responses) {
+    if (resp.state == TmTxnState::kPrepared) {
+      acceptors.push_back(from);
+    }
+  }
+  SendMsgToAll(acceptors, replicate);
+
+  uint32_t support = 1;  // Ourselves.
+  if (proposal == TmDecision::kAbort) {
+    support += abort_static_support;
+  }
+  {
+    const SimTime deadline = site_.sched().now() + 2 * config_.retry_interval;
+    std::set<SiteId> acked;
+    while (support + acked.size() < needed && site_.sched().now() < deadline) {
+      auto msg = co_await fam->inbox->ReceiveTimeout(deadline - site_.sched().now());
+      if (Dead(inc)) {
+        co_return true;
+      }
+      fam = FindFamily(family_id);
+      if (fam == nullptr || fam->inbox->closed()) {
+        co_return true;
+      }
+      if (!msg.has_value()) {
+        break;
+      }
+      if (msg->type == TmMsgType::kReplicateAck && msg->epoch == epoch) {
+        acked.insert(msg->from);
+      } else if (msg->type == TmMsgType::kCommit) {
+        co_await SubordinateCommit(fam);
+        co_return true;
+      } else if (msg->type == TmMsgType::kAbort) {
+        co_await SubordinateAbort(fam);
+        co_return true;
+      }
+    }
+    support += static_cast<uint32_t>(acked.size());
+  }
+
+  if (support < needed) {
+    co_await site_.sched().Delay(config_.takeover_backoff);
+    co_return false;  // Quorum not reached this round.
+  }
+
+  // Decision point.
+  if (proposal == TmDecision::kCommit) {
+    const Lsn commit_lsn = log_.Append(LogRecord::Commit(fam->top, {}));
+    if (!co_await log_.Force(commit_lsn) || Dead(inc)) {
+      co_return true;
+    }
+    fam = FindFamily(family_id);
+    if (fam == nullptr) {
+      co_return true;
+    }
+    fam->blocked = false;
+    fam->state = TmTxnState::kCommitted;
+    ++counters_.committed;
+    NotifyServersDropLocks(*fam);
+    TmMsg commit;
+    commit.type = TmMsgType::kCommit;
+    commit.tid = fam->top;
+    SendMsgToAll(others, commit);
+  } else {
+    log_.Append(LogRecord::Abort(fam->top));
+    co_await CallServersAbort(*fam);
+    if (Dead(inc)) {
+      co_return true;
+    }
+    fam = FindFamily(family_id);
+    if (fam == nullptr) {
+      co_return true;
+    }
+    fam->blocked = false;
+    fam->state = TmTxnState::kAborted;
+    ++counters_.aborted;
+    TmMsg abort;
+    abort.type = TmMsgType::kAbort;
+    abort.tid = fam->top;
+    SendMsgToAll(others, abort);
+  }
+  co_return true;
+}
+
+// --- Stateless-ish message handlers ---------------------------------------------------------
+
+Async<void> TranMan::HandleReplicate(TmMsg msg) {
+  const uint32_t inc = site_.incarnation();
+  Family* fam = FindFamily(msg.tid.family);
+  if (fam == nullptr || fam->state != TmTxnState::kPrepared) {
+    co_return;
+  }
+  if (msg.epoch < fam->promised_epoch || msg.epoch < fam->replicated_epoch) {
+    co_return;  // Promised a newer coordinator; refuse.
+  }
+  fam->promised_epoch = msg.epoch;
+  fam->has_replication = true;
+  fam->replicated_epoch = msg.epoch;
+  fam->replicated_decision = msg.decision;
+  if (msg.commit_quorum != 0) {
+    fam->commit_quorum = msg.commit_quorum;
+    fam->abort_quorum = msg.abort_quorum;
+  }
+  const Lsn lsn = log_.Append(LogRecord::Replication(fam->top, msg.from, msg.epoch,
+                                                     static_cast<uint8_t>(msg.decision),
+                                                     fam->sites));
+  if (!co_await log_.Force(lsn) || Dead(inc)) {
+    co_return;
+  }
+  TmMsg ack;
+  ack.type = TmMsgType::kReplicateAck;
+  ack.tid = msg.tid;
+  ack.epoch = msg.epoch;
+  SendMsg(msg.from, ack);
+}
+
+Async<void> TranMan::HandleStatusReq(TmMsg msg) {
+  Family* fam = FindFamily(msg.tid.family);
+  TmMsg resp;
+  resp.type = TmMsgType::kStatusResp;
+  resp.tid = msg.tid;
+  resp.epoch = msg.epoch;
+  if (fam == nullptr) {
+    resp.state = TmTxnState::kUnknown;  // Presumed abort.
+  } else {
+    resp.state = fam->state;
+    resp.has_replication = fam->has_replication;
+    resp.replicated_epoch = fam->replicated_epoch;
+    resp.replicated_decision = fam->replicated_decision;
+    if (fam->state == TmTxnState::kPrepared && msg.epoch > fam->promised_epoch) {
+      fam->promised_epoch = msg.epoch;  // Promise (volatile).
+    }
+  }
+  SendMsg(msg.from, resp);
+  co_return;
+}
+
+Async<void> TranMan::HandleCommitForUnknown(TmMsg msg) {
+  // We finished this transaction long ago and forgot it; the coordinator is
+  // still retrying because our ack was lost. Ack blindly.
+  TmMsg ack;
+  ack.type = TmMsgType::kCommitAck;
+  ack.tid = msg.tid;
+  SendMsg(msg.from, ack);
+  co_return;
+}
+
+Async<void> TranMan::HandleAbortMsg(TmMsg msg) {
+  Family* fam = FindFamily(msg.tid.family);
+  if (fam == nullptr) {
+    co_return;
+  }
+  if (fam->state == TmTxnState::kCommitted && fam->heuristic) {
+    ++counters_.heuristic_damage;  // Guessed COMMIT; the real outcome is ABORT.
+    CTRACE("[%8.1fms] %s HEURISTIC DAMAGE: committed %s but coordinator aborted",
+           ToMs(site_.sched().now()), ToString(site_.id()).c_str(),
+           ToString(msg.tid).c_str());
+    co_return;
+  }
+  if (fam->state == TmTxnState::kCommitted || fam->state == TmTxnState::kAborted) {
+    co_return;
+  }
+  if (fam->passive_acceptor) {
+    fam->state = TmTxnState::kAborted;  // Tombstone only; no locks, no data.
+    co_return;
+  }
+  if (fam->state == TmTxnState::kPrepared && fam->inbox && !fam->inbox->closed()) {
+    fam->inbox->Send(std::move(msg));  // The waiting subordinate decides.
+    co_return;
+  }
+  // Active family ordered to abort (the distributed abort protocol): undo and
+  // diffuse to the sites WE know about — the aborter may have had incomplete
+  // knowledge (paper, Section 3.1 / reference [7]).
+  const uint32_t inc = site_.incarnation();
+  fam->committing = true;
+  log_.Append(LogRecord::Abort(fam->top));
+  co_await CallServersAbort(*fam);
+  if (Dead(inc)) {
+    co_return;
+  }
+  fam = FindFamily(msg.tid.family);
+  if (fam == nullptr) {
+    co_return;
+  }
+  std::vector<SiteId> known = comman_.KnownSites(msg.tid.family);
+  TmMsg forward;
+  forward.type = TmMsgType::kAbort;
+  forward.tid = msg.tid;
+  for (SiteId s : known) {
+    if (s != msg.from) {
+      SendMsg(s, forward);
+    }
+  }
+  fam->state = TmTxnState::kAborted;
+  ++counters_.aborted;
+  RetireFamily(msg.tid.family);
+}
+
+// --- Nested transactions -------------------------------------------------------------------
+
+Async<RpcResult> TranMan::HandleNestedCommit(const Tid& tid) {
+  Family* fam = FindFamily(tid.family);
+  if (fam == nullptr || !fam->active_nested.contains(tid.serial)) {
+    co_return RpcResult{NotFoundError("nested transaction not active"), {}};
+  }
+  // All children must be finished first.
+  for (const auto& [serial, parent] : fam->nested_parent) {
+    if (parent == tid.serial && fam->active_nested.contains(serial)) {
+      co_return RpcResult{FailedPreconditionError("nested children still active"), {}};
+    }
+  }
+  Tid parent = tid;
+  parent.serial = fam->nested_parent.at(tid.serial);
+  parent.parent_serial = 0;
+
+  // Anti-inherit locally and at every site the family has touched.
+  std::vector<Async<RpcResult>> calls;
+  for (const auto& server : fam->local_servers) {
+    calls.push_back(site_.CallLocal(server, kSrvNestedCommit,
+                                    EncodeNestedCommitRequest(tid, parent),
+                                    RpcContext{site_.id(), tid}, /*to_data_server=*/false));
+  }
+  if (!calls.empty()) {
+    co_await JoinAll(site_.sched(), std::move(calls));
+  }
+  fam = FindFamily(tid.family);
+  if (fam == nullptr) {
+    co_return RpcResult{UnavailableError("family vanished"), {}};
+  }
+  co_await ForwardNestedToRemotes(fam, kTmNestedCommitRemote,
+                                  EncodeNestedCommitRequest(tid, parent));
+  fam = FindFamily(tid.family);
+  if (fam != nullptr) {
+    fam->active_nested.erase(tid.serial);
+  }
+  co_return RpcResult{OkStatus(), {}};
+}
+
+Async<RpcResult> TranMan::HandleNestedAbort(const Tid& tid) {
+  Family* fam = FindFamily(tid.family);
+  if (fam == nullptr || !fam->active_nested.contains(tid.serial)) {
+    co_return RpcResult{NotFoundError("nested transaction not active"), {}};
+  }
+  // Victim set: this transaction plus all its descendants (their committed
+  // effects were anti-inherited upward only as far as aborted ancestors).
+  std::vector<uint32_t> victims{tid.serial};
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const auto& [serial, parent] : fam->nested_parent) {
+      if (std::find(victims.begin(), victims.end(), parent) != victims.end() &&
+          std::find(victims.begin(), victims.end(), serial) == victims.end()) {
+        victims.push_back(serial);
+        grew = true;
+      }
+    }
+  }
+  std::vector<Async<RpcResult>> calls;
+  for (const auto& server : fam->local_servers) {
+    calls.push_back(site_.CallLocal(server, kSrvAbortSubtree,
+                                    EncodeAbortSubtreeRequest(fam->top, victims),
+                                    RpcContext{site_.id(), tid}, /*to_data_server=*/false));
+  }
+  if (!calls.empty()) {
+    co_await JoinAll(site_.sched(), std::move(calls));
+  }
+  fam = FindFamily(tid.family);
+  if (fam == nullptr) {
+    co_return RpcResult{UnavailableError("family vanished"), {}};
+  }
+  co_await ForwardNestedToRemotes(fam, kTmAbortSubtreeRemote,
+                                  EncodeAbortSubtreeRequest(fam->top, victims));
+  fam = FindFamily(tid.family);
+  if (fam != nullptr) {
+    for (uint32_t serial : victims) {
+      fam->active_nested.erase(serial);
+    }
+  }
+  ++counters_.aborted;
+  co_return RpcResult{OkStatus(), {}};
+}
+
+Async<void> TranMan::ForwardNestedToRemotes(Family* fam, uint32_t method, Bytes body) {
+  std::vector<SiteId> remotes = comman_.KnownSites(fam->top.family);
+  const Tid top = fam->top;
+  for (SiteId remote : remotes) {
+    // Off the critical path: use the reliable RPC transport.
+    co_await comman_.netmsg().Call(remote, kTranManServiceName, method, body,
+                                   RpcContext{site_.id(), top}, /*via_comman=*/false);
+  }
+}
+
+Async<RpcResult> TranMan::HandleNestedCommitRemote(const Tid& child, const Tid& parent) {
+  Family* fam = FindFamily(child.family);
+  if (fam == nullptr) {
+    co_return RpcResult{OkStatus(), {}};  // Nothing of this family here.
+  }
+  std::vector<Async<RpcResult>> calls;
+  for (const auto& server : fam->local_servers) {
+    calls.push_back(site_.CallLocal(server, kSrvNestedCommit,
+                                    EncodeNestedCommitRequest(child, parent),
+                                    RpcContext{site_.id(), child}, /*to_data_server=*/false));
+  }
+  if (!calls.empty()) {
+    co_await JoinAll(site_.sched(), std::move(calls));
+  }
+  co_return RpcResult{OkStatus(), {}};
+}
+
+Async<RpcResult> TranMan::HandleAbortSubtreeRemote(const Tid& top,
+                                                   std::vector<uint32_t> serials) {
+  Family* fam = FindFamily(top.family);
+  if (fam == nullptr) {
+    co_return RpcResult{OkStatus(), {}};
+  }
+  std::vector<Async<RpcResult>> calls;
+  for (const auto& server : fam->local_servers) {
+    calls.push_back(site_.CallLocal(server, kSrvAbortSubtree,
+                                    EncodeAbortSubtreeRequest(top, serials),
+                                    RpcContext{site_.id(), top}, /*to_data_server=*/false));
+  }
+  if (!calls.empty()) {
+    co_await JoinAll(site_.sched(), std::move(calls));
+  }
+  co_return RpcResult{OkStatus(), {}};
+}
+
+// --- Recovery integration --------------------------------------------------------------------
+
+void TranMan::RestoreSubordinate(RestoredSubordinate restored) {
+  Family* fam = FindFamily(restored.tid.family);
+  if (fam == nullptr) {
+    fam = CreateFamily(restored.tid);
+  }
+  fam->state = TmTxnState::kPrepared;
+  fam->committing = true;
+  fam->coordinator = restored.coordinator;
+  fam->sites = std::move(restored.sites);
+  fam->protocol = restored.protocol;
+  fam->commit_quorum = restored.commit_quorum;
+  fam->abort_quorum = restored.abort_quorum;
+  fam->has_replication = restored.has_replication;
+  fam->replicated_epoch = restored.replicated_epoch;
+  fam->replicated_decision = restored.replicated_decision;
+  fam->local_servers = std::move(restored.local_servers);
+  // Default to the safe, optimized variant flags; the coordinator's retried
+  // COMMIT carries no flags, and ack-after-durable is always correct.
+  fam->force_sub_commit = false;
+  fam->piggyback_ack = true;
+  fam->inbox = std::make_shared<Channel<TmMsg>>(site_.sched());
+  site_.sched().Spawn(SubordinateWait(restored.tid.family, site_.incarnation()));
+}
+
+void TranMan::RestoreCoordinator(const Tid& tid, std::vector<SiteId> pending_subs,
+                                 std::vector<std::string> local_servers, CommitOptions options) {
+  Family* fam = FindFamily(tid.family);
+  if (fam == nullptr) {
+    fam = CreateFamily(tid);
+  }
+  fam->state = TmTxnState::kCommitted;
+  fam->committing = true;
+  fam->is_coordinator = true;
+  fam->coordinator = site_.id();
+  fam->protocol = options.protocol;
+  fam->force_sub_commit = options.force_subordinate_commit;
+  fam->piggyback_ack = options.piggyback_commit_ack;
+  fam->local_servers = std::move(local_servers);
+  fam->inbox = std::make_shared<Channel<TmMsg>>(site_.sched());
+  ++counters_.committed;
+  site_.sched().Spawn(CoordinatorPhase2(tid.family, std::move(pending_subs)));
+}
+
+void TranMan::RestoreTombstone(const Tid& tid, TmTxnState outcome) {
+  Family* fam = FindFamily(tid.family);
+  if (fam == nullptr) {
+    fam = CreateFamily(tid);
+  }
+  fam->state = outcome;
+  fam->committing = true;
+}
+
+}  // namespace camelot

@@ -1,0 +1,286 @@
+// TranMan: the Camelot transaction manager (the subject of the paper).
+//
+// Implements, per site:
+//   - begin / commit / abort / join for arbitrarily nested, distributed
+//     transaction families (Moss model);
+//   - presumed-abort two-phase commit with the Section 3.2 optimization
+//     selectable per commit call (subordinate commit-record force and
+//     commit-ack piggybacking are independent switches);
+//   - the Section 3.3 non-blocking three-phase commitment protocol with a
+//     replication phase, quorum consensus, timeout-driven coordinator
+//     takeover, and tolerance of multiple simultaneous coordinators;
+//   - the read-only optimization for both protocols (read-only subordinates
+//     write no log records and skip all later phases);
+//   - the distributed abort protocol (works with incomplete knowledge by
+//     diffusion through each site's ComMan list);
+//   - a worker-thread pool through which every protocol event passes
+//     (Section 3.4), so thread-count experiments measure real queueing;
+//   - datagram timeout/retry with idempotent handlers (TranMans bypass the
+//     ComMan and talk raw datagrams, per the paper's footnote 1).
+//
+// Blocking semantics: a 2PC subordinate that loses its coordinator during the
+// window of vulnerability stays prepared, holding locks, periodically asking
+// the coordinator for status (observable via IsBlocked). The non-blocking
+// protocol instead elects itself coordinator and resolves via quorum.
+#ifndef SRC_TRANMAN_TRANMAN_H_
+#define SRC_TRANMAN_TRANMAN_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/comman/comman.h"
+#include "src/ipc/site.h"
+#include "src/net/network.h"
+#include "src/sim/channel.h"
+#include "src/tranman/local_api.h"
+#include "src/tranman/messages.h"
+#include "src/tranman/worker_pool.h"
+#include "src/wal/stable_log.h"
+
+namespace camelot {
+
+struct TranManConfig {
+  // Worker threads in the pool (paper Figure 4/5 uses 1, 5, 20).
+  size_t worker_threads = 20;
+  // CPU burst consumed per protocol event (message, call, upcall).
+  SimDuration cpu_per_event = Usec(200);
+  // Coordinator: total time to wait for votes before aborting.
+  SimDuration vote_timeout = Sec(5.0);
+  // Subordinate: silence before querying status (2PC) or taking over (NBC).
+  SimDuration outcome_timeout = Sec(1.5);
+  // Datagram retransmission interval inside protocol wait loops.
+  SimDuration retry_interval = Usec(800000);
+  // How long a delayed ("piggybacked") commit-ack waits before riding a forced
+  // batch (the ack is only ever sent after the commit record is durable).
+  SimDuration ack_delay = Usec(50000);
+  // Takeover: pause between unsuccessful rounds, and how many rounds to try
+  // before parking (still receptive to messages; a restart resumes retries).
+  SimDuration takeover_backoff = Usec(700000);
+  int max_takeover_rounds = 8;
+  // Orphan detection: an ACTIVE (unprepared) subordinate family probes the
+  // family origin at this interval; after max_orphan_probes unreachable or
+  // unknown answers it aborts itself. Always safe: an unprepared site's vote
+  // is required for commit, so no commit decision can exist yet.
+  SimDuration orphan_check_interval = Sec(4.0);
+  int max_orphan_probes = 3;
+  // 2PC blocked subordinate: status-query attempts before parking (it stays
+  // receptive; a recovered coordinator's SITE-UP beacon wakes it).
+  int max_status_rounds = 10;
+  // Message batching for off-critical-path traffic ("Camelot batches only
+  // those messages that are not in the critical path"): commit-acks queue per
+  // destination and either ride the next protocol datagram to that site or
+  // flush after this delay. 0 disables batching.
+  SimDuration piggyback_delay = Usec(20000);
+};
+
+struct TranManCounters {
+  uint64_t begun = 0;
+  uint64_t committed = 0;        // Top-level commits at this site (either role).
+  uint64_t aborted = 0;
+  uint64_t prepares_handled = 0;
+  uint64_t read_only_votes = 0;
+  uint64_t takeovers = 0;
+  uint64_t status_queries = 0;
+  uint64_t orphans_aborted = 0;
+  uint64_t blocked_periods = 0;  // Times a 2PC subordinate entered the blocked state.
+  uint64_t heuristic_resolutions = 0;
+  uint64_t heuristic_damage = 0;  // Heuristic outcome contradicted the real one.
+  uint64_t messages_piggybacked = 0;  // Off-path messages that rode another datagram.
+};
+
+class TranMan {
+ public:
+  TranMan(Site& site, Network& net, ComMan& comman, StableLog& log, TranManConfig config);
+
+  // --- Recovery integration (called by src/recovery at restart) -----------------
+  struct RestoredSubordinate {
+    Tid tid;
+    SiteId coordinator;
+    std::vector<SiteId> sites;
+    CommitProtocol protocol = CommitProtocol::kTwoPhase;
+    uint32_t commit_quorum = 0;
+    uint32_t abort_quorum = 0;
+    bool has_replication = false;
+    uint64_t replicated_epoch = 0;
+    TmDecision replicated_decision = TmDecision::kAbort;
+    std::vector<std::string> local_servers;
+  };
+  // Re-parks a prepared subordinate transaction and spawns its resolution
+  // (status query for 2PC, takeover for NBC).
+  void RestoreSubordinate(RestoredSubordinate restored);
+  // Resumes a committed coordinator whose End record is missing: phase 2 is
+  // re-driven so subordinates drop locks and ack.
+  void RestoreCoordinator(const Tid& tid, std::vector<SiteId> pending_subs,
+                          std::vector<std::string> local_servers, CommitOptions options);
+  // Records a final-outcome tombstone (NBC change 4: nobody forgets early).
+  void RestoreTombstone(const Tid& tid, TmTxnState outcome);
+  // Broadcast a SITE-UP beacon so parked in-doubt participants elsewhere
+  // re-probe us (called by the harness once restart recovery completes).
+  void AnnounceRecovered();
+
+  // --- Heuristic resolution (Section 5, LU 6.2's "heuristic commit") -----------
+  // Lets an operator (or policy program) force the outcome of a BLOCKED
+  // prepared transaction instead of waiting for the coordinator. "While not
+  // guaranteeing correctness, this approach does not slow down commitment in
+  // the regular case." If the real outcome later arrives and disagrees,
+  // counters().heuristic_damage records the inconsistency.
+  Status HeuristicResolve(const FamilyId& family, TmDecision decision);
+
+  // --- Introspection -------------------------------------------------------------
+  TmTxnState QueryState(const FamilyId& family) const;
+  bool IsBlocked(const FamilyId& family) const;
+  const TranManCounters& counters() const { return counters_; }
+  WorkerPool& pool() { return pool_; }
+  TranManConfig& config() { return config_; }
+  size_t live_family_count() const;
+
+ private:
+  struct Family {
+    Tid top;
+    TmTxnState state = TmTxnState::kActive;
+    bool committing = false;   // A commit/abort decision flow owns this family.
+    bool blocked = false;      // 2PC subordinate stuck in the window of vulnerability.
+    bool is_coordinator = false;
+
+    // Local participants (servers on this site that joined).
+    std::vector<std::string> local_servers;
+
+    // Nesting bookkeeping (kept at the family's origin site).
+    uint32_t next_serial = 1;
+    std::unordered_map<uint32_t, uint32_t> nested_parent;  // serial -> parent serial
+    std::set<uint32_t> active_nested;
+
+    // Commit-protocol context (subordinate or coordinator).
+    SiteId coordinator = kInvalidSite;
+    std::vector<SiteId> sites;  // All participants, coordinator first.
+    CommitProtocol protocol = CommitProtocol::kTwoPhase;
+    bool force_sub_commit = false;
+    bool piggyback_ack = false;
+    uint32_t commit_quorum = 0;
+    uint32_t abort_quorum = 0;
+
+    // NBC acceptor state.
+    uint64_t promised_epoch = 0;   // Volatile promise (statusreq).
+    bool has_replication = false;  // Durable (replication record forced).
+    uint64_t replicated_epoch = 0;
+    TmDecision replicated_decision = TmDecision::kAbort;
+    uint64_t takeover_round = 0;
+    // NBC read-only subordinate retained purely as a replication acceptor /
+    // status responder (the read-only optimization keeps it off the critical
+    // path but available when a quorum needs it).
+    bool passive_acceptor = false;
+    // Outcome was forced by HeuristicResolve; a contradicting real outcome
+    // counts as heuristic damage.
+    bool heuristic = false;
+
+    // Protocol mailbox for whichever coroutine is driving this family.
+    std::shared_ptr<Channel<TmMsg>> inbox;
+  };
+
+  // --- Service handler (local IPC) ---------------------------------------------
+  Async<RpcResult> Handle(RpcContext ctx, uint32_t method, Bytes body);
+  Async<RpcResult> HandleBegin(const Tid& parent);
+  Async<RpcResult> HandleJoin(const Tid& tid, const std::string& server);
+  Async<RpcResult> HandleCommit(const Tid& tid, const CommitOptions& options);
+  Async<RpcResult> HandleAbort(const Tid& tid);
+  Async<RpcResult> HandleNestedCommit(const Tid& tid);
+  Async<RpcResult> HandleNestedAbort(const Tid& tid);
+  Async<RpcResult> HandleNestedCommitRemote(const Tid& child, const Tid& parent);
+  Async<RpcResult> HandleAbortSubtreeRemote(const Tid& top, std::vector<uint32_t> serials);
+  // Sends a nested-commit/abort control call to every remote site the family
+  // touched (reliable RPC; off the commit critical path).
+  Async<void> ForwardNestedToRemotes(Family* fam, uint32_t method, Bytes body);
+
+  // --- Commit flows ---------------------------------------------------------------
+  // Collects votes from local servers. Returns kNo/kUpdate/kReadOnly summary.
+  Async<ServerVote> VoteLocalServers(Family* fam);
+  Async<Status> CommitLocalOnly(Family* fam, bool has_updates);
+  Async<Status> CoordinateTwoPhase(Family* fam, const CommitOptions& options,
+                                   std::vector<SiteId> subs, bool local_updates);
+  Async<Status> CoordinateNonBlocking(Family* fam, const CommitOptions& options,
+                                      std::vector<SiteId> subs, bool local_updates);
+  // NBC where every subordinate turned out read-only: the local commit record
+  // alone decides; passive acceptors are told the outcome for their tombstones.
+  Async<Status> CommitLocalOnlyNbc(Family* fam, bool local_updates,
+                                   const std::vector<SiteId>& subs);
+  // Phase 1 shared by both protocols: send prepares, gather votes.
+  // Returns false on abort (abort actions already taken).
+  struct VoteRound {
+    bool all_yes = false;
+    std::vector<SiteId> update_subs;
+  };
+  Async<VoteRound> GatherVotes(Family* fam, const TmMsg& prepare_template,
+                               const std::vector<SiteId>& subs);
+  Async<void> CoordinatorPhase2(FamilyId family, std::vector<SiteId> update_subs);
+  Async<void> AbortDistributed(Family* fam, const std::vector<SiteId>& notify);
+
+  // --- Subordinate side -------------------------------------------------------------
+  Async<void> HandleRemotePrepare(TmMsg msg);
+  Async<void> SubordinateWait(FamilyId family_id, uint32_t inc);
+  Async<void> SubordinateCommit(Family* fam);
+  Async<void> SubordinateAbort(Family* fam);
+  Async<void> DelayedCommitAck(FamilyId family_id, Tid top, SiteId coordinator, Lsn commit_lsn,
+                               uint32_t inc);
+  // One takeover attempt cycle; resolves the transaction or leaves it for the
+  // caller to retry/park. Returns true if the outcome is now decided.
+  Async<bool> Takeover(FamilyId family_id, uint32_t inc);
+  // Watches an active subordinate family for coordinator death (see
+  // TranManConfig::orphan_check_interval).
+  Async<void> OrphanWatch(FamilyId family_id, uint32_t inc);
+
+  // --- Datagram layer -----------------------------------------------------------------
+  void OnDatagram(Datagram dg);
+  Async<void> DispatchMsg(TmMsg msg);
+  // Sends a (critical-path) message now; any queued off-path messages for the
+  // same destination ride along in the same datagram.
+  void SendMsg(SiteId dst, TmMsg msg);
+  void SendMsgToAll(const std::vector<SiteId>& dsts, TmMsg msg);
+  // Queues an off-critical-path message (e.g. a commit-ack) for piggybacking;
+  // it is flushed with the next SendMsg to `dst` or after piggyback_delay.
+  void QueueOffPath(SiteId dst, TmMsg msg);
+  void FlushOffPath(SiteId dst);
+  Async<void> HandleReplicate(TmMsg msg);
+  Async<void> HandleStatusReq(TmMsg msg);
+  Async<void> HandleAbortMsg(TmMsg msg);
+  Async<void> HandleCommitForUnknown(TmMsg msg);
+
+  // --- Server upcalls ------------------------------------------------------------------
+  void NotifyServersDropLocks(const Family& fam);  // One-way (Figure 1 event 11).
+  Async<Status> CallServersAbort(const Family& fam);
+
+  // --- Plumbing ---------------------------------------------------------------------------
+  Family* FindFamily(const FamilyId& id);
+  const Family* FindFamily(const FamilyId& id) const;
+  Family* CreateFamily(const Tid& top);
+  // Removes the family from the table; the unique_ptr moves to the graveyard
+  // so coroutines holding Family* stay valid until the world ends.
+  void RetireFamily(const FamilyId& id);
+  bool Dead(uint32_t inc) const { return !site_.up() || site_.incarnation() != inc; }
+  // A synchronous log force performed BY a worker thread: the thread is
+  // occupied for the force's whole duration (Section 3.4/3.5 interplay).
+  Async<bool> ForceHoldingWorker(Lsn lsn);
+  uint64_t NextEpoch(Family* fam);
+
+  Site& site_;
+  Network& net_;
+  ComMan& comman_;
+  StableLog& log_;
+  TranManConfig config_;
+  WorkerPool pool_;
+  uint64_t next_family_seq_ = 1;
+  std::unordered_map<FamilyId, std::unique_ptr<Family>> families_;
+  std::vector<std::unique_ptr<Family>> graveyard_;
+  // 2PC subordinates that voted read-only and forgot everything else; kept so
+  // a retransmitted prepare gets a read-only vote again instead of an abort.
+  std::set<FamilyId> readonly_voted_;
+  // Off-critical-path messages awaiting piggybacking, per destination.
+  std::unordered_map<SiteId, std::vector<TmMsg>> offpath_queue_;
+  TranManCounters counters_;
+};
+
+}  // namespace camelot
+
+#endif  // SRC_TRANMAN_TRANMAN_H_

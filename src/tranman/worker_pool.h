@@ -1,0 +1,88 @@
+// The transaction manager's thread pool (paper, Section 3.4).
+//
+// Camelot's TranMan keeps a pool of threads; no thread is tied to a function
+// or transaction — "every thread waits for any type of input, processes the
+// input, and resumes waiting". We model exactly that queueing behaviour: each
+// protocol event (client call, server upcall, incoming datagram) must pass
+// through Run(), which occupies one worker for the event's CPU burst. Long
+// synchronous operations (log forces, network waits) happen OUTSIDE the pool,
+// just as a Camelot thread is free while another thread's log force is in
+// progress.
+#ifndef SRC_TRANMAN_WORKER_POOL_H_
+#define SRC_TRANMAN_WORKER_POOL_H_
+
+#include <coroutine>
+#include <deque>
+
+#include "src/base/logging.h"
+#include "src/sim/scheduler.h"
+#include "src/sim/task.h"
+
+namespace camelot {
+
+class WorkerPool {
+ public:
+  WorkerPool(Scheduler& sched, size_t workers) : sched_(sched), available_(workers) {}
+
+  // Occupies one worker for `cpu` of virtual time (FIFO admission).
+  Async<void> Run(SimDuration cpu) {
+    co_await Acquire();
+    if (cpu > 0) {
+      co_await sched_.Delay(cpu);
+    }
+    Release();
+  }
+
+  // Claims a worker without consuming time; the caller occupies it (e.g. for
+  // a synchronous log force — a Camelot thread blocks for the whole force,
+  // which is exactly why multithreading pays off only with group commit).
+  Async<void> Acquire() {
+    ++events_;
+    if (available_ == 0) {
+      ++queued_events_;
+      co_await WaitAwaiter{this};
+    } else {
+      --available_;
+    }
+  }
+
+  // Hands the worker to the next queued event, if any.
+  void Release() {
+    if (!waiters_.empty()) {
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      sched_.Post(0, [h] { h.resume(); });
+    } else {
+      ++available_;
+    }
+  }
+
+  // Resizing applies to future admissions (used between experiment runs).
+  void set_workers(size_t n) {
+    CAMELOT_CHECK(waiters_.empty());
+    available_ = n;
+  }
+
+  size_t available() const { return available_; }
+  size_t queued() const { return waiters_.size(); }
+  uint64_t events() const { return events_; }
+  uint64_t queued_events() const { return queued_events_; }
+
+ private:
+  struct WaitAwaiter {
+    WorkerPool* pool;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) { pool->waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+
+  Scheduler& sched_;
+  size_t available_;
+  std::deque<std::coroutine_handle<>> waiters_;
+  uint64_t events_ = 0;
+  uint64_t queued_events_ = 0;
+};
+
+}  // namespace camelot
+
+#endif  // SRC_TRANMAN_WORKER_POOL_H_

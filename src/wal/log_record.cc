@@ -1,0 +1,178 @@
+#include "src/wal/log_record.h"
+
+namespace camelot {
+
+const char* LogRecordKindName(LogRecordKind kind) {
+  switch (kind) {
+    case LogRecordKind::kUpdate:
+      return "UPDATE";
+    case LogRecordKind::kPrepare:
+      return "PREPARE";
+    case LogRecordKind::kCommit:
+      return "COMMIT";
+    case LogRecordKind::kAbort:
+      return "ABORT";
+    case LogRecordKind::kReplication:
+      return "REPLICATION";
+    case LogRecordKind::kEnd:
+      return "END";
+    case LogRecordKind::kCheckpoint:
+      return "CHECKPOINT";
+  }
+  return "UNKNOWN";
+}
+
+Bytes LogRecord::Encode() const {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(kind));
+  w.Transaction(tid);
+  switch (kind) {
+    case LogRecordKind::kUpdate:
+      w.Str(server);
+      w.Str(object);
+      w.Blob(old_value);
+      w.Blob(new_value);
+      w.U8(is_undo ? 1 : 0);
+      break;
+    case LogRecordKind::kPrepare:
+      w.Site(coordinator);
+      w.SiteList(sites);
+      w.U8(static_cast<uint8_t>(protocol));
+      w.U32(commit_quorum);
+      w.U32(abort_quorum);
+      break;
+    case LogRecordKind::kCommit:
+      w.SiteList(sites);
+      break;
+    case LogRecordKind::kAbort:
+    case LogRecordKind::kEnd:
+    case LogRecordKind::kCheckpoint:
+      break;
+    case LogRecordKind::kReplication:
+      w.Site(coordinator);
+      w.U64(epoch);
+      w.U8(decision);
+      w.SiteList(sites);
+      break;
+  }
+  return w.Take();
+}
+
+Result<LogRecord> LogRecord::Decode(const Bytes& payload) {
+  ByteReader r(payload);
+  LogRecord rec;
+  rec.kind = static_cast<LogRecordKind>(r.U8());
+  rec.tid = r.Transaction();
+  switch (rec.kind) {
+    case LogRecordKind::kUpdate:
+      rec.server = r.Str();
+      rec.object = r.Str();
+      rec.old_value = r.Blob();
+      rec.new_value = r.Blob();
+      rec.is_undo = r.U8() != 0;
+      break;
+    case LogRecordKind::kPrepare:
+      rec.coordinator = r.Site();
+      rec.sites = r.SiteList();
+      rec.protocol = static_cast<CommitProtocol>(r.U8());
+      rec.commit_quorum = r.U32();
+      rec.abort_quorum = r.U32();
+      break;
+    case LogRecordKind::kCommit:
+      rec.sites = r.SiteList();
+      break;
+    case LogRecordKind::kAbort:
+    case LogRecordKind::kEnd:
+    case LogRecordKind::kCheckpoint:
+      break;
+    case LogRecordKind::kReplication:
+      rec.coordinator = r.Site();
+      rec.epoch = r.U64();
+      rec.decision = r.U8();
+      rec.sites = r.SiteList();
+      break;
+    default:
+      return CorruptionError("unknown log record kind");
+  }
+  if (!r.ok() || !r.AtEnd()) {
+    return CorruptionError("log record decode failed");
+  }
+  return rec;
+}
+
+LogRecord LogRecord::Update(const Tid& tid, std::string server, std::string object,
+                            Bytes old_value, Bytes new_value) {
+  LogRecord rec;
+  rec.kind = LogRecordKind::kUpdate;
+  rec.tid = tid;
+  rec.server = std::move(server);
+  rec.object = std::move(object);
+  rec.old_value = std::move(old_value);
+  rec.new_value = std::move(new_value);
+  return rec;
+}
+
+LogRecord LogRecord::UndoUpdate(const Tid& tid, std::string server, std::string object,
+                                Bytes old_value, Bytes new_value) {
+  LogRecord rec = Update(tid, std::move(server), std::move(object), std::move(old_value),
+                         std::move(new_value));
+  rec.is_undo = true;
+  return rec;
+}
+
+LogRecord LogRecord::Prepare(const Tid& tid, SiteId coordinator, std::vector<SiteId> sites,
+                             CommitProtocol protocol, uint32_t commit_quorum,
+                             uint32_t abort_quorum) {
+  LogRecord rec;
+  rec.kind = LogRecordKind::kPrepare;
+  rec.tid = tid;
+  rec.coordinator = coordinator;
+  rec.sites = std::move(sites);
+  rec.protocol = protocol;
+  rec.commit_quorum = commit_quorum;
+  rec.abort_quorum = abort_quorum;
+  return rec;
+}
+
+LogRecord LogRecord::Commit(const Tid& tid, std::vector<SiteId> sites) {
+  LogRecord rec;
+  rec.kind = LogRecordKind::kCommit;
+  rec.tid = tid;
+  rec.sites = std::move(sites);
+  return rec;
+}
+
+LogRecord LogRecord::Abort(const Tid& tid) {
+  LogRecord rec;
+  rec.kind = LogRecordKind::kAbort;
+  rec.tid = tid;
+  return rec;
+}
+
+LogRecord LogRecord::Replication(const Tid& tid, SiteId coordinator, uint64_t epoch,
+                                 uint8_t decision, std::vector<SiteId> sites) {
+  LogRecord rec;
+  rec.kind = LogRecordKind::kReplication;
+  rec.tid = tid;
+  rec.coordinator = coordinator;
+  rec.epoch = epoch;
+  rec.decision = decision;
+  rec.sites = std::move(sites);
+  return rec;
+}
+
+LogRecord LogRecord::End(const Tid& tid) {
+  LogRecord rec;
+  rec.kind = LogRecordKind::kEnd;
+  rec.tid = tid;
+  return rec;
+}
+
+LogRecord LogRecord::Checkpoint() {
+  LogRecord rec;
+  rec.kind = LogRecordKind::kCheckpoint;
+  rec.tid = kInvalidTid;
+  return rec;
+}
+
+}  // namespace camelot

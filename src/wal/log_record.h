@@ -1,0 +1,95 @@
+// Log record model for the common stable-storage log.
+//
+// One flat struct covers every record kind (fields unused by a kind stay
+// empty); records are serialized to a framed binary format with a CRC, and a
+// crashed site recovers by replaying the durable prefix of its log.
+//
+// Record kinds and who writes them:
+//   kUpdate       server/disk-manager: old and new value of an object
+//                 ("logged as late as possible", Figure 1 step 5)
+//   kPrepare      2PC/NBC subordinate (and NBC coordinator, which prepares
+//                 before sending the prepare message)
+//   kCommit       coordinator at the commit point; subordinate on learning the
+//                 outcome (forced or lazy depending on the 3.2 optimization)
+//   kAbort        any site, on abort (presumed abort: never forced)
+//   kReplication  NBC replication phase: the decision data a subordinate holds
+//                 so a commit quorum can be formed
+//   kEnd          coordinator after all commit-acks (presumed abort "forget")
+#ifndef SRC_WAL_LOG_RECORD_H_
+#define SRC_WAL_LOG_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/codec.h"
+#include "src/base/status.h"
+#include "src/base/types.h"
+
+namespace camelot {
+
+enum class LogRecordKind : uint8_t {
+  kUpdate = 1,
+  kPrepare = 2,
+  kCommit = 3,
+  kAbort = 4,
+  kReplication = 5,
+  kEnd = 6,
+  // Quiescent checkpoint: every page flushed, no live transactions. Recovery
+  // replay starts at the LAST checkpoint record.
+  kCheckpoint = 7,
+};
+
+const char* LogRecordKindName(LogRecordKind kind);
+
+enum class CommitProtocol : uint8_t {
+  kTwoPhase = 0,
+  kNonBlocking = 1,
+};
+
+struct LogRecord {
+  LogRecordKind kind = LogRecordKind::kUpdate;
+  Tid tid;
+  Lsn lsn = kInvalidLsn;  // Filled in by StableLog on append / replay.
+
+  // kUpdate.
+  std::string server;
+  std::string object;
+  Bytes old_value;
+  Bytes new_value;
+  // Compensation log record (CLR): this update IS an undo performed by a live
+  // abort. Recovery replays CLRs like any update but never un-does them, and
+  // uses them to find which forward records a crash-interrupted abort already
+  // compensated.
+  bool is_undo = false;
+
+  // kPrepare / kReplication.
+  SiteId coordinator = kInvalidSite;
+  std::vector<SiteId> sites;  // All participants (NBC prepare carries this).
+  CommitProtocol protocol = CommitProtocol::kTwoPhase;
+  uint32_t commit_quorum = 0;  // NBC quorum sizes.
+  uint32_t abort_quorum = 0;
+  uint64_t epoch = 0;  // NBC coordinator epoch.
+  uint8_t decision = 0;  // kReplication: replicated tentative decision payload.
+
+  Bytes Encode() const;
+  static Result<LogRecord> Decode(const Bytes& payload);
+
+  // Convenience constructors.
+  static LogRecord Update(const Tid& tid, std::string server, std::string object, Bytes old_value,
+                          Bytes new_value);
+  static LogRecord UndoUpdate(const Tid& tid, std::string server, std::string object,
+                              Bytes old_value, Bytes new_value);
+  static LogRecord Prepare(const Tid& tid, SiteId coordinator, std::vector<SiteId> sites,
+                           CommitProtocol protocol, uint32_t commit_quorum, uint32_t abort_quorum);
+  static LogRecord Commit(const Tid& tid, std::vector<SiteId> sites);
+  static LogRecord Abort(const Tid& tid);
+  static LogRecord Replication(const Tid& tid, SiteId coordinator, uint64_t epoch,
+                               uint8_t decision, std::vector<SiteId> sites);
+  static LogRecord End(const Tid& tid);
+  static LogRecord Checkpoint();
+};
+
+}  // namespace camelot
+
+#endif  // SRC_WAL_LOG_RECORD_H_

@@ -1,0 +1,232 @@
+#include "src/wal/stable_log.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+
+#include <cstdio>
+
+namespace camelot {
+
+StableLog::StableLog(Scheduler& sched, LogConfig config)
+    : sched_(sched), config_(config), disk_(sched) {}
+
+Lsn StableLog::Append(const LogRecord& record) {
+  const Bytes payload = record.Encode();
+  ByteWriter frame;
+  frame.U32(static_cast<uint32_t>(payload.size()));
+  frame.U32(Crc32(payload));
+  const Bytes& header = frame.bytes();
+  tail_.insert(tail_.end(), header.begin(), header.end());
+  tail_.insert(tail_.end(), payload.begin(), payload.end());
+  ++counters_.appends;
+  return buffered_lsn();
+}
+
+Async<Lsn> StableLog::AppendAndForce(const LogRecord& record) {
+  const Lsn lsn = Append(record);
+  co_await Force(lsn);
+  co_return lsn;
+}
+
+Async<bool> StableLog::Force(Lsn upto) {
+  CAMELOT_CHECK(upto.value <= buffered_lsn().value);
+  ++counters_.force_requests;
+  if (IsDurable(upto)) {
+    co_return true;
+  }
+  if (!config_.group_commit) {
+    // Each committer performs its own serial disk write.
+    const uint64_t epoch = crash_epoch_;
+    co_await disk_.Lock();
+    if (epoch != crash_epoch_) {
+      disk_.Unlock();
+      co_return IsDurable(upto);  // Crashed while queued; caller's world is gone.
+    }
+    if (!IsDurable(upto)) {
+      inflight_target_ = upto.value;
+      co_await sched_.Delay(config_.force_latency);
+      if (epoch != crash_epoch_) {
+        disk_.Unlock();
+        co_return IsDurable(upto);  // Crashed mid-write; OnCrash published the torn prefix.
+      }
+      inflight_target_ = 0;
+      ++counters_.disk_writes;
+      Publish(upto.value);
+    } else {
+      ++counters_.records_batched;  // Someone else's write covered us anyway.
+    }
+    disk_.Unlock();
+    co_return true;
+  }
+
+  // Group commit: enqueue and let the writer daemon batch.
+  auto done = std::make_shared<Channel<bool>>(sched_);
+  waiters_.push_back(ForceWaiter{upto.value, done});
+  if (!writer_running_) {
+    writer_running_ = true;
+    sched_.Spawn(WriterDaemon());
+  }
+  co_await done->Receive();
+  co_return IsDurable(upto);
+}
+
+Async<void> StableLog::WriterDaemon() {
+  const uint64_t epoch = crash_epoch_;
+  while (!waiters_.empty()) {
+    if (config_.batch_window > 0) {
+      co_await sched_.Delay(config_.batch_window);
+      if (epoch != crash_epoch_) {
+        co_return;  // A newer incarnation owns the writer flag now.
+      }
+    }
+    // One physical write covers everything buffered right now — every waiter
+    // that queued while the previous write was in progress rides along.
+    const uint64_t target = buffered_lsn().value;
+    inflight_target_ = target;
+    co_await sched_.Delay(config_.force_latency);
+    if (epoch != crash_epoch_) {
+      co_return;  // Crashed mid-write; OnCrash already published the torn prefix.
+    }
+    inflight_target_ = 0;
+    ++counters_.disk_writes;
+    Publish(target);
+    size_t satisfied = 0;
+    auto it = waiters_.begin();
+    while (it != waiters_.end()) {
+      if (it->upto <= durable_bytes_) {
+        it->done->Send(true);
+        it = waiters_.erase(it);
+        ++satisfied;
+      } else {
+        ++it;
+      }
+    }
+    if (satisfied > 1) {
+      counters_.records_batched += satisfied - 1;
+    }
+  }
+  writer_running_ = false;
+}
+
+void StableLog::Publish(uint64_t target) {
+  CAMELOT_CHECK(target >= durable_bytes_);
+  const size_t n = static_cast<size_t>(target - durable_bytes_);
+  CAMELOT_CHECK(n <= tail_.size());
+  durable_.insert(durable_.end(), tail_.begin(), tail_.begin() + static_cast<ptrdiff_t>(n));
+  tail_.erase(tail_.begin(), tail_.begin() + static_cast<ptrdiff_t>(n));
+  durable_bytes_ = target;
+  counters_.bytes_written += n;
+}
+
+void StableLog::OnCrash() {
+  ++crash_epoch_;
+  // If a physical write was in progress, the disk holds a torn prefix of it:
+  // publish a random number of its bytes so recovery sees a realistic torn
+  // frame (ReadDurable stops at the first bad frame).
+  if (inflight_target_ > durable_bytes_) {
+    const uint64_t full = inflight_target_ - durable_bytes_;
+    const uint64_t partial = sched_.rng().NextBounded(full + 1);
+    if (partial > 0) {
+      Publish(durable_bytes_ + partial);
+    }
+    inflight_target_ = 0;
+  }
+  tail_.clear();
+  writer_running_ = false;
+  for (auto& w : waiters_) {
+    w.done->Close();
+  }
+  waiters_.clear();
+}
+
+std::vector<LogRecord> StableLog::ReadDurable() const {
+  std::vector<LogRecord> records;
+  size_t pos = 0;
+  while (pos + 8 <= durable_.size()) {
+    ByteReader header(durable_.data() + pos, 8);
+    const uint32_t len = header.U32();
+    const uint32_t crc = header.U32();
+    if (pos + 8 + len > durable_.size()) {
+      break;  // Torn frame at the end.
+    }
+    const uint8_t* payload = durable_.data() + pos + 8;
+    if (Crc32(payload, len) != crc) {
+      break;  // Corruption: stop replay here.
+    }
+    Bytes payload_bytes(payload, payload + len);
+    auto rec = LogRecord::Decode(payload_bytes);
+    if (!rec.ok()) {
+      break;
+    }
+    rec->lsn = Lsn{base_offset_ + pos + 8 + len};
+    records.push_back(std::move(*rec));
+    pos += 8 + len;
+  }
+  return records;
+}
+
+void StableLog::ReclaimBefore(Lsn lsn) {
+  CAMELOT_CHECK(lsn.value >= base_offset_);
+  CAMELOT_CHECK(lsn.value <= durable_bytes_);
+  const size_t drop = static_cast<size_t>(lsn.value - base_offset_);
+  durable_.erase(durable_.begin(), durable_.begin() + static_cast<ptrdiff_t>(drop));
+  base_offset_ = lsn.value;
+}
+
+bool StableLog::SaveToFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return false;
+  }
+  ByteWriter header;
+  header.U32(0x43414d4cu);  // "CAML"
+  header.U64(base_offset_);
+  header.U64(durable_.size());
+  header.U32(Crc32(durable_));
+  bool ok = std::fwrite(header.bytes().data(), 1, header.size(), f) == header.size();
+  ok = ok && (durable_.empty() ||
+              std::fwrite(durable_.data(), 1, durable_.size(), f) == durable_.size());
+  std::fclose(f);
+  return ok;
+}
+
+bool StableLog::LoadFromFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return false;
+  }
+  uint8_t header_bytes[24];
+  if (std::fread(header_bytes, 1, sizeof(header_bytes), f) != sizeof(header_bytes)) {
+    std::fclose(f);
+    return false;
+  }
+  ByteReader header(header_bytes, sizeof(header_bytes));
+  const uint32_t magic = header.U32();
+  const uint64_t base = header.U64();
+  const uint64_t size = header.U64();
+  const uint32_t crc = header.U32();
+  if (magic != 0x43414d4cu) {
+    std::fclose(f);
+    return false;
+  }
+  Bytes image(size);
+  const bool read_ok =
+      size == 0 || std::fread(image.data(), 1, image.size(), f) == image.size();
+  std::fclose(f);
+  if (!read_ok || Crc32(image) != crc) {
+    return false;
+  }
+  durable_ = std::move(image);
+  base_offset_ = base;
+  durable_bytes_ = base + durable_.size();
+  tail_.clear();
+  return true;
+}
+
+void StableLog::CorruptDurableByte(size_t offset) {
+  CAMELOT_CHECK(offset < durable_.size());
+  durable_[offset] ^= 0xff;
+}
+
+}  // namespace camelot

@@ -1,0 +1,123 @@
+// StableLog: the per-site common log on simulated stable storage.
+//
+// Appends are buffered in volatile memory; Force() makes everything up to an
+// LSN durable by performing a (15 ms) disk write. With group commit enabled, a
+// single writer daemon batches all force requests that accumulate while the
+// disk is busy into one physical write — the paper's "log batching", without
+// which a disk log caps out near 30 forced commits per second.
+//
+// A crash discards the volatile tail; recovery replays the durable prefix
+// (framed records with CRCs; a torn or corrupt frame ends replay).
+#ifndef SRC_WAL_STABLE_LOG_H_
+#define SRC_WAL_STABLE_LOG_H_
+
+#include <deque>
+#include <string>
+#include <memory>
+#include <vector>
+
+#include "src/sim/channel.h"
+#include "src/sim/scheduler.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+#include "src/wal/log_record.h"
+
+namespace camelot {
+
+struct LogConfig {
+  // One physical log-disk write (Table 2: log force 15 ms).
+  SimDuration force_latency = Usec(15000);
+  // Batch multiple force requests into one disk write.
+  bool group_commit = true;
+  // Extra wait before a batched write starts, to accumulate more commits
+  // (group commit timers, Helland et al.). 0 = batch only what queued while
+  // the disk was busy.
+  SimDuration batch_window = 0;
+};
+
+struct LogCounters {
+  uint64_t appends = 0;
+  uint64_t force_requests = 0;
+  uint64_t disk_writes = 0;      // Physical forces actually performed.
+  uint64_t bytes_written = 0;
+  uint64_t records_batched = 0;  // Force requests satisfied by another's write.
+};
+
+class StableLog {
+ public:
+  StableLog(Scheduler& sched, LogConfig config);
+
+  // Appends a record to the volatile buffer; returns its end-exclusive LSN.
+  // The record is durable once durable_lsn() >= returned LSN.
+  Lsn Append(const LogRecord& record);
+
+  // Appends and immediately forces (convenience for the single-record case).
+  Async<Lsn> AppendAndForce(const LogRecord& record);
+
+  // Makes everything up to `upto` durable. Returns true once durable_lsn() >=
+  // upto; returns false if a crash destroyed the tail first (the caller's
+  // world is gone and it must not treat the record as durable).
+  Async<bool> Force(Lsn upto);
+
+  Lsn durable_lsn() const { return Lsn{durable_bytes_}; }
+  Lsn buffered_lsn() const { return Lsn{durable_bytes_ + static_cast<uint64_t>(tail_.size())}; }
+  bool IsDurable(Lsn lsn) const { return lsn.value <= durable_bytes_; }
+
+  // Crash: the volatile tail is lost. (The durable bytes survive — they model
+  // the disk.) Pending force waiters are abandoned by their crashed callers.
+  void OnCrash();
+
+  // Replays the durable prefix. Stops cleanly at the first torn/corrupt frame
+  // (which a crash mid-write can legitimately produce).
+  std::vector<LogRecord> ReadDurable() const;
+
+  // Testing hook: flip a byte of the durable image to simulate media corruption.
+  void CorruptDurableByte(size_t offset);
+
+  // Saves the durable image (with its base offset) to a host file, and loads
+  // one back — lets a world's stable storage outlive the process (e.g. the
+  // shell's `save`/`load`). Only the durable bytes persist, exactly as a real
+  // disk would. Returns false on I/O failure or a corrupt image.
+  bool SaveToFile(const std::string& path) const;
+  bool LoadFromFile(const std::string& path);
+
+  // Physically reclaims the durable prefix before `lsn` (call only with the
+  // LSN of a checkpoint record boundary: replay must still see a whole-frame
+  // prefix). LSNs remain globally monotonic; ReadDurable returns records
+  // after the reclaimed prefix.
+  void ReclaimBefore(Lsn lsn);
+  uint64_t reclaimed_bytes() const { return base_offset_; }
+
+  void set_group_commit(bool on) { config_.group_commit = on; }
+  bool group_commit() const { return config_.group_commit; }
+  const LogConfig& config() const { return config_; }
+  const LogCounters& counters() const { return counters_; }
+  void ResetCounters() { counters_ = LogCounters{}; }
+
+ private:
+  struct ForceWaiter {
+    uint64_t upto;
+    std::shared_ptr<Channel<bool>> done;
+  };
+
+  Async<void> WriterDaemon();
+  // Moves the volatile tail up to `target` into the durable image.
+  void Publish(uint64_t target);
+
+  Scheduler& sched_;
+  LogConfig config_;
+  Bytes durable_;            // The disk image (starting at base_offset_).
+  uint64_t base_offset_ = 0; // Bytes reclaimed from the front (checkpointing).
+  uint64_t durable_bytes_ = 0;
+  Bytes tail_;               // Volatile buffer beyond durable_bytes_.
+  SimMutex disk_;            // The disk arm (non-group-commit path).
+  bool writer_running_ = false;
+  uint64_t crash_epoch_ = 0;     // Bumped on crash: in-flight writes abandon.
+  uint64_t inflight_target_ = 0; // End LSN of the write in progress (0 = none).
+  std::deque<ForceWaiter> waiters_;
+  LogCounters counters_;
+};
+
+}  // namespace camelot
+
+#endif  // SRC_WAL_STABLE_LOG_H_

@@ -1,0 +1,146 @@
+// Tests for the static-analysis module: the paper's published totals, path
+// relationships, and formula rendering. Parameterized sweeps check the
+// structural invariants across every (protocol, kind, subordinates) cell.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/analysis/static_analysis.h"
+
+namespace camelot {
+namespace {
+
+TEST(StaticAnalysisTest, PaperTotalsLocal) {
+  // Table 3: local update 24.5, local read 9.5.
+  EXPECT_DOUBLE_EQ(CompletionPath(CommitProtocol::kTwoPhase, TxnKind::kWrite, 0).TotalMs(),
+                   24.5);
+  EXPECT_DOUBLE_EQ(CompletionPath(CommitProtocol::kTwoPhase, TxnKind::kRead, 0).TotalMs(),
+                   9.5);
+}
+
+TEST(StaticAnalysisTest, TwoPhaseOneSubUpdateNearPaper) {
+  // The paper's lumped estimate is 99.5; our itemization is slightly leaner
+  // (we do not lump "20 ms of local transaction management messages").
+  const double total = CompletionPath(CommitProtocol::kTwoPhase, TxnKind::kWrite, 1).TotalMs();
+  EXPECT_GE(total, 85.0);
+  EXPECT_LE(total, 100.0);
+}
+
+TEST(StaticAnalysisTest, NonBlockingCountsMatchPaperSection43) {
+  // "the critical path consists of 4 log forces and 5 messages. This compares
+  // to 2 and 3, respectively, for two-phase commit."
+  auto count = [](const PathAnalysis& path, const char* needle) {
+    int n = 0;
+    for (const auto& ev : path.events) {
+      if (ev.name.find(needle) != std::string::npos) {
+        ++n;
+      }
+    }
+    return n;
+  };
+  const auto nbc = CriticalPath(CommitProtocol::kNonBlocking, TxnKind::kWrite, 1);
+  EXPECT_EQ(count(nbc, "log force"), 4);
+  EXPECT_EQ(count(nbc, "datagram"), 5);
+  const auto two_phase = CriticalPath(CommitProtocol::kTwoPhase, TxnKind::kWrite, 1);
+  EXPECT_EQ(count(two_phase, "log force"), 2);
+  EXPECT_EQ(count(two_phase, "datagram"), 3);
+  // "The length of the completion path is one datagram shorter for both."
+  EXPECT_EQ(count(CompletionPath(CommitProtocol::kNonBlocking, TxnKind::kWrite, 1), "datagram"),
+            4);
+  EXPECT_EQ(count(CompletionPath(CommitProtocol::kTwoPhase, TxnKind::kWrite, 1), "datagram"),
+            2);
+}
+
+TEST(StaticAnalysisTest, NonBlockingReadMatchesTwoPhaseShape) {
+  // "A transaction that is completely read-only has the same critical path
+  // performance as in two-phase commitment."
+  EXPECT_DOUBLE_EQ(CompletionPath(CommitProtocol::kNonBlocking, TxnKind::kRead, 2).TotalMs(),
+                   CompletionPath(CommitProtocol::kTwoPhase, TxnKind::kRead, 2).TotalMs());
+}
+
+TEST(StaticAnalysisTest, OperationProcessingMatchesPaperDerivation) {
+  // "the number of milliseconds to subtract is 3.5 + 29N".
+  EXPECT_DOUBLE_EQ(OperationProcessingMs(0), 3.5);
+  EXPECT_DOUBLE_EQ(OperationProcessingMs(1), 32.5);
+  EXPECT_DOUBLE_EQ(OperationProcessingMs(3), 90.5);
+}
+
+TEST(StaticAnalysisTest, FormulaRendersCounts) {
+  const auto path = CriticalPath(CommitProtocol::kNonBlocking, TxnKind::kWrite, 1);
+  EXPECT_EQ(path.Formula(), "4 LF + 5 DG + 1 RPC + 12.5ms local");
+}
+
+TEST(StaticAnalysisTest, CustomPrimitiveCostsPropagate) {
+  PrimitiveCosts costs;
+  costs.log_force = 30.0;  // A slower disk.
+  const double base = CompletionPath(CommitProtocol::kTwoPhase, TxnKind::kWrite, 0).TotalMs();
+  const double slow =
+      CompletionPath(CommitProtocol::kTwoPhase, TxnKind::kWrite, 0, costs).TotalMs();
+  EXPECT_DOUBLE_EQ(slow - base, 15.0);
+}
+
+// --- Parameterized structural sweep -----------------------------------------
+
+using Cell = std::tuple<CommitProtocol, TxnKind, int>;
+
+class PathInvariantTest : public ::testing::TestWithParam<Cell> {};
+
+TEST_P(PathInvariantTest, CriticalPathDominatesCompletionPath) {
+  auto [protocol, kind, subs] = GetParam();
+  const double completion = CompletionPath(protocol, kind, subs).TotalMs();
+  const double critical = CriticalPath(protocol, kind, subs).TotalMs();
+  EXPECT_GT(critical, completion);
+}
+
+TEST_P(PathInvariantTest, WritesCostAtLeastAsMuchAsReads) {
+  auto [protocol, kind, subs] = GetParam();
+  if (kind != TxnKind::kWrite) {
+    GTEST_SKIP();
+  }
+  EXPECT_GE(CompletionPath(protocol, TxnKind::kWrite, subs).TotalMs(),
+            CompletionPath(protocol, TxnKind::kRead, subs).TotalMs());
+}
+
+TEST_P(PathInvariantTest, MoreSubordinatesNeverCheaper) {
+  auto [protocol, kind, subs] = GetParam();
+  if (subs == 0) {
+    GTEST_SKIP();
+  }
+  EXPECT_GT(CompletionPath(protocol, kind, subs).TotalMs(),
+            CompletionPath(protocol, kind, subs - 1).TotalMs());
+}
+
+TEST_P(PathInvariantTest, NonBlockingNeverCheaperThanTwoPhase) {
+  auto [protocol, kind, subs] = GetParam();
+  if (protocol != CommitProtocol::kNonBlocking || subs == 0) {
+    GTEST_SKIP();
+  }
+  EXPECT_GE(CompletionPath(CommitProtocol::kNonBlocking, kind, subs).TotalMs(),
+            CompletionPath(CommitProtocol::kTwoPhase, kind, subs).TotalMs());
+}
+
+TEST_P(PathInvariantTest, EventCostsAreAllPositive) {
+  auto [protocol, kind, subs] = GetParam();
+  for (const auto& ev : CriticalPath(protocol, kind, subs).events) {
+    EXPECT_GT(ev.ms, 0.0) << ev.name;
+  }
+}
+
+std::string CellName(const ::testing::TestParamInfo<Cell>& info) {
+  std::string name =
+      std::get<0>(info.param) == CommitProtocol::kTwoPhase ? "TwoPhase" : "NonBlocking";
+  name += std::get<1>(info.param) == TxnKind::kRead ? "Read" : "Write";
+  name += std::to_string(std::get<2>(info.param)) + "Subs";
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCells, PathInvariantTest,
+    ::testing::Combine(::testing::Values(CommitProtocol::kTwoPhase,
+                                         CommitProtocol::kNonBlocking),
+                       ::testing::Values(TxnKind::kRead, TxnKind::kWrite),
+                       ::testing::Values(0, 1, 2, 3, 5, 8)),
+    CellName);
+
+}  // namespace
+}  // namespace camelot

@@ -1,0 +1,186 @@
+// Chaos soak test: minutes of virtual time with random crashes, restarts,
+// partitions, message loss, and duplication, under concurrent transfer
+// traffic from multiple sites using BOTH commit protocols. At the end, after
+// healing and recovering everything, the invariants must hold:
+//   - total money conserved (every transfer was atomic),
+//   - all sites agree on every balance,
+//   - no leaked locks or live transactions anywhere.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/harness/world.h"
+
+namespace camelot {
+namespace {
+
+constexpr int kSites = 4;
+constexpr int64_t kInitialBalance = 1000;
+
+std::string Srv(int i) { return "server:" + std::to_string(i); }
+
+WorldConfig ChaosConfig(uint64_t seed) {
+  WorldConfig cfg;
+  cfg.site_count = kSites;
+  cfg.seed = seed;
+  cfg.net.loss_probability = 0.02;
+  cfg.net.duplicate_probability = 0.02;
+  cfg.tranman.outcome_timeout = Usec(500000);
+  cfg.tranman.retry_interval = Usec(400000);
+  cfg.tranman.takeover_backoff = Usec(400000);
+  cfg.tranman.orphan_check_interval = Sec(1.5);
+  cfg.ipc.rpc_timeout = Sec(1.5);
+  cfg.ipc.rpc_retry_interval = Usec(250000);
+  cfg.server.lock_wait_timeout = Sec(1.0);
+  return cfg;
+}
+
+Async<void> TrafficClient(World& world, int home, int transfers, uint64_t seed, int* committed) {
+  AppClient app(world.site(home));
+  Scheduler& sched = world.sched();
+  Rng rng(seed);
+  for (int i = 0; i < transfers; ++i) {
+    co_await sched.Delay(Usec(static_cast<int64_t>(rng.NextBounded(120000))));
+    if (!world.site(home).site().up()) {
+      // Our process died with the site; wait for the restart.
+      co_await sched.Delay(Sec(2));
+      continue;
+    }
+    const int from = static_cast<int>(rng.NextBounded(kSites));
+    int to = static_cast<int>(rng.NextBounded(kSites));
+    if (to == from) {
+      to = (to + 1) % kSites;
+    }
+    const CommitOptions options = rng.NextBool(0.5) ? CommitOptions::Optimized()
+                                                    : CommitOptions::NonBlocking();
+    auto begin = co_await app.Begin();
+    if (!begin.ok()) {
+      continue;
+    }
+    const Tid tid = *begin;
+    auto a = co_await app.ReadInt(tid, Srv(from), "vault");
+    auto b = co_await app.ReadInt(tid, Srv(to), "vault");
+    if (!a.ok() || !b.ok()) {
+      co_await app.Abort(tid);
+      continue;
+    }
+    Status w1 = co_await app.WriteInt(tid, Srv(from), "vault", *a - 10);
+    Status w2 = co_await app.WriteInt(tid, Srv(to), "vault", *b + 10);
+    if (!w1.ok() || !w2.ok()) {
+      co_await app.Abort(tid);
+      continue;
+    }
+    Status st = co_await app.Commit(tid, options);
+    if (st.ok()) {
+      ++*committed;
+    }
+  }
+}
+
+void ChaosDriver(World& world, Rng* rng, int remaining_events) {
+  if (remaining_events <= 0) {
+    return;
+  }
+  const SimDuration delay = Sec(1.5) + static_cast<SimDuration>(rng->NextBounded(2000000));
+  world.sched().Post(delay, [&world, rng, remaining_events] {
+    const int kind = static_cast<int>(rng->NextBounded(3));
+    if (kind == 0) {
+      // Crash a random site, restart it a little later.
+      const int victim = static_cast<int>(rng->NextBounded(kSites));
+      if (world.site(victim).site().up()) {
+        world.Crash(victim);
+        world.sched().Post(Sec(1.0) + static_cast<SimDuration>(rng->NextBounded(2000000)),
+                           [&world, victim] {
+                             if (!world.site(victim).site().up()) {
+                               world.Restart(victim);
+                             }
+                           });
+      }
+    } else if (kind == 1) {
+      // Partition a random site away, heal later.
+      const int isolated = static_cast<int>(rng->NextBounded(kSites));
+      std::vector<SiteId> rest;
+      for (int i = 0; i < kSites; ++i) {
+        if (i != isolated) {
+          rest.push_back(SiteId{static_cast<uint32_t>(i)});
+        }
+      }
+      world.net().SetPartition({{SiteId{static_cast<uint32_t>(isolated)}}, rest});
+      world.sched().Post(Sec(1.0) + static_cast<SimDuration>(rng->NextBounded(1500000)),
+                         [&world] { world.net().ClearPartition(); });
+    }
+    // kind == 2: calm period (no event).
+    ChaosDriver(world, rng, remaining_events - 1);
+  });
+}
+
+class ChaosSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaosSweep, MoneyConservedAndStateConvergesThroughChaos) {
+  const uint64_t seed = GetParam();
+  World world(ChaosConfig(seed));
+  for (int i = 0; i < kSites; ++i) {
+    world.AddServer(i, Srv(i))->CreateObjectForSetup("vault", EncodeInt64(kInitialBalance));
+  }
+  int committed = 0;
+  for (int home = 0; home < kSites; ++home) {
+    world.sched().Spawn(
+        TrafficClient(world, home, /*transfers=*/8, seed * 100 + static_cast<uint64_t>(home),
+                      &committed));
+  }
+  Rng chaos_rng(seed * 31337);
+  ChaosDriver(world, &chaos_rng, /*remaining_events=*/6);
+  world.RunUntilIdle();
+
+  // Heal and recover everything, then let all in-doubt work resolve.
+  world.net().ClearPartition();
+  for (int i = 0; i < kSites; ++i) {
+    if (!world.site(i).site().up()) {
+      world.Restart(i);
+    }
+  }
+  world.RunUntilIdle();
+
+  // Invariant 1: money conserved, and every site reads the same balances.
+  std::vector<int64_t> balances(kSites, -1);
+  for (int observer = 0; observer < 2; ++observer) {
+    AppClient auditor(world.site(observer));
+    int64_t total = 0;
+    for (int i = 0; i < kSites; ++i) {
+      auto v = world.RunSync([](AppClient& app, std::string srv) -> Async<int64_t> {
+        auto begin = co_await app.Begin();
+        if (!begin.ok()) {
+          co_return -1;
+        }
+        auto value = co_await app.ReadInt(*begin, srv, "vault");
+        co_await app.Commit(*begin);
+        co_return value.value_or(-1);
+      }(auditor, Srv(i)));
+      const int64_t balance = v.value_or(-1);
+      ASSERT_GE(balance, 0) << "seed " << seed << " site " << i;
+      if (observer == 0) {
+        balances[static_cast<size_t>(i)] = balance;
+      } else {
+        EXPECT_EQ(balance, balances[static_cast<size_t>(i)])
+            << "seed " << seed << ": observers disagree about site " << i;
+      }
+      total += balance;
+    }
+    EXPECT_EQ(total, kSites * kInitialBalance)
+        << "seed " << seed << " observer " << observer << " (committed " << committed << ")";
+  }
+  // Invariant 2: nothing leaked.
+  for (int i = 0; i < kSites; ++i) {
+    EXPECT_EQ(world.site(i).server(Srv(i))->locks().held_lock_count(), 0u)
+        << "seed " << seed << " site " << i;
+    EXPECT_EQ(world.site(i).tranman().live_family_count(), 0u)
+        << "seed " << seed << " site " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSweep,
+                         ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace camelot

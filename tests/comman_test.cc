@@ -1,0 +1,196 @@
+// Tests for the Communication Manager: name-service routing, the Section 3.1
+// site-list spying (direct, transitive, merged), and forgetting.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/comman/comman.h"
+#include "src/ipc/name_service.h"
+#include "src/ipc/netmsg.h"
+#include "src/ipc/site.h"
+#include "src/net/network.h"
+#include "src/sim/scheduler.h"
+
+namespace camelot {
+namespace {
+
+struct Rig {
+  explicit Rig(int n_sites = 3) : sched(1), net(sched, QuietNet()) {
+    for (int i = 0; i < n_sites; ++i) {
+      sites.push_back(std::make_unique<Site>(sched, net, SiteId{static_cast<uint32_t>(i)},
+                                             IpcConfig{}));
+      nms.push_back(std::make_unique<NetMsgServer>(*sites.back(), net));
+      commans.push_back(std::make_unique<ComMan>(*sites.back(), *nms.back(), names));
+    }
+  }
+  static NetConfig QuietNet() {
+    NetConfig cfg;
+    cfg.send_jitter_mean = 0;
+    cfg.stall_probability = 0;
+    cfg.receive_skew_mean = 0;
+    return cfg;
+  }
+  Site& site(int i) { return *sites[static_cast<size_t>(i)]; }
+  ComMan& comman(int i) { return *commans[static_cast<size_t>(i)]; }
+
+  void AddEcho(int i, const std::string& name) {
+    site(i).RegisterService(name, [](RpcContext, uint32_t m, Bytes b) -> Async<RpcResult> {
+      ByteWriter w;
+      w.U32(m);
+      w.Blob(b);
+      co_return RpcResult{OkStatus(), w.Take()};
+    });
+    ASSERT_TRUE(names.Register(name, site(i).id()).ok());
+  }
+
+  Scheduler sched;
+  Network net;
+  NameService names;
+  std::vector<std::unique_ptr<Site>> sites;
+  std::vector<std::unique_ptr<NetMsgServer>> nms;
+  std::vector<std::unique_ptr<ComMan>> commans;
+};
+
+const Tid kTid{FamilyId{SiteId{0}, 5}, 0, 0};
+
+TEST(ComManTest, CallRoutesLocallyAndRemotely) {
+  Rig rig;
+  rig.AddEcho(0, "svc:a");
+  rig.AddEcho(1, "svc:b");
+  SimTime local_done = 0;
+  SimTime remote_done = 0;
+  rig.sched.Spawn([](Rig& r, SimTime* local, SimTime* remote) -> Async<void> {
+    const SimTime t0 = r.sched.now();
+    RpcResult a = co_await r.comman(0).Call("svc:a", 1, {}, kTid);
+    EXPECT_TRUE(a.status.ok());
+    *local = r.sched.now() - t0;
+    const SimTime t1 = r.sched.now();
+    RpcResult b = co_await r.comman(0).Call("svc:b", 2, {}, kTid);
+    EXPECT_TRUE(b.status.ok());
+    *remote = r.sched.now() - t1;
+  }(rig, &local_done, &remote_done));
+  rig.sched.RunUntilIdle();
+  EXPECT_EQ(local_done, Usec(3000));  // Local IPC-to-server cost.
+  EXPECT_GT(remote_done, Usec(20000));  // Full Camelot RPC path.
+}
+
+TEST(ComManTest, CallToUnknownServiceFails) {
+  Rig rig;
+  std::optional<Status> status;
+  rig.sched.Spawn([](Rig& r, std::optional<Status>* out) -> Async<void> {
+    RpcResult res = co_await r.comman(0).Call("svc:ghost", 0, {}, kTid);
+    *out = res.status;
+  }(rig, &status));
+  rig.sched.RunUntilIdle();
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->code(), StatusCode::kNotFound);
+}
+
+TEST(ComManTest, CallerLearnsCalleeSite) {
+  Rig rig;
+  rig.AddEcho(1, "svc:b");
+  rig.sched.Spawn([](Rig& r) -> Async<void> {
+    co_await r.comman(0).Call("svc:b", 0, {}, kTid);
+  }(rig));
+  rig.sched.RunUntilIdle();
+  auto known = rig.comman(0).KnownSites(kTid.family);
+  ASSERT_EQ(known.size(), 1u);
+  EXPECT_EQ(known[0], SiteId{1});
+  // The callee learned the caller participates too.
+  auto callee_known = rig.comman(1).KnownSites(kTid.family);
+  ASSERT_EQ(callee_known.size(), 1u);
+  EXPECT_EQ(callee_known[0], SiteId{0});
+}
+
+TEST(ComManTest, TransitiveSpreadReachesTheOrigin) {
+  // Site 0 calls svc:b at site 1; while processing, site 1 calls svc:c at
+  // site 2. Site 0 must end up knowing about BOTH 1 and 2 ("if every
+  // operation responds, the site that begins a transaction will eventually
+  // learn the identity of all other participating sites").
+  Rig rig;
+  rig.AddEcho(2, "svc:c");
+  rig.site(1).RegisterService("svc:b", [&rig](RpcContext ctx, uint32_t,
+                                              Bytes) -> Async<RpcResult> {
+    RpcResult inner = co_await rig.comman(1).Call("svc:c", 0, {}, ctx.tid);
+    co_return RpcResult{inner.status, {}};
+  });
+  ASSERT_TRUE(rig.names.Register("svc:b", SiteId{1}).ok());
+
+  rig.sched.Spawn([](Rig& r) -> Async<void> {
+    RpcResult res = co_await r.comman(0).Call("svc:b", 0, {}, kTid);
+    EXPECT_TRUE(res.status.ok());
+  }(rig));
+  rig.sched.RunUntilIdle();
+
+  auto known = rig.comman(0).KnownSites(kTid.family);
+  ASSERT_EQ(known.size(), 2u);
+  EXPECT_EQ(known[0], SiteId{1});
+  EXPECT_EQ(known[1], SiteId{2});
+}
+
+TEST(ComManTest, SeparateFamiliesAreTrackedSeparately) {
+  Rig rig;
+  rig.AddEcho(1, "svc:b");
+  rig.AddEcho(2, "svc:c");
+  const Tid other{FamilyId{SiteId{0}, 6}, 0, 0};
+  rig.sched.Spawn([](Rig& r, Tid t2) -> Async<void> {
+    co_await r.comman(0).Call("svc:b", 0, {}, kTid);
+    co_await r.comman(0).Call("svc:c", 0, {}, t2);
+  }(rig, other));
+  rig.sched.RunUntilIdle();
+  EXPECT_EQ(rig.comman(0).KnownSites(kTid.family), std::vector<SiteId>{SiteId{1}});
+  EXPECT_EQ(rig.comman(0).KnownSites(other.family), std::vector<SiteId>{SiteId{2}});
+  EXPECT_EQ(rig.comman(0).tracked_family_count(), 2u);
+}
+
+TEST(ComManTest, ForgetDropsTheFamily) {
+  Rig rig;
+  rig.AddEcho(1, "svc:b");
+  rig.sched.Spawn([](Rig& r) -> Async<void> {
+    co_await r.comman(0).Call("svc:b", 0, {}, kTid);
+  }(rig));
+  rig.sched.RunUntilIdle();
+  ASSERT_EQ(rig.comman(0).tracked_family_count(), 1u);
+  rig.comman(0).Forget(kTid.family);
+  EXPECT_TRUE(rig.comman(0).KnownSites(kTid.family).empty());
+  EXPECT_EQ(rig.comman(0).tracked_family_count(), 0u);
+}
+
+TEST(ComManTest, NoteSiteIgnoresSelf) {
+  Rig rig;
+  rig.comman(0).NoteSite(kTid.family, SiteId{0});  // Self: ignored.
+  rig.comman(0).NoteSite(kTid.family, SiteId{2});
+  EXPECT_EQ(rig.comman(0).KnownSites(kTid.family), std::vector<SiteId>{SiteId{2}});
+}
+
+TEST(ComManTest, CrashLosesTrackingTables) {
+  Rig rig;
+  rig.AddEcho(1, "svc:b");
+  rig.sched.Spawn([](Rig& r) -> Async<void> {
+    co_await r.comman(0).Call("svc:b", 0, {}, kTid);
+  }(rig));
+  rig.sched.RunUntilIdle();
+  ASSERT_EQ(rig.comman(0).tracked_family_count(), 1u);
+  rig.site(0).Crash();
+  EXPECT_EQ(rig.comman(0).tracked_family_count(), 0u);
+}
+
+TEST(ComManTest, LookupFindsRegisteredService) {
+  Rig rig;
+  rig.AddEcho(2, "svc:c");
+  std::optional<SiteId> where;
+  rig.sched.Spawn([](Rig& r, std::optional<SiteId>* out) -> Async<void> {
+    auto res = co_await r.comman(0).Lookup("svc:c");
+    if (res.ok()) {
+      *out = *res;
+    }
+  }(rig, &where));
+  rig.sched.RunUntilIdle();
+  ASSERT_TRUE(where.has_value());
+  EXPECT_EQ(*where, SiteId{2});
+}
+
+}  // namespace
+}  // namespace camelot

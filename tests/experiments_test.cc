@@ -1,0 +1,127 @@
+// Guard tests for the experiment drivers and the paper's headline shapes.
+// These protect the Figure 2-5 calibration from regressions: if a change to
+// the protocols or the cost model breaks an ordering the paper reports, these
+// fail before anyone re-reads the bench output. (Short durations/rep counts:
+// shapes, not precision.)
+#include <gtest/gtest.h>
+
+#include "src/harness/experiments.h"
+
+namespace camelot {
+namespace {
+
+LatencyResult Latency(int subs, TxnKind kind, CommitOptions options, int reps = 60) {
+  LatencyConfig cfg;
+  cfg.subordinates = subs;
+  cfg.kind = kind;
+  cfg.options = options;
+  cfg.repetitions = reps;
+  return RunLatencyExperiment(cfg);
+}
+
+double Tput(int pairs, TxnKind kind, size_t threads, bool gc) {
+  ThroughputConfig cfg;
+  cfg.pairs = pairs;
+  cfg.kind = kind;
+  cfg.tranman_threads = threads;
+  cfg.group_commit = gc;
+  cfg.duration = Sec(30);
+  return RunThroughputExperiment(cfg).tps;
+}
+
+TEST(ExperimentShapeTest, Figure2VariantOrdering) {
+  const double opt = Latency(1, TxnKind::kWrite, CommitOptions::Optimized()).total_ms.mean();
+  const double semi =
+      Latency(1, TxnKind::kWrite, CommitOptions::Intermediate()).total_ms.mean();
+  const double unopt =
+      Latency(1, TxnKind::kWrite, CommitOptions::Unoptimized()).total_ms.mean();
+  const double read = Latency(1, TxnKind::kRead, CommitOptions::Optimized()).total_ms.mean();
+  EXPECT_LT(opt, semi + 0.5);   // Optimized <= semi-optimized (allow noise).
+  EXPECT_LT(semi, unopt + 0.5); // Semi-optimized <= unoptimized.
+  EXPECT_LT(read, opt);         // Reads far below writes.
+  EXPECT_LT(opt, unopt);        // Strict end-to-end ordering.
+}
+
+TEST(ExperimentShapeTest, Figure2VarianceGrowsWithSubordinates) {
+  const double s1 = Latency(1, TxnKind::kWrite, CommitOptions::Optimized()).total_ms.stddev();
+  const double s3 = Latency(3, TxnKind::kWrite, CommitOptions::Optimized()).total_ms.stddev();
+  EXPECT_GT(s3, s1);
+}
+
+TEST(ExperimentShapeTest, Figure3NonBlockingRatioIsUnderTwo) {
+  const double nbc = Latency(1, TxnKind::kWrite, CommitOptions::NonBlocking()).total_ms.mean();
+  const double two_phase =
+      Latency(1, TxnKind::kWrite, CommitOptions::Optimized()).total_ms.mean();
+  const double ratio = nbc / two_phase;
+  EXPECT_GT(ratio, 1.3);  // Clearly costlier...
+  EXPECT_LT(ratio, 2.0);  // ..."somewhat less than twice as high".
+}
+
+TEST(ExperimentShapeTest, Figure3ReadsMatchTwoPhase) {
+  const double nbc = Latency(2, TxnKind::kRead, CommitOptions::NonBlocking()).total_ms.mean();
+  const double two_phase =
+      Latency(2, TxnKind::kRead, CommitOptions::Optimized()).total_ms.mean();
+  EXPECT_NEAR(nbc, two_phase, two_phase * 0.10);
+}
+
+TEST(ExperimentShapeTest, StaticAnalysisUnderestimatesMeasurement) {
+  const double measured =
+      Latency(1, TxnKind::kWrite, CommitOptions::Optimized()).total_ms.mean();
+  const double predicted =
+      CompletionPath(CommitProtocol::kTwoPhase, TxnKind::kWrite, 1).TotalMs();
+  EXPECT_GT(measured, predicted);
+}
+
+TEST(ExperimentShapeTest, Figure4OneThreadSaturatesEarly) {
+  const double two_pairs = Tput(2, TxnKind::kWrite, 1, false);
+  const double four_pairs = Tput(4, TxnKind::kWrite, 1, false);
+  // Flat beyond ~2 pairs: less than 25% growth from doubling the load.
+  EXPECT_LT(four_pairs, two_pairs * 1.25);
+}
+
+TEST(ExperimentShapeTest, Figure4FiveAndTwentyThreadsEquivalent) {
+  const double five = Tput(4, TxnKind::kWrite, 5, false);
+  const double twenty = Tput(4, TxnKind::kWrite, 20, false);
+  EXPECT_NEAR(five, twenty, five * 0.05);
+}
+
+TEST(ExperimentShapeTest, Figure4GroupCommitOnTop) {
+  const double with_gc = Tput(4, TxnKind::kWrite, 20, true);
+  const double without_gc = Tput(4, TxnKind::kWrite, 20, false);
+  EXPECT_GT(with_gc, without_gc * 1.05);
+}
+
+TEST(ExperimentShapeTest, Figure5ReadsOutrunUpdates) {
+  const double reads = Tput(4, TxnKind::kRead, 20, true);
+  const double updates = Tput(4, TxnKind::kWrite, 20, true);
+  EXPECT_GT(reads, updates * 1.2);
+}
+
+TEST(ExperimentShapeTest, Figure5MoreThreadsHelpReads) {
+  const double one = Tput(4, TxnKind::kRead, 1, true);
+  const double twenty = Tput(4, TxnKind::kRead, 20, true);
+  EXPECT_GT(twenty, one * 1.1);
+}
+
+TEST(ExperimentShapeTest, MulticastCutsVariance) {
+  LatencyConfig cfg;
+  cfg.subordinates = 3;
+  cfg.kind = TxnKind::kWrite;
+  cfg.repetitions = 120;
+  cfg.pipelined = false;
+  const double unicast = RunLatencyExperiment(cfg).total_ms.stddev();
+  cfg.multicast = true;
+  const double multicast = RunLatencyExperiment(cfg).total_ms.stddev();
+  EXPECT_LT(multicast, unicast);
+}
+
+TEST(ExperimentShapeTest, NoFailuresAcrossTheBoard) {
+  for (int subs = 0; subs <= 3; ++subs) {
+    LatencyResult r = Latency(subs, TxnKind::kWrite, CommitOptions::Optimized(), 30);
+    EXPECT_EQ(r.failures, 0) << subs << " subordinates";
+    EXPECT_EQ(static_cast<int>(r.total_ms.count()), 30);
+  }
+}
+
+}  // namespace
+}  // namespace camelot

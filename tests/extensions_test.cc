@@ -1,0 +1,291 @@
+// Tests for the extension features: heuristic resolution of blocked
+// transactions (LU 6.2, paper Section 5), quiescent checkpointing, and
+// protocol robustness under message loss and duplication.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+
+#include "src/harness/world.h"
+
+namespace camelot {
+namespace {
+
+WorldConfig Quiet(int sites, uint64_t seed = 1) {
+  WorldConfig cfg;
+  cfg.site_count = sites;
+  cfg.seed = seed;
+  cfg.net.send_jitter_mean = 0;
+  cfg.net.stall_probability = 0;
+  cfg.net.receive_skew_mean = 0;
+  cfg.tranman.outcome_timeout = Usec(400000);
+  cfg.tranman.retry_interval = Usec(300000);
+  return cfg;
+}
+
+std::string Srv(int i) { return "server:" + std::to_string(i); }
+
+struct Rig {
+  explicit Rig(WorldConfig cfg) : world(cfg), app(world.site(0)) {
+    for (int i = 0; i < world.site_count(); ++i) {
+      world.AddServer(i, Srv(i))->CreateObjectForSetup("acct", EncodeInt64(100));
+    }
+  }
+  int64_t ReadAcct(int site, int from) {
+    AppClient client(world.site(from));
+    auto v = world.RunSync([](AppClient& a, std::string s) -> Async<int64_t> {
+      auto b = co_await a.Begin();
+      auto value = co_await a.ReadInt(*b, s, "acct");
+      co_await a.Commit(*b);
+      co_return value.value_or(-1);
+    }(client, Srv(site)));
+    return v.value_or(-1);
+  }
+  World world;
+  AppClient app;
+};
+
+// Drives a 2-site update into the blocked state: subordinate prepared, then
+// the coordinator crashes before deciding.
+void BlockSubordinate(Rig& rig) {
+  auto watcher = std::make_shared<std::function<void()>>();
+  *watcher = [&rig, watcher] {
+    for (const auto& rec : rig.world.site(1).log().ReadDurable()) {
+      if (rec.kind == LogRecordKind::kPrepare) {
+        rig.world.Crash(0);
+        return;
+      }
+    }
+    rig.world.sched().Post(Usec(300), *watcher);
+  };
+  rig.world.sched().Post(Usec(300), *watcher);
+  rig.world.sched().Spawn([](Rig& r) -> Async<void> {
+    auto b = co_await r.app.Begin();
+    co_await r.app.WriteInt(*b, Srv(0), "acct", 50);
+    co_await r.app.WriteInt(*b, Srv(1), "acct", 150);
+    co_await r.app.Commit(*b);
+  }(rig));
+  rig.world.RunUntilIdle();  // Subordinate parks blocked.
+}
+
+TEST(HeuristicTest, HeuristicAbortUnblocksAndReleasesLocks) {
+  Rig rig(Quiet(2));
+  BlockSubordinate(rig);
+  const FamilyId family{SiteId{0}, 1};
+  TranMan& sub = rig.world.site(1).tranman();
+  ASSERT_EQ(sub.QueryState(family), TmTxnState::kPrepared);
+  ASSERT_GT(rig.world.site(1).server(Srv(1))->locks().held_lock_count(), 0u);
+
+  // Operator decides: abort.
+  EXPECT_TRUE(sub.HeuristicResolve(family, TmDecision::kAbort).ok());
+  rig.world.RunUntilIdle();
+  EXPECT_EQ(sub.QueryState(family), TmTxnState::kAborted);
+  EXPECT_EQ(rig.world.site(1).server(Srv(1))->locks().held_lock_count(), 0u);
+  EXPECT_EQ(rig.ReadAcct(1, 1), 100);  // Undone.
+  EXPECT_EQ(sub.counters().heuristic_resolutions, 1u);
+  // The coordinator never decided, so there is no damage (yet).
+  EXPECT_EQ(sub.counters().heuristic_damage, 0u);
+}
+
+TEST(HeuristicTest, HeuristicCommitAppliesTheUpdates) {
+  Rig rig(Quiet(2));
+  BlockSubordinate(rig);
+  const FamilyId family{SiteId{0}, 1};
+  TranMan& sub = rig.world.site(1).tranman();
+  EXPECT_TRUE(sub.HeuristicResolve(family, TmDecision::kCommit).ok());
+  rig.world.RunUntilIdle();
+  EXPECT_EQ(sub.QueryState(family), TmTxnState::kCommitted);
+  EXPECT_EQ(rig.ReadAcct(1, 1), 150);  // The prepared update took effect.
+  EXPECT_EQ(rig.world.site(1).server(Srv(1))->locks().held_lock_count(), 0u);
+}
+
+TEST(HeuristicTest, DamageDetectedWhenRealOutcomeDisagrees) {
+  Rig rig(Quiet(2));
+  BlockSubordinate(rig);
+  const FamilyId family{SiteId{0}, 1};
+  TranMan& sub = rig.world.site(1).tranman();
+  // The operator guesses COMMIT...
+  ASSERT_TRUE(sub.HeuristicResolve(family, TmDecision::kCommit).ok());
+  rig.world.RunUntilIdle();
+  // ...but the restarted coordinator has no commit record: presumed ABORT.
+  // Its recovered state answers the subordinate's (tombstoned) family via a
+  // direct ABORT when the subordinate is probed... simulate the coordinator
+  // side by restarting it; the SITE-UP beacon makes nothing happen for the
+  // tombstone, so drive the contradiction explicitly with an abort datagram.
+  rig.world.Restart(0);
+  rig.world.RunUntilIdle();
+  // The genuine outcome (presumed abort) arrives as an ABORT message.
+  rig.world.net().Send(Datagram{SiteId{0}, SiteId{1}, kTranManService,
+                                static_cast<uint32_t>(TmMsgType::kAbort), [&] {
+                                  TmMsg abort;
+                                  abort.type = TmMsgType::kAbort;
+                                  abort.tid = Tid{family, 0, 0};
+                                  abort.from = SiteId{0};
+                                  // TranMan datagrams are batch containers.
+                                  ByteWriter w;
+                                  w.U16(1);
+                                  w.Blob(abort.Encode());
+                                  return w.Take();
+                                }()});
+  rig.world.RunUntilIdle();
+  EXPECT_EQ(sub.counters().heuristic_damage, 1u);
+}
+
+TEST(HeuristicTest, OnlyPreparedTransactionsAreResolvable) {
+  Rig rig(Quiet(2));
+  TranMan& tm = rig.world.site(0).tranman();
+  EXPECT_EQ(tm.HeuristicResolve(FamilyId{SiteId{0}, 99}, TmDecision::kAbort).code(),
+            StatusCode::kNotFound);
+  // An active (unprepared) transaction cannot be heuristically resolved.
+  auto begin = rig.world.RunSync([](AppClient& a) -> Async<Tid> {
+    auto b = co_await a.Begin();
+    co_await a.WriteInt(*b, Srv(0), "acct", 1);
+    co_return *b;
+  }(rig.app));
+  ASSERT_TRUE(begin.has_value());
+  EXPECT_EQ(tm.HeuristicResolve(begin->family, TmDecision::kAbort).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(CheckpointTest, CheckpointSkipsReplayedPrefix) {
+  Rig rig(Quiet(1));
+  // Ten committed transactions, then a checkpoint, then two more.
+  auto run_txns = [&](int n) {
+    rig.world.RunSync([](AppClient& a, int count) -> Async<bool> {
+      for (int i = 0; i < count; ++i) {
+        auto b = co_await a.Begin();
+        co_await a.WriteInt(*b, Srv(0), "acct", 100 + i);
+        co_await a.Commit(*b);
+      }
+      co_return true;
+    }(rig.app, n));
+  };
+  run_txns(10);
+  auto checkpointed = rig.world.RunSync([](RecoveryManager& r) -> Async<Status> {
+    Status st = co_await r.WriteCheckpoint();
+    co_return st;
+  }(rig.world.site(0).recovery()));
+  ASSERT_TRUE(checkpointed.has_value());
+  EXPECT_TRUE(checkpointed->ok()) << checkpointed->ToString();
+  run_txns(2);
+
+  rig.world.Crash(0);
+  rig.world.Restart(0);
+  rig.world.RunUntilIdle();
+  // Only the post-checkpoint records were replayed, and the data is right.
+  // (Recovery runs inside Restart; re-run it directly to read the report.)
+  auto report = rig.world.RunSync([](World* w) -> Async<RecoveryReport> {
+    RecoveryReport rep = co_await w->site(0).recovery().Recover(w->site(0).ServerMap());
+    co_return rep;
+  }(&rig.world));
+  ASSERT_TRUE(report.has_value());
+  // The pre-checkpoint records were physically reclaimed; replay saw only the
+  // checkpoint record (skipped) plus the post-checkpoint transactions.
+  EXPECT_EQ(report->records_skipped, 1u);
+  EXPECT_LE(report->records_replayed, 4u);  // 2 txns x (update + commit).
+  EXPECT_GT(rig.world.site(0).log().reclaimed_bytes(), 0u);
+  EXPECT_EQ(rig.ReadAcct(0, 0), 101);  // The last committed value (100 + 1).
+}
+
+TEST(CheckpointTest, CheckpointRefusedWhileTransactionsLive) {
+  Rig rig(Quiet(1));
+  // Hold a transaction open across the checkpoint attempt.
+  rig.world.sched().Spawn([](Rig* r) -> Async<void> {
+    auto b = co_await r->app.Begin();
+    co_await r->app.WriteInt(*b, Srv(0), "acct", 7);
+    auto st = co_await r->world.site(0).recovery().WriteCheckpoint();
+    EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+    co_await r->app.Commit(*b);
+  }(&rig));
+  rig.world.RunUntilIdle();
+}
+
+TEST(CheckpointTest, PreCheckpointDataSurvivesCrash) {
+  Rig rig(Quiet(1));
+  rig.world.RunSync([](AppClient& a) -> Async<bool> {
+    auto b = co_await a.Begin();
+    co_await a.WriteInt(*b, Srv(0), "acct", 777);
+    co_await a.Commit(*b);
+    co_return true;
+  }(rig.app));
+  rig.world.RunSync([](RecoveryManager& r) -> Async<Status> {
+    Status st = co_await r.WriteCheckpoint();
+    co_return st;
+  }(rig.world.site(0).recovery()));
+  rig.world.Crash(0);
+  rig.world.Restart(0);
+  rig.world.RunUntilIdle();
+  // The value lives on the flushed data disk even though its log records are
+  // behind the checkpoint and were not replayed.
+  EXPECT_EQ(rig.ReadAcct(0, 0), 777);
+}
+
+// --- Protocol robustness under message loss/duplication, parameterized ---------
+
+struct LossCase {
+  double loss;
+  double duplicates;
+  uint8_t protocol;  // 0 = 2PC, 1 = NBC.
+};
+
+class LossSweepTest : public ::testing::TestWithParam<LossCase> {};
+
+TEST_P(LossSweepTest, TransfersStayAtomicUnderUnreliableNetwork) {
+  const LossCase param = GetParam();
+  WorldConfig cfg = Quiet(3, 97);
+  cfg.net.loss_probability = param.loss;
+  cfg.net.duplicate_probability = param.duplicates;
+  cfg.ipc.rpc_retry_interval = Usec(200000);
+  Rig rig(cfg);
+  const CommitOptions options = param.protocol == 0 ? CommitOptions::Optimized()
+                                                    : CommitOptions::NonBlocking();
+  int committed = 0;
+  rig.world.sched().Spawn([](Rig* r, CommitOptions opts, int* ok) -> Async<void> {
+    for (int i = 0; i < 6; ++i) {
+      auto b = co_await r->app.Begin();
+      const Tid tid = *b;
+      auto v1 = co_await r->app.ReadInt(tid, Srv(1), "acct");
+      auto v2 = co_await r->app.ReadInt(tid, Srv(2), "acct");
+      if (!v1.ok() || !v2.ok()) {
+        co_await r->app.Abort(tid);
+        continue;
+      }
+      Status w1 = co_await r->app.WriteInt(tid, Srv(1), "acct", *v1 - 5);
+      Status w2 = co_await r->app.WriteInt(tid, Srv(2), "acct", *v2 + 5);
+      if (!w1.ok() || !w2.ok()) {
+        co_await r->app.Abort(tid);
+        continue;
+      }
+      Status st = co_await r->app.Commit(tid, opts);
+      if (st.ok()) {
+        ++*ok;
+      }
+    }
+  }(&rig, options, &committed));
+  rig.world.RunUntilIdle();
+
+  // Whatever committed or aborted, money is conserved and nothing leaks.
+  const int64_t total = rig.ReadAcct(1, 0) + rig.ReadAcct(2, 0);
+  EXPECT_EQ(total, 200) << "committed=" << committed;
+  EXPECT_EQ(rig.world.site(1).server(Srv(1))->locks().held_lock_count(), 0u);
+  EXPECT_EQ(rig.world.site(2).server(Srv(2))->locks().held_lock_count(), 0u);
+  EXPECT_GT(committed, 0);  // Retries must push most transactions through.
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Networks, LossSweepTest,
+    ::testing::Values(LossCase{0.05, 0.0, 0}, LossCase{0.15, 0.0, 0},
+                      LossCase{0.0, 0.3, 0}, LossCase{0.10, 0.10, 0},
+                      LossCase{0.05, 0.0, 1}, LossCase{0.15, 0.0, 1},
+                      LossCase{0.0, 0.3, 1}, LossCase{0.10, 0.10, 1}),
+    [](const ::testing::TestParamInfo<LossCase>& param_info) {
+      char name[64];
+      std::snprintf(name, sizeof(name), "%s_loss%d_dup%d",
+                    param_info.param.protocol == 0 ? "TwoPhase" : "NonBlocking",
+                    static_cast<int>(param_info.param.loss * 100),
+                    static_cast<int>(param_info.param.duplicates * 100));
+      return std::string(name);
+    });
+
+}  // namespace
+}  // namespace camelot

@@ -1,0 +1,274 @@
+// Tests for Site services, local IPC costs, remote RPC through the
+// NetMsgServer (retransmission, duplicate suppression, crash behaviour),
+// ComMan interposition hooks, and the name service.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/ipc/name_service.h"
+#include "src/ipc/netmsg.h"
+#include "src/ipc/site.h"
+#include "src/net/network.h"
+#include "src/sim/scheduler.h"
+
+namespace camelot {
+namespace {
+
+NetConfig QuietNet() {
+  NetConfig cfg;
+  cfg.send_jitter_mean = 0;
+  cfg.stall_probability = 0;
+  cfg.receive_skew_mean = 0;
+  return cfg;
+}
+
+struct Rig {
+  explicit Rig(int n_sites = 2, NetConfig net_cfg = QuietNet(), uint64_t seed = 1)
+      : sched(seed), net(sched, net_cfg) {
+    for (int i = 0; i < n_sites; ++i) {
+      sites.push_back(std::make_unique<Site>(sched, net, SiteId{static_cast<uint32_t>(i)},
+                                             IpcConfig{}));
+      nms.push_back(std::make_unique<NetMsgServer>(*sites.back(), net));
+    }
+  }
+  Site& site(int i) { return *sites[i]; }
+  NetMsgServer& netmsg(int i) { return *nms[i]; }
+
+  Scheduler sched;
+  Network net;
+  std::vector<std::unique_ptr<Site>> sites;
+  std::vector<std::unique_ptr<NetMsgServer>> nms;
+};
+
+Site::Handler EchoHandler() {
+  return [](RpcContext, uint32_t method, Bytes body) -> Async<RpcResult> {
+    ByteWriter w;
+    w.U32(method * 2);
+    w.Blob(body);
+    co_return RpcResult{OkStatus(), w.Take()};
+  };
+}
+
+TEST(SiteTest, LocalCallAppliesIpcCost) {
+  Rig rig(1);
+  rig.site(0).RegisterService("echo", EchoHandler());
+  std::optional<SimTime> done_at;
+  std::optional<RpcResult> result;
+  rig.sched.Spawn([](Rig& r, std::optional<SimTime>* at,
+                     std::optional<RpcResult>* out) -> Async<void> {
+    Bytes payload;
+    payload.push_back(9);
+    *out = co_await r.site(0).CallLocal("echo", 21, std::move(payload), RpcContext{}, false);
+    *at = r.sched.now();
+  }(rig, &done_at, &result));
+  rig.sched.RunUntilIdle();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->status.ok());
+  ByteReader r(result->body);
+  EXPECT_EQ(r.U32(), 42u);
+  EXPECT_EQ(*done_at, Usec(1500));  // local_rpc, Table 2.
+}
+
+TEST(SiteTest, LocalCallToDataServerCostsMore) {
+  Rig rig(1);
+  rig.site(0).RegisterService("server:x", EchoHandler());
+  std::optional<SimTime> done_at;
+  rig.sched.Spawn([](Rig& r, std::optional<SimTime>* at) -> Async<void> {
+    co_await r.site(0).CallLocal("server:x", 0, {}, RpcContext{}, true);
+    *at = r.sched.now();
+  }(rig, &done_at));
+  rig.sched.RunUntilIdle();
+  EXPECT_EQ(*done_at, Usec(3000));  // local_rpc_server, Table 2.
+}
+
+TEST(SiteTest, LargePayloadUsesOutOfLineCost) {
+  Rig rig(1);
+  rig.site(0).RegisterService("blob", EchoHandler());
+  std::optional<SimTime> done_at;
+  rig.sched.Spawn([](Rig& r, std::optional<SimTime>* at) -> Async<void> {
+    co_await r.site(0).CallLocal("blob", 0, Bytes(2048, 0xaa), RpcContext{}, false);
+    *at = r.sched.now();
+  }(rig, &done_at));
+  rig.sched.RunUntilIdle();
+  EXPECT_EQ(*done_at, Usec(5500));  // local_out_of_line, Table 2.
+}
+
+TEST(SiteTest, MissingServiceReturnsNotFound) {
+  Rig rig(1);
+  std::optional<RpcResult> result;
+  rig.sched.Spawn([](Rig& r, std::optional<RpcResult>* out) -> Async<void> {
+    *out = co_await r.site(0).CallLocal("nope", 0, {}, RpcContext{}, false);
+  }(rig, &result));
+  rig.sched.RunUntilIdle();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->status.code(), StatusCode::kNotFound);
+}
+
+TEST(NetMsgTest, RemoteRpcRoundTripsAndIsNear29Ms) {
+  Rig rig;
+  rig.site(1).RegisterService("echo", EchoHandler());
+  std::optional<RpcResult> result;
+  RpcTrace trace;
+  rig.sched.Spawn([](Rig& r, std::optional<RpcResult>* out, RpcTrace* tr) -> Async<void> {
+    Bytes payload;
+    payload.push_back(1);
+    payload.push_back(2);
+    *out = co_await r.netmsg(0).Call(SiteId{1}, "echo", 5, std::move(payload), RpcContext{}, true,
+                                     tr);
+  }(rig, &result, &trace));
+  rig.sched.RunUntilIdle();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->status.ok());
+  ByteReader r(result->body);
+  EXPECT_EQ(r.U32(), 10u);
+  EXPECT_EQ(r.Blob(), (Bytes{1, 2}));
+  // Two datagram trips (~8.2 each, jitter off) + ComMan 2x(1.6+0.75)x2 = ~25.8 ms.
+  EXPECT_GT(trace.total, Usec(20000));
+  EXPECT_LT(trace.total, Usec(32000));
+  EXPECT_EQ(trace.comman_cpu, Usec(6400));
+  EXPECT_EQ(trace.comman_ipc, Usec(3000));
+  EXPECT_EQ(trace.server, 0);
+}
+
+TEST(NetMsgTest, WithoutComManInterpositionIsCheaper) {
+  Rig rig;
+  rig.site(1).RegisterService("echo", EchoHandler());
+  RpcTrace with_cm;
+  RpcTrace without_cm;
+  rig.sched.Spawn([](Rig& r, RpcTrace* a, RpcTrace* b) -> Async<void> {
+    co_await r.netmsg(0).Call(SiteId{1}, "echo", 0, {}, RpcContext{}, true, a);
+    co_await r.netmsg(0).Call(SiteId{1}, "echo", 0, {}, RpcContext{}, false, b);
+  }(rig, &with_cm, &without_cm));
+  rig.sched.RunUntilIdle();
+  EXPECT_EQ(with_cm.total - without_cm.total, Usec(9400));  // 3 + 2*3.2 ms extra.
+  EXPECT_EQ(without_cm.comman_cpu, 0);
+}
+
+TEST(NetMsgTest, RetransmitsThroughLossyNetwork) {
+  NetConfig cfg = QuietNet();
+  cfg.loss_probability = 0.4;
+  Rig rig(2, cfg, 77);
+  for (auto& site : rig.sites) {
+    // 15 attempts per call: per-call failure odds are negligible even at 40% loss.
+    site->mutable_ipc().rpc_retry_interval = Usec(200000);
+  }
+  rig.site(1).RegisterService("echo", EchoHandler());
+  int ok_count = 0;
+  rig.sched.Spawn([](Rig& r, int* ok) -> Async<void> {
+    for (int i = 0; i < 20; ++i) {
+      RpcResult res = co_await r.netmsg(0).Call(SiteId{1}, "echo", 0, {}, RpcContext{}, true);
+      if (res.status.ok()) {
+        ++*ok;
+      }
+    }
+  }(rig, &ok_count));
+  rig.sched.RunUntilIdle();
+  EXPECT_EQ(ok_count, 20);  // Reliability despite 40% loss.
+}
+
+TEST(NetMsgTest, DuplicateRequestsExecuteHandlerOnce) {
+  NetConfig cfg = QuietNet();
+  cfg.duplicate_probability = 1.0;  // Every datagram is doubled.
+  Rig rig(2, cfg);
+  int executions = 0;
+  rig.site(1).RegisterService("count",
+                              [&executions](RpcContext, uint32_t, Bytes) -> Async<RpcResult> {
+                                ++executions;
+                                co_return RpcResult{OkStatus(), {}};
+                              });
+  rig.sched.Spawn([](Rig& r) -> Async<void> {
+    co_await r.netmsg(0).Call(SiteId{1}, "count", 0, {}, RpcContext{}, true);
+  }(rig));
+  rig.sched.RunUntilIdle();
+  EXPECT_EQ(executions, 1);
+}
+
+TEST(NetMsgTest, PartitionedCallTimesOut) {
+  Rig rig;
+  rig.site(1).RegisterService("echo", EchoHandler());
+  rig.net.SetPartition({{SiteId{0}}, {SiteId{1}}});
+  std::optional<RpcResult> result;
+  SimTime done_at = 0;
+  rig.sched.Spawn([](Rig& r, std::optional<RpcResult>* out, SimTime* at) -> Async<void> {
+    *out = co_await r.netmsg(0).Call(SiteId{1}, "echo", 0, {}, RpcContext{}, true);
+    *at = r.sched.now();
+  }(rig, &result, &done_at));
+  rig.sched.RunUntilIdle();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->status.code(), StatusCode::kTimedOut);
+  EXPECT_GE(done_at, IpcConfig{}.rpc_timeout);
+}
+
+TEST(NetMsgTest, DestinationCrashMidHandlerMeansTimeout) {
+  Rig rig;
+  rig.site(1).RegisterService("slow", [&rig](RpcContext, uint32_t, Bytes) -> Async<RpcResult> {
+    co_await rig.sched.Delay(Sec(10));  // Longer than the crash point below.
+    co_return RpcResult{OkStatus(), {}};
+  });
+  std::optional<RpcResult> result;
+  rig.sched.Spawn([](Rig& r, std::optional<RpcResult>* out) -> Async<void> {
+    *out = co_await r.netmsg(0).Call(SiteId{1}, "slow", 0, {}, RpcContext{}, true);
+  }(rig, &result));
+  rig.sched.Post(Usec(50000), [&] { rig.site(1).Crash(); });
+  rig.sched.RunUntilIdle();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->status.code(), StatusCode::kTimedOut);
+}
+
+TEST(NetMsgTest, ComManHooksSeeRequestAndResponse) {
+  Rig rig;
+  const Tid tid{FamilyId{SiteId{0}, 1}, 0, 0};
+  std::optional<SiteId> seen_caller;
+  std::optional<Bytes> ingested;
+  rig.netmsg(1).set_request_ingest([&](const Tid& t, SiteId caller) {
+    EXPECT_EQ(t, tid);
+    seen_caller = caller;
+  });
+  rig.netmsg(1).set_response_decorator([](const Tid&) { return Bytes{0xca, 0xfe}; });
+  rig.netmsg(0).set_response_ingest([&](const Tid& t, const Bytes& piggy, SiteId responder,
+                                        uint32_t incarnation) {
+    EXPECT_EQ(t, tid);
+    EXPECT_EQ(responder, SiteId{1});
+    EXPECT_EQ(incarnation, 0u);
+    ingested = piggy;
+  });
+  rig.site(1).RegisterService("echo", EchoHandler());
+  rig.sched.Spawn([](Rig& r, Tid t) -> Async<void> {
+    co_await r.netmsg(0).Call(SiteId{1}, "echo", 0, {}, RpcContext{kInvalidSite, t}, true);
+  }(rig, tid));
+  rig.sched.RunUntilIdle();
+  ASSERT_TRUE(seen_caller.has_value());
+  EXPECT_EQ(*seen_caller, SiteId{0});
+  ASSERT_TRUE(ingested.has_value());
+  EXPECT_EQ(*ingested, (Bytes{0xca, 0xfe}));
+}
+
+TEST(NameServiceTest, RegisterResolveUnregister) {
+  NameService names;
+  EXPECT_TRUE(names.Register("server:a", SiteId{3}).ok());
+  EXPECT_EQ(names.Register("server:a", SiteId{4}).code(), StatusCode::kAlreadyExists);
+  auto r = names.Resolve("server:a");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, SiteId{3});
+  names.Unregister("server:a");
+  EXPECT_EQ(names.Resolve("server:a").status().code(), StatusCode::kNotFound);
+}
+
+TEST(NameServiceTest, LookupCostsOneLocalIpc) {
+  Rig rig(1);
+  NameService names;
+  ASSERT_TRUE(names.Register("svc", SiteId{0}).ok());
+  SimTime done_at = 0;
+  rig.sched.Spawn([](Rig& r, NameService& n, SimTime* at) -> Async<void> {
+    auto res = co_await n.Lookup(r.site(0), "svc");
+    EXPECT_TRUE(res.ok());
+    *at = r.sched.now();
+  }(rig, names, &done_at));
+  rig.sched.RunUntilIdle();
+  EXPECT_EQ(done_at, Usec(1500));
+}
+
+}  // namespace
+}  // namespace camelot

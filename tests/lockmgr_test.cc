@@ -1,0 +1,286 @@
+// Tests for the family-based lock manager: compatibility rules, FIFO waiting,
+// upgrades, timeouts (deadlock fallback), Moss nested-transaction lock
+// movement, and randomized invariant sweeps.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/lockmgr/lock_manager.h"
+#include "src/sim/scheduler.h"
+
+namespace camelot {
+namespace {
+
+Tid MakeTid(uint32_t origin, uint64_t seq, uint32_t serial = 0, uint32_t parent = 0) {
+  return Tid{FamilyId{SiteId{origin}, seq}, serial, parent};
+}
+
+struct Rig {
+  Rig() : sched(1), lm(sched) {}
+  // Runs an acquire to completion assuming it can finish without new events.
+  Status AcquireNow(const Tid& tid, const std::string& obj, LockMode mode,
+                    SimDuration timeout = -1) {
+    std::optional<Status> out;
+    sched.Spawn([](LockManager& l, Tid t, std::string o, LockMode m, SimDuration to,
+                   std::optional<Status>* res) -> Async<void> {
+      *res = co_await l.Acquire(t, o, m, to);
+    }(lm, tid, obj, mode, timeout, &out));
+    sched.RunUntilIdle();
+    return out.value_or(InternalError("acquire did not complete"));
+  }
+  // Starts an acquire that may block; the result lands in *out when granted.
+  void AcquireAsync(const Tid& tid, const std::string& obj, LockMode mode,
+                    std::optional<Status>* out, SimDuration timeout = -1) {
+    sched.Spawn([](LockManager& l, Tid t, std::string o, LockMode m, SimDuration to,
+                   std::optional<Status>* res) -> Async<void> {
+      *res = co_await l.Acquire(t, o, m, to);
+    }(lm, tid, obj, mode, timeout, out));
+  }
+
+  Scheduler sched;
+  LockManager lm;
+};
+
+const Tid kA1 = MakeTid(1, 1);
+const Tid kB1 = MakeTid(1, 2);
+
+TEST(LockManagerTest, SharedLocksAcrossFamiliesCoexist) {
+  Rig rig;
+  EXPECT_TRUE(rig.AcquireNow(kA1, "x", LockMode::kShared).ok());
+  EXPECT_TRUE(rig.AcquireNow(kB1, "x", LockMode::kShared).ok());
+  EXPECT_EQ(rig.lm.held_lock_count(), 2u);
+}
+
+TEST(LockManagerTest, ExclusiveConflictsAcrossFamilies) {
+  Rig rig;
+  EXPECT_TRUE(rig.AcquireNow(kA1, "x", LockMode::kExclusive).ok());
+  std::optional<Status> blocked;
+  rig.AcquireAsync(kB1, "x", LockMode::kExclusive, &blocked);
+  rig.sched.RunUntilIdle();
+  EXPECT_FALSE(blocked.has_value());  // Still waiting.
+  rig.lm.Release(kA1, "x");
+  rig.sched.RunUntilIdle();
+  ASSERT_TRUE(blocked.has_value());
+  EXPECT_TRUE(blocked->ok());
+}
+
+TEST(LockManagerTest, SameFamilyNeverConflicts) {
+  Rig rig;
+  const Tid parent = MakeTid(1, 7, 0);
+  const Tid child = MakeTid(1, 7, 1, 0);
+  EXPECT_TRUE(rig.AcquireNow(parent, "x", LockMode::kExclusive).ok());
+  EXPECT_TRUE(rig.AcquireNow(child, "x", LockMode::kExclusive).ok());
+  EXPECT_TRUE(rig.lm.Holds(parent, "x", LockMode::kExclusive));
+  EXPECT_TRUE(rig.lm.Holds(child, "x", LockMode::kExclusive));
+}
+
+TEST(LockManagerTest, SharedBlocksExclusiveUntilReleased) {
+  Rig rig;
+  EXPECT_TRUE(rig.AcquireNow(kA1, "x", LockMode::kShared).ok());
+  std::optional<Status> writer;
+  rig.AcquireAsync(kB1, "x", LockMode::kExclusive, &writer);
+  rig.sched.RunUntilIdle();
+  EXPECT_FALSE(writer.has_value());
+  rig.lm.Release(kA1, "x");
+  rig.sched.RunUntilIdle();
+  ASSERT_TRUE(writer.has_value());
+  EXPECT_TRUE(writer->ok());
+  EXPECT_TRUE(rig.lm.Holds(kB1, "x", LockMode::kExclusive));
+}
+
+TEST(LockManagerTest, ReacquireHeldLockIsImmediate) {
+  Rig rig;
+  EXPECT_TRUE(rig.AcquireNow(kA1, "x", LockMode::kExclusive).ok());
+  EXPECT_TRUE(rig.AcquireNow(kA1, "x", LockMode::kShared).ok());
+  EXPECT_TRUE(rig.AcquireNow(kA1, "x", LockMode::kExclusive).ok());
+  EXPECT_EQ(rig.lm.held_lock_count(), 1u);
+}
+
+TEST(LockManagerTest, UpgradeSharedToExclusiveWhenAlone) {
+  Rig rig;
+  EXPECT_TRUE(rig.AcquireNow(kA1, "x", LockMode::kShared).ok());
+  EXPECT_TRUE(rig.AcquireNow(kA1, "x", LockMode::kExclusive).ok());
+  EXPECT_TRUE(rig.lm.Holds(kA1, "x", LockMode::kExclusive));
+}
+
+TEST(LockManagerTest, UpgradeWaitsForOtherFamilyReader) {
+  Rig rig;
+  EXPECT_TRUE(rig.AcquireNow(kA1, "x", LockMode::kShared).ok());
+  EXPECT_TRUE(rig.AcquireNow(kB1, "x", LockMode::kShared).ok());
+  std::optional<Status> upgrade;
+  rig.AcquireAsync(kA1, "x", LockMode::kExclusive, &upgrade);
+  rig.sched.RunUntilIdle();
+  EXPECT_FALSE(upgrade.has_value());
+  rig.lm.Release(kB1, "x");
+  rig.sched.RunUntilIdle();
+  ASSERT_TRUE(upgrade.has_value());
+  EXPECT_TRUE(upgrade->ok());
+  EXPECT_TRUE(rig.lm.Holds(kA1, "x", LockMode::kExclusive));
+}
+
+TEST(LockManagerTest, FifoOrderAmongWaiters) {
+  Rig rig;
+  EXPECT_TRUE(rig.AcquireNow(kA1, "x", LockMode::kExclusive).ok());
+  std::vector<int> grant_order;
+  for (int i = 0; i < 3; ++i) {
+    rig.sched.Spawn([](LockManager& l, Tid t, std::vector<int>* order, int id,
+                       Scheduler& s) -> Async<void> {
+      Status st = co_await l.Acquire(t, "x", LockMode::kExclusive, -1);
+      EXPECT_TRUE(st.ok());
+      order->push_back(id);
+      co_await s.Delay(Usec(10));
+      l.Release(t, "x");
+    }(rig.lm, MakeTid(2, static_cast<uint64_t>(10 + i)), &grant_order, i, rig.sched));
+  }
+  rig.sched.RunUntilIdle();
+  EXPECT_TRUE(grant_order.empty());
+  rig.lm.Release(kA1, "x");
+  rig.sched.RunUntilIdle();
+  EXPECT_EQ(grant_order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(LockManagerTest, NoQueueJumpingPastWaiters) {
+  Rig rig;
+  // Holder S(A); waiter X(B); a later S(C) must NOT overtake B's X.
+  EXPECT_TRUE(rig.AcquireNow(kA1, "x", LockMode::kShared).ok());
+  std::optional<Status> writer;
+  std::optional<Status> reader;
+  rig.AcquireAsync(kB1, "x", LockMode::kExclusive, &writer);
+  rig.sched.RunUntilIdle();
+  rig.AcquireAsync(MakeTid(3, 3), "x", LockMode::kShared, &reader);
+  rig.sched.RunUntilIdle();
+  EXPECT_FALSE(writer.has_value());
+  EXPECT_FALSE(reader.has_value());  // Queued behind the writer.
+  rig.lm.Release(kA1, "x");
+  rig.sched.RunUntilIdle();
+  ASSERT_TRUE(writer.has_value());
+  EXPECT_FALSE(reader.has_value());  // Writer holds X now.
+  rig.lm.Release(kB1, "x");
+  rig.sched.RunUntilIdle();
+  ASSERT_TRUE(reader.has_value());
+}
+
+TEST(LockManagerTest, TimeoutBreaksDeadlock) {
+  Rig rig;
+  // Classic two-family deadlock: A holds x wants y; B holds y wants x.
+  EXPECT_TRUE(rig.AcquireNow(kA1, "x", LockMode::kExclusive).ok());
+  EXPECT_TRUE(rig.AcquireNow(kB1, "y", LockMode::kExclusive).ok());
+  std::optional<Status> a_wants_y;
+  std::optional<Status> b_wants_x;
+  rig.AcquireAsync(kA1, "y", LockMode::kExclusive, &a_wants_y, Msec(100));
+  rig.AcquireAsync(kB1, "x", LockMode::kExclusive, &b_wants_x, Msec(200));
+  // After A times out at 100ms (and in a real system aborts, releasing x), B
+  // can go — release at 150ms, before B's own 200ms timeout.
+  rig.sched.Post(Msec(150), [&] {
+    ASSERT_TRUE(a_wants_y.has_value());
+    EXPECT_EQ(a_wants_y->code(), StatusCode::kTimedOut);
+    rig.lm.ReleaseAll(kA1);
+  });
+  rig.sched.RunUntilIdle();
+  ASSERT_TRUE(b_wants_x.has_value());
+  EXPECT_TRUE(b_wants_x->ok());
+  EXPECT_EQ(rig.lm.counters().timeouts, 1u);
+}
+
+TEST(LockManagerTest, TimedOutWaiterUnblocksCompatibleLaterWaiters) {
+  Rig rig;
+  EXPECT_TRUE(rig.AcquireNow(kA1, "x", LockMode::kShared).ok());
+  std::optional<Status> writer;
+  std::optional<Status> reader;
+  rig.AcquireAsync(kB1, "x", LockMode::kExclusive, &writer, Msec(50));
+  rig.sched.RunUntilIdle();
+  rig.AcquireAsync(MakeTid(3, 3), "x", LockMode::kShared, &reader);
+  rig.sched.RunUntilIdle();
+  ASSERT_TRUE(writer.has_value());
+  EXPECT_EQ(writer->code(), StatusCode::kTimedOut);
+  // With the X request withdrawn, the queued S is now compatible.
+  ASSERT_TRUE(reader.has_value());
+  EXPECT_TRUE(reader->ok());
+}
+
+TEST(LockManagerTest, MoveToParentTransfersOwnership) {
+  Rig rig;
+  const Tid parent = MakeTid(1, 5, 0);
+  const Tid child = MakeTid(1, 5, 1, 0);
+  EXPECT_TRUE(rig.AcquireNow(child, "x", LockMode::kExclusive).ok());
+  EXPECT_TRUE(rig.AcquireNow(child, "y", LockMode::kShared).ok());
+  EXPECT_TRUE(rig.AcquireNow(parent, "y", LockMode::kExclusive).ok());
+  rig.lm.MoveToParent(child, parent);
+  EXPECT_TRUE(rig.lm.Holds(parent, "x", LockMode::kExclusive));
+  EXPECT_FALSE(rig.lm.Holds(child, "x", LockMode::kShared));
+  EXPECT_TRUE(rig.lm.Holds(parent, "y", LockMode::kExclusive));  // Mode merge keeps X.
+  EXPECT_EQ(rig.lm.held_lock_count(), 2u);
+}
+
+TEST(LockManagerTest, ReleaseFamilyDropsEverything) {
+  Rig rig;
+  const Tid top = MakeTid(1, 9, 0);
+  const Tid nested = MakeTid(1, 9, 1, 0);
+  EXPECT_TRUE(rig.AcquireNow(top, "x", LockMode::kExclusive).ok());
+  EXPECT_TRUE(rig.AcquireNow(nested, "y", LockMode::kExclusive).ok());
+  std::optional<Status> other;
+  rig.AcquireAsync(kB1, "x", LockMode::kExclusive, &other);
+  rig.sched.RunUntilIdle();
+  rig.lm.ReleaseFamily(top.family);
+  rig.sched.RunUntilIdle();
+  ASSERT_TRUE(other.has_value());
+  EXPECT_TRUE(other->ok());
+  EXPECT_EQ(rig.lm.held_lock_count(), 1u);  // Only B's fresh lock.
+}
+
+TEST(LockManagerTest, ClearWakesWaitersWithUnavailable) {
+  Rig rig;
+  EXPECT_TRUE(rig.AcquireNow(kA1, "x", LockMode::kExclusive).ok());
+  std::optional<Status> waiting;
+  rig.AcquireAsync(kB1, "x", LockMode::kExclusive, &waiting);
+  rig.sched.RunUntilIdle();
+  rig.lm.Clear();
+  rig.sched.RunUntilIdle();
+  ASSERT_TRUE(waiting.has_value());
+  EXPECT_EQ(waiting->code(), StatusCode::kUnavailable);
+  EXPECT_EQ(rig.lm.held_lock_count(), 0u);
+}
+
+// Property sweep: random acquire/release traffic; invariant: an object with an
+// exclusive holder has holders from exactly one family.
+TEST(LockManagerTest, RandomTrafficPreservesExclusionInvariant) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Scheduler sched(seed);
+    LockManager lm(sched);
+    Rng rng(seed * 1234);
+    const int n_families = 4;
+    const int n_objects = 3;
+    int violations = 0;
+
+    for (int f = 0; f < n_families; ++f) {
+      sched.Spawn([](Scheduler& s, LockManager& l, Rng* r, int fam, int objects,
+                     int* bad) -> Async<void> {
+        const Tid tid = MakeTid(1, static_cast<uint64_t>(fam));
+        for (int step = 0; step < 50; ++step) {
+          const std::string obj = "obj" + std::to_string(r->NextBounded(
+                                              static_cast<uint64_t>(objects)));
+          const LockMode mode = r->NextBool(0.5) ? LockMode::kShared : LockMode::kExclusive;
+          Status st = co_await l.Acquire(tid, obj, mode, Msec(200));
+          if (st.ok()) {
+            // Invariant check while holding.
+            if (mode == LockMode::kExclusive && !l.Holds(tid, obj, LockMode::kExclusive)) {
+              ++*bad;
+            }
+            co_await s.Delay(Usec(static_cast<int64_t>(r->NextBounded(3000))));
+            l.Release(tid, obj);
+          }
+          co_await s.Delay(Usec(static_cast<int64_t>(r->NextBounded(2000))));
+        }
+      }(sched, lm, &rng, f, n_objects, &violations));
+    }
+    sched.RunUntilIdle();
+    EXPECT_EQ(violations, 0) << "seed " << seed;
+    EXPECT_EQ(lm.held_lock_count(), 0u) << "seed " << seed;
+    EXPECT_EQ(lm.waiter_count(), 0u) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace camelot

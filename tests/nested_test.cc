@@ -1,0 +1,233 @@
+// Deep nested-transaction tests (Moss model): multi-level trees, distributed
+// subtree aborts, lock anti-inheritance chains, and interaction with top-level
+// commitment.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/harness/world.h"
+
+namespace camelot {
+namespace {
+
+WorldConfig Quiet(int sites) {
+  WorldConfig cfg;
+  cfg.site_count = sites;
+  cfg.net.send_jitter_mean = 0;
+  cfg.net.stall_probability = 0;
+  cfg.net.receive_skew_mean = 0;
+  return cfg;
+}
+
+std::string Srv(int i) { return "server:" + std::to_string(i); }
+
+struct Rig {
+  explicit Rig(int sites) : world(Quiet(sites)), app(world.site(0)) {
+    for (int i = 0; i < sites; ++i) {
+      DataServer* server = world.AddServer(i, Srv(i));
+      for (const char* obj : {"a", "b", "c"}) {
+        server->CreateObjectForSetup(obj, EncodeInt64(0));
+      }
+    }
+  }
+  int64_t Read(int site, const std::string& obj) {
+    auto v = world.RunSync([](AppClient& a, std::string s, std::string o) -> Async<int64_t> {
+      auto b = co_await a.Begin();
+      auto value = co_await a.ReadInt(*b, s, o);
+      co_await a.Commit(*b);
+      co_return value.value_or(-1);
+    }(app, Srv(site), obj));
+    return v.value_or(-1);
+  }
+  World world;
+  AppClient app;
+};
+
+TEST(NestedTest, ThreeLevelTreeCommitsThroughAncestors) {
+  Rig rig(1);
+  auto result = rig.world.RunSync([](AppClient& app) -> Async<Status> {
+    auto top = co_await app.Begin();
+    auto child = co_await app.Begin(*top);
+    auto grandchild = co_await app.Begin(*child);
+    co_await app.WriteInt(*grandchild, Srv(0), "a", 3);
+    CAMELOT_CHECK((co_await app.Commit(*grandchild)).ok());  // -> child owns it.
+    co_await app.WriteInt(*child, Srv(0), "b", 2);
+    CAMELOT_CHECK((co_await app.Commit(*child)).ok());       // -> top owns both.
+    Status st = co_await app.Commit(*top);
+    co_return st;
+  }(rig.app));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok()) << result->ToString();
+  EXPECT_EQ(rig.Read(0, "a"), 3);
+  EXPECT_EQ(rig.Read(0, "b"), 2);
+}
+
+TEST(NestedTest, AbortingMiddleLevelUndoesItsCommittedChildren) {
+  Rig rig(1);
+  auto result = rig.world.RunSync([](AppClient& app) -> Async<Status> {
+    auto top = co_await app.Begin();
+    co_await app.WriteInt(*top, Srv(0), "a", 1);  // Top's own work survives.
+    auto child = co_await app.Begin(*top);
+    auto grandchild = co_await app.Begin(*child);
+    co_await app.WriteInt(*grandchild, Srv(0), "b", 9);
+    CAMELOT_CHECK((co_await app.Commit(*grandchild)).ok());
+    // The grandchild's effect is now the CHILD's; aborting the child must
+    // undo it even though the grandchild "committed".
+    co_await app.WriteInt(*child, Srv(0), "c", 9);
+    CAMELOT_CHECK((co_await app.Abort(*child)).ok());
+    Status st = co_await app.Commit(*top);
+    co_return st;
+  }(rig.app));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok());
+  EXPECT_EQ(rig.Read(0, "a"), 1);  // Top's write committed.
+  EXPECT_EQ(rig.Read(0, "b"), 0);  // Grandchild's write undone with the child.
+  EXPECT_EQ(rig.Read(0, "c"), 0);  // Child's own write undone.
+}
+
+TEST(NestedTest, DistributedSubtreeAbortUndoesRemoteSites) {
+  Rig rig(3);
+  auto result = rig.world.RunSync([](AppClient& app) -> Async<Status> {
+    auto top = co_await app.Begin();
+    co_await app.WriteInt(*top, Srv(1), "a", 5);  // Parent writes remotely too.
+    auto child = co_await app.Begin(*top);
+    co_await app.WriteInt(*child, Srv(1), "b", 7);  // Child on site 1...
+    co_await app.WriteInt(*child, Srv(2), "c", 8);  // ...and site 2.
+    CAMELOT_CHECK((co_await app.Abort(*child)).ok());
+    Status st = co_await app.Commit(*top);
+    co_return st;
+  }(rig.app));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok());
+  EXPECT_EQ(rig.Read(1, "a"), 5);  // Parent's remote write survived.
+  EXPECT_EQ(rig.Read(1, "b"), 0);  // Child's writes undone on both sites.
+  EXPECT_EQ(rig.Read(2, "c"), 0);
+  EXPECT_EQ(rig.world.site(1).server(Srv(1))->locks().held_lock_count(), 0u);
+  EXPECT_EQ(rig.world.site(2).server(Srv(2))->locks().held_lock_count(), 0u);
+}
+
+TEST(NestedTest, SiblingsAreIndependent) {
+  Rig rig(1);
+  auto result = rig.world.RunSync([](AppClient& app) -> Async<Status> {
+    auto top = co_await app.Begin();
+    auto left = co_await app.Begin(*top);
+    auto right = co_await app.Begin(*top);
+    co_await app.WriteInt(*left, Srv(0), "a", 11);
+    co_await app.WriteInt(*right, Srv(0), "b", 22);
+    CAMELOT_CHECK((co_await app.Abort(*left)).ok());   // Left dies...
+    CAMELOT_CHECK((co_await app.Commit(*right)).ok()); // ...right survives.
+    Status st = co_await app.Commit(*top);
+    co_return st;
+  }(rig.app));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok());
+  EXPECT_EQ(rig.Read(0, "a"), 0);
+  EXPECT_EQ(rig.Read(0, "b"), 22);
+}
+
+TEST(NestedTest, ChildSeesParentWritesAndMayOverwrite) {
+  Rig rig(1);
+  auto result = rig.world.RunSync([](AppClient& app) -> Async<Status> {
+    auto top = co_await app.Begin();
+    co_await app.WriteInt(*top, Srv(0), "a", 1);
+    auto child = co_await app.Begin(*top);
+    // Same family: no lock conflict; the child reads the parent's value.
+    auto seen = co_await app.ReadInt(*child, Srv(0), "a");
+    EXPECT_EQ(seen.value_or(-1), 1);
+    co_await app.WriteInt(*child, Srv(0), "a", 2);
+    CAMELOT_CHECK((co_await app.Commit(*child)).ok());
+    Status st = co_await app.Commit(*top);
+    co_return st;
+  }(rig.app));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok());
+  EXPECT_EQ(rig.Read(0, "a"), 2);
+}
+
+TEST(NestedTest, AbortedChildsOverwriteRestoresParentValue) {
+  Rig rig(1);
+  auto result = rig.world.RunSync([](AppClient& app) -> Async<Status> {
+    auto top = co_await app.Begin();
+    co_await app.WriteInt(*top, Srv(0), "a", 1);
+    auto child = co_await app.Begin(*top);
+    co_await app.WriteInt(*child, Srv(0), "a", 99);
+    CAMELOT_CHECK((co_await app.Abort(*child)).ok());
+    // The child's undo restores the PARENT's uncommitted value, not the
+    // pre-transaction value.
+    auto seen = co_await app.ReadInt(*top, Srv(0), "a");
+    EXPECT_EQ(seen.value_or(-1), 1);
+    Status st = co_await app.Commit(*top);
+    co_return st;
+  }(rig.app));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok());
+  EXPECT_EQ(rig.Read(0, "a"), 1);
+}
+
+TEST(NestedTest, NestedCommitRequiresChildrenFinished) {
+  Rig rig(1);
+  auto result = rig.world.RunSync([](AppClient& app) -> Async<Status> {
+    auto top = co_await app.Begin();
+    auto child = co_await app.Begin(*top);
+    auto grandchild = co_await app.Begin(*child);
+    (void)grandchild;
+    Status st = co_await app.Commit(*child);  // Grandchild still active.
+    co_await app.Abort(*top);
+    co_return st;
+  }(rig.app));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(NestedTest, NestedBeginUnderFinishedParentFails) {
+  Rig rig(1);
+  auto result = rig.world.RunSync([](AppClient& app) -> Async<Status> {
+    auto top = co_await app.Begin();
+    auto child = co_await app.Begin(*top);
+    CAMELOT_CHECK((co_await app.Commit(*child)).ok());
+    auto grandchild = co_await app.Begin(*child);  // Parent already committed.
+    co_await app.Abort(*top);
+    co_return grandchild.ok() ? OkStatus() : grandchild.status();
+  }(rig.app));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(NestedTest, DeepChainThenTopLevelDistributedCommit) {
+  // Five levels of nesting, work spread over three sites, everything commits
+  // through one two-phase commit at the top.
+  Rig rig(3);
+  auto result = rig.world.RunSync([](AppClient& app) -> Async<Status> {
+    auto top = co_await app.Begin();
+    Tid current = *top;
+    for (int depth = 0; depth < 5; ++depth) {
+      auto child = co_await app.Begin(current);
+      if (!child.ok()) {
+        co_return child.status();
+      }
+      co_await app.WriteInt(*child, Srv(depth % 3), "a", depth + 1);
+      current = *child;
+    }
+    // Commit the chain bottom-up.
+    while (current.serial != 0) {
+      Status st = co_await app.Commit(current);
+      if (!st.ok()) {
+        co_return st;
+      }
+      current.serial = current.parent_serial;  // Walk up (serials are the path).
+      // Re-derive parent's parent from the chain: serial N was begun under N-1.
+      current.parent_serial = current.serial == 0 ? 0 : current.serial - 1;
+    }
+    Status st = co_await app.Commit(*top);
+    co_return st;
+  }(rig.app));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok()) << result->ToString();
+  // The deepest write per site wins (depths 3,4,5 hit sites 2,0,1 -> values).
+  EXPECT_EQ(rig.Read(0, "a"), 4);  // depth 3 (value 4) on site 0.
+  EXPECT_EQ(rig.Read(1, "a"), 5);  // depth 4 (value 5) on site 1.
+  EXPECT_EQ(rig.Read(2, "a"), 3);  // depth 2 (value 3) on site 2.
+}
+
+}  // namespace
+}  // namespace camelot

@@ -1,0 +1,247 @@
+// Tests for the LAN model: delivery, latency composition, NIC serialization,
+// multicast variance reduction, loss, duplication, partitions, and crashes.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "src/net/network.h"
+#include "src/sim/scheduler.h"
+#include "src/stats/summary.h"
+
+namespace camelot {
+namespace {
+
+NetConfig DeterministicConfig() {
+  NetConfig cfg;
+  cfg.send_jitter_mean = 0;
+  cfg.stall_probability = 0;  // Zero jitter: latency is exactly cycle + propagation.
+  cfg.receive_skew_mean = 0;
+  return cfg;
+}
+
+struct Rig {
+  explicit Rig(NetConfig cfg = DeterministicConfig(), uint64_t seed = 1)
+      : sched(seed), net(sched, cfg) {
+    for (uint32_t i = 0; i < 4; ++i) {
+      net.RegisterSite(SiteId{i});
+    }
+  }
+  Scheduler sched;
+  Network net;
+};
+
+TEST(NetworkTest, DeliversWithDeterministicLatency) {
+  Rig rig;
+  std::optional<SimTime> delivered_at;
+  rig.net.Bind(SiteId{1}, kTranManService, [&](Datagram dg) {
+    EXPECT_EQ(dg.src, SiteId{0});
+    EXPECT_EQ(dg.type, 7u);
+    delivered_at = rig.sched.now();
+  });
+  rig.net.Send(Datagram{SiteId{0}, SiteId{1}, kTranManService, 7, {1, 2, 3}});
+  rig.sched.RunUntilIdle();
+  ASSERT_TRUE(delivered_at.has_value());
+  // send_cycle (1.7ms) + propagation (5.54ms), no jitter/stall.
+  EXPECT_EQ(*delivered_at, Usec(1700) + Usec(5540));
+}
+
+TEST(NetworkTest, NicSerializesBackToBackSends) {
+  Rig rig;
+  std::vector<SimTime> arrivals;
+  for (uint32_t dst = 1; dst <= 3; ++dst) {
+    rig.net.Bind(SiteId{dst}, kTranManService,
+                 [&](Datagram) { arrivals.push_back(rig.sched.now()); });
+  }
+  for (uint32_t dst = 1; dst <= 3; ++dst) {
+    rig.net.Send(Datagram{SiteId{0}, SiteId{dst}, kTranManService, 0, {}});
+  }
+  rig.sched.RunUntilIdle();
+  ASSERT_EQ(arrivals.size(), 3u);
+  // Each successive send is delayed a full cycle behind the previous one
+  // (the paper: "the third prepare message is sent about 3.4ms after the first").
+  EXPECT_EQ(arrivals[1] - arrivals[0], Usec(1700));
+  EXPECT_EQ(arrivals[2] - arrivals[0], Usec(3400));
+}
+
+TEST(NetworkTest, MulticastSharesOneSerialization) {
+  Rig rig;
+  std::vector<SimTime> arrivals;
+  for (uint32_t dst = 1; dst <= 3; ++dst) {
+    rig.net.Bind(SiteId{dst}, kTranManService,
+                 [&](Datagram) { arrivals.push_back(rig.sched.now()); });
+  }
+  rig.net.Multicast(SiteId{0}, {SiteId{1}, SiteId{2}, SiteId{3}}, kTranManService, 0, {});
+  rig.sched.RunUntilIdle();
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_EQ(arrivals[0], arrivals[1]);
+  EXPECT_EQ(arrivals[1], arrivals[2]);
+}
+
+TEST(NetworkTest, MulticastReducesFanoutVariance) {
+  // The paper's Section 4.2 observation: multicasting from coordinator to
+  // subordinates substantially reduces the variance of the slowest arrival.
+  auto run = [](bool multicast, uint64_t seed) {
+    NetConfig cfg;  // Defaults include jitter.
+    Scheduler sched(seed);
+    Network net(sched, cfg);
+    for (uint32_t i = 0; i < 4; ++i) {
+      net.RegisterSite(SiteId{i});
+    }
+    Summary slowest;
+    SimTime rep_start = 0;
+    SimTime max_arrival = 0;
+    int remaining = 0;
+    for (uint32_t dst = 1; dst <= 3; ++dst) {
+      net.Bind(SiteId{dst}, kTranManService, [&](Datagram) {
+        max_arrival = std::max(max_arrival, sched.now());
+        if (--remaining == 0) {
+          slowest.Add(ToMs(max_arrival - rep_start));
+        }
+      });
+    }
+    std::vector<SiteId> dsts{SiteId{1}, SiteId{2}, SiteId{3}};
+    for (int rep = 0; rep < 300; ++rep) {
+      rep_start = sched.now();
+      max_arrival = 0;
+      remaining = 3;
+      if (multicast) {
+        net.Multicast(SiteId{0}, dsts, kTranManService, 0, {});
+      } else {
+        for (SiteId d : dsts) {
+          net.Send(Datagram{SiteId{0}, d, kTranManService, 0, {}});
+        }
+      }
+      sched.RunUntilIdle();
+      // Space out repetitions so NIC state resets.
+      sched.RunUntil(sched.now() + Sec(1));
+    }
+    return slowest;
+  };
+  Summary unicast = run(false, 42);
+  Summary multicast = run(true, 42);
+  ASSERT_EQ(unicast.count(), 300u);
+  ASSERT_EQ(multicast.count(), 300u);
+  // Variance (of the slowest-arrival spread) must drop substantially.
+  EXPECT_LT(multicast.stddev(), unicast.stddev() * 0.75);
+}
+
+TEST(NetworkTest, LossDropsRoughlyTheConfiguredFraction) {
+  NetConfig cfg = DeterministicConfig();
+  cfg.loss_probability = 0.3;
+  Rig rig(cfg, 9);
+  int delivered = 0;
+  rig.net.Bind(SiteId{1}, kTranManService, [&](Datagram) { ++delivered; });
+  for (int i = 0; i < 1000; ++i) {
+    rig.net.Send(Datagram{SiteId{0}, SiteId{1}, kTranManService, 0, {}});
+  }
+  rig.sched.RunUntilIdle();
+  EXPECT_GT(delivered, 600);
+  EXPECT_LT(delivered, 800);
+  EXPECT_EQ(rig.net.counters().datagrams_lost + delivered, 1000u);
+}
+
+TEST(NetworkTest, DuplicationDeliversTwice) {
+  NetConfig cfg = DeterministicConfig();
+  cfg.duplicate_probability = 1.0;
+  Rig rig(cfg);
+  int delivered = 0;
+  rig.net.Bind(SiteId{1}, kTranManService, [&](Datagram) { ++delivered; });
+  rig.net.Send(Datagram{SiteId{0}, SiteId{1}, kTranManService, 0, {}});
+  rig.sched.RunUntilIdle();
+  EXPECT_EQ(delivered, 2);
+}
+
+TEST(NetworkTest, PartitionBlocksCrossGroupTraffic) {
+  Rig rig;
+  int delivered = 0;
+  rig.net.Bind(SiteId{1}, kTranManService, [&](Datagram) { ++delivered; });
+  rig.net.Bind(SiteId{2}, kTranManService, [&](Datagram) { ++delivered; });
+
+  rig.net.SetPartition({{SiteId{0}, SiteId{2}}, {SiteId{1}}});
+  EXPECT_FALSE(rig.net.CanCommunicate(SiteId{0}, SiteId{1}));
+  EXPECT_TRUE(rig.net.CanCommunicate(SiteId{0}, SiteId{2}));
+
+  rig.net.Send(Datagram{SiteId{0}, SiteId{1}, kTranManService, 0, {}});  // Cross-group: dropped.
+  rig.net.Send(Datagram{SiteId{0}, SiteId{2}, kTranManService, 0, {}});  // Same group: delivered.
+  rig.sched.RunUntilIdle();
+  EXPECT_EQ(delivered, 1);
+
+  rig.net.ClearPartition();
+  rig.net.Send(Datagram{SiteId{0}, SiteId{1}, kTranManService, 0, {}});
+  rig.sched.RunUntilIdle();
+  EXPECT_EQ(delivered, 2);
+}
+
+TEST(NetworkTest, PartitionInstalledMidFlightDropsAtDelivery) {
+  Rig rig;
+  int delivered = 0;
+  rig.net.Bind(SiteId{1}, kTranManService, [&](Datagram) { ++delivered; });
+  rig.net.Send(Datagram{SiteId{0}, SiteId{1}, kTranManService, 0, {}});
+  // Partition lands while the datagram is on the wire.
+  rig.sched.Post(Usec(100), [&] { rig.net.SetPartition({{SiteId{0}}, {SiteId{1}}}); });
+  rig.sched.RunUntilIdle();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(rig.net.counters().datagrams_dropped_partition, 1u);
+}
+
+TEST(NetworkTest, CrashedSiteNeitherSendsNorReceives) {
+  Rig rig;
+  int delivered = 0;
+  rig.net.Bind(SiteId{1}, kTranManService, [&](Datagram) { ++delivered; });
+
+  rig.net.CrashSite(SiteId{1});
+  rig.net.Send(Datagram{SiteId{0}, SiteId{1}, kTranManService, 0, {}});
+  rig.sched.RunUntilIdle();
+  EXPECT_EQ(delivered, 0);
+
+  rig.net.CrashSite(SiteId{0});
+  rig.net.RestartSite(SiteId{1});
+  rig.net.Send(Datagram{SiteId{0}, SiteId{1}, kTranManService, 0, {}});  // Sender down: no-op.
+  rig.sched.RunUntilIdle();
+  EXPECT_EQ(delivered, 0);
+
+  rig.net.RestartSite(SiteId{0});
+  rig.net.Send(Datagram{SiteId{0}, SiteId{1}, kTranManService, 0, {}});
+  rig.sched.RunUntilIdle();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(NetworkTest, InFlightMessageToCrashingSiteIsDropped) {
+  Rig rig;
+  int delivered = 0;
+  rig.net.Bind(SiteId{1}, kTranManService, [&](Datagram) { ++delivered; });
+  rig.net.Send(Datagram{SiteId{0}, SiteId{1}, kTranManService, 0, {}});
+  rig.sched.Post(Usec(100), [&] { rig.net.CrashSite(SiteId{1}); });
+  rig.sched.RunUntilIdle();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(rig.net.counters().datagrams_dropped_dead, 1u);
+}
+
+TEST(NetworkTest, SendToAllHonorsMulticastFlag) {
+  Rig rig;
+  int delivered = 0;
+  for (uint32_t dst = 1; dst <= 3; ++dst) {
+    rig.net.Bind(SiteId{dst}, kTranManService, [&](Datagram) { ++delivered; });
+  }
+  std::vector<SiteId> dsts{SiteId{1}, SiteId{2}, SiteId{3}};
+  rig.net.SendToAll(SiteId{0}, dsts, kTranManService, 0, {});
+  rig.sched.RunUntilIdle();
+  EXPECT_EQ(delivered, 3);
+  EXPECT_EQ(rig.net.counters().multicasts_sent, 0u);
+
+  rig.net.set_use_multicast(true);
+  rig.net.SendToAll(SiteId{0}, dsts, kTranManService, 0, {});
+  rig.sched.RunUntilIdle();
+  EXPECT_EQ(delivered, 6);
+  EXPECT_EQ(rig.net.counters().multicasts_sent, 1u);
+}
+
+TEST(NetworkTest, ExpectedDatagramLatencyMatchesPaperTable2) {
+  NetConfig cfg;
+  // Default model must average the paper's 10 ms datagram.
+  EXPECT_EQ(cfg.ExpectedDatagramLatency(), Usec(10000));
+}
+
+}  // namespace
+}  // namespace camelot

@@ -1,0 +1,115 @@
+// Deterministic tests for the participant-restart defense: a transaction that
+// touched a site which then crashed and restarted must abort, whether the
+// restart is noticed by a later operation (incarnation poisoning) or only at
+// prepare time (the restarted TranMan refuses an unknown family).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/harness/world.h"
+
+namespace camelot {
+namespace {
+
+WorldConfig Quiet() {
+  WorldConfig cfg;
+  cfg.site_count = 2;
+  cfg.net.send_jitter_mean = 0;
+  cfg.net.stall_probability = 0;
+  cfg.net.receive_skew_mean = 0;
+  cfg.tranman.orphan_check_interval = Sec(60);  // Keep the orphan watcher quiet.
+  return cfg;
+}
+
+struct Rig {
+  Rig() : world(Quiet()), app(world.site(0)) {
+    for (int i = 0; i < 2; ++i) {
+      world.AddServer(i, Srv(i))->CreateObjectForSetup("vault", EncodeInt64(100));
+    }
+  }
+  static std::string Srv(int i) { return "server:" + std::to_string(i); }
+  int64_t ReadVault(int site) {
+    auto v = world.RunSync([](AppClient& a, std::string s) -> Async<int64_t> {
+      auto b = co_await a.Begin();
+      auto value = co_await a.ReadInt(*b, s, "vault");
+      co_await a.Commit(*b);
+      co_return value.value_or(-1);
+    }(app, Srv(site)));
+    return v.value_or(-1);
+  }
+  World world;
+  AppClient app;
+};
+
+TEST(PoisoningTest, OperationAfterParticipantRestartFails) {
+  Rig rig;
+  std::optional<Status> write_status;
+  std::optional<Status> commit_status;
+  rig.world.sched().Spawn([](Rig& r, std::optional<Status>* ws,
+                             std::optional<Status>* cs) -> Async<void> {
+    auto tid = co_await r.app.Begin();
+    // Read at site 1 (stale after the crash below).
+    auto v = co_await r.app.ReadInt(*tid, Rig::Srv(1), "vault");
+    EXPECT_EQ(v.value_or(-1), 100);
+    // The participant bounces while our transaction is alive.
+    r.world.Crash(1);
+    r.world.Restart(1);
+    co_await r.world.sched().Delay(Sec(1));
+    // Any later operation there must be refused: the incarnation changed.
+    *ws = co_await r.app.WriteInt(*tid, Rig::Srv(1), "vault", v.value_or(0) - 10);
+    *cs = co_await r.app.Commit(*tid);
+    if (!(*cs)->ok()) {
+      co_await r.app.Abort(*tid);
+    }
+  }(rig, &write_status, &commit_status));
+  rig.world.RunUntilIdle();
+  ASSERT_TRUE(write_status.has_value());
+  EXPECT_EQ(write_status->code(), StatusCode::kAborted) << write_status->ToString();
+  ASSERT_TRUE(commit_status.has_value());
+  EXPECT_FALSE(commit_status->ok());
+  EXPECT_EQ(rig.ReadVault(1), 100);  // Nothing leaked through.
+}
+
+TEST(PoisoningTest, CommitAfterSilentParticipantRestartAborts) {
+  Rig rig;
+  // The transaction updates site 1, the site bounces, and the app goes
+  // STRAIGHT to commit (no later operation to observe the restart): the
+  // restarted TranMan no longer knows the family and votes NO.
+  std::optional<Status> commit_status;
+  rig.world.sched().Spawn([](Rig& r, std::optional<Status>* cs) -> Async<void> {
+    auto tid = co_await r.app.Begin();
+    Status w = co_await r.app.WriteInt(*tid, Rig::Srv(1), "vault", 55);
+    EXPECT_TRUE(w.ok());
+    r.world.Crash(1);
+    r.world.Restart(1);
+    co_await r.world.sched().Delay(Sec(1));
+    *cs = co_await r.app.Commit(*tid);
+  }(rig, &commit_status));
+  rig.world.RunUntilIdle();
+  ASSERT_TRUE(commit_status.has_value());
+  EXPECT_EQ(commit_status->code(), StatusCode::kAborted) << commit_status->ToString();
+  EXPECT_EQ(rig.ReadVault(1), 100);  // The lost volatile write never committed.
+}
+
+TEST(PoisoningTest, UnrelatedTransactionsAreNotPoisoned) {
+  Rig rig;
+  // A restart between two INDEPENDENT transactions must not affect the second.
+  rig.world.Crash(1);
+  rig.world.Restart(1);
+  rig.world.RunUntilIdle();
+  auto status = rig.world.RunSync([](Rig& r) -> Async<Status> {
+    auto tid = co_await r.app.Begin();
+    Status w = co_await r.app.WriteInt(*tid, Rig::Srv(1), "vault", 77);
+    if (!w.ok()) {
+      co_return w;
+    }
+    Status st = co_await r.app.Commit(*tid);
+    co_return st;
+  }(rig));
+  ASSERT_TRUE(status.has_value());
+  EXPECT_TRUE(status->ok()) << status->ToString();
+  EXPECT_EQ(rig.ReadVault(1), 77);
+}
+
+}  // namespace
+}  // namespace camelot

@@ -1,0 +1,252 @@
+// Tests for the recovery process: analysis/redo/undo over crafted logs,
+// prepared-transaction restoration, idempotence, and torn-log handling.
+// (Whole-system crash/recovery scenarios live in failure_test.cc; these tests
+// target the RecoveryManager's log-interpretation logic directly.)
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/harness/world.h"
+
+namespace camelot {
+namespace {
+
+WorldConfig Quiet() {
+  WorldConfig cfg;
+  cfg.site_count = 2;
+  cfg.net.send_jitter_mean = 0;
+  cfg.net.stall_probability = 0;
+  cfg.net.receive_skew_mean = 0;
+  return cfg;
+}
+
+Tid MakeTid(uint64_t seq) { return Tid{FamilyId{SiteId{0}, seq}, 0, 0}; }
+
+// Appends records to site 0's log and forces them all.
+void SeedLog(World& world, const std::vector<LogRecord>& records) {
+  StableLog& log = world.site(0).log();
+  Lsn last;
+  for (const auto& rec : records) {
+    last = log.Append(rec);
+  }
+  world.RunSync([](StableLog& l, Lsn lsn) -> Async<bool> {
+    co_return co_await l.Force(lsn);
+  }(log, last));
+}
+
+RecoveryReport RunRecovery(World& world) {
+  auto report = world.RunSync([](World* w) -> Async<RecoveryReport> {
+    RecoveryReport r = co_await w->site(0).recovery().Recover(w->site(0).ServerMap());
+    co_return r;
+  }(&world));
+  return report.value_or(RecoveryReport{});
+}
+
+Bytes DurableValue(World& world, const std::string& server, const std::string& object) {
+  auto v = world.site(0).diskmgr().RecoveryRead(server, object);
+  return v.ok() ? *v : Bytes{};
+}
+
+TEST(RecoveryTest, CommittedTransactionIsRedone) {
+  World world(Quiet());
+  world.AddServer(0, "srv");
+  const Tid tid = MakeTid(1);
+  SeedLog(world, {LogRecord::Update(tid, "srv", "x", {1}, {2}),
+                  LogRecord::Commit(tid, {})});
+  RecoveryReport report = RunRecovery(world);
+  EXPECT_EQ(report.families_committed, 1u);
+  EXPECT_EQ(report.redo_writes, 1u);
+  EXPECT_EQ(DurableValue(world, "srv", "x"), (Bytes{2}));
+}
+
+TEST(RecoveryTest, AbortedTransactionIsUndone) {
+  World world(Quiet());
+  world.AddServer(0, "srv");
+  const Tid tid = MakeTid(1);
+  SeedLog(world, {LogRecord::Update(tid, "srv", "x", {1}, {2}),
+                  LogRecord::Abort(tid)});
+  RecoveryReport report = RunRecovery(world);
+  EXPECT_EQ(report.families_aborted, 1u);
+  EXPECT_EQ(report.undo_writes, 1u);
+  EXPECT_EQ(DurableValue(world, "srv", "x"), (Bytes{1}));
+}
+
+TEST(RecoveryTest, NoOutcomeRecordMeansPresumedAbort) {
+  World world(Quiet());
+  world.AddServer(0, "srv");
+  const Tid tid = MakeTid(1);
+  SeedLog(world, {LogRecord::Update(tid, "srv", "x", {1}, {2})});
+  RecoveryReport report = RunRecovery(world);
+  EXPECT_EQ(report.families_presumed, 1u);
+  EXPECT_EQ(DurableValue(world, "srv", "x"), (Bytes{1}));
+  EXPECT_EQ(world.site(0).tranman().QueryState(tid.family), TmTxnState::kUnknown);
+}
+
+TEST(RecoveryTest, MultiUpdateUndoRunsNewestFirst) {
+  World world(Quiet());
+  world.AddServer(0, "srv");
+  const Tid tid = MakeTid(1);
+  // x: 1 -> 2 -> 3; correct undo must end at 1 (not 2).
+  SeedLog(world, {LogRecord::Update(tid, "srv", "x", {1}, {2}),
+                  LogRecord::Update(tid, "srv", "x", {2}, {3})});
+  RunRecovery(world);
+  EXPECT_EQ(DurableValue(world, "srv", "x"), (Bytes{1}));
+}
+
+TEST(RecoveryTest, InterleavedWinnersAndLosersResolvePerObject) {
+  World world(Quiet());
+  world.AddServer(0, "srv");
+  const Tid winner = MakeTid(1);
+  const Tid loser = MakeTid(2);
+  SeedLog(world, {
+                     LogRecord::Update(winner, "srv", "a", {0}, {10}),
+                     LogRecord::Update(loser, "srv", "b", {0}, {20}),
+                     LogRecord::Update(winner, "srv", "c", {0}, {30}),
+                     LogRecord::Commit(winner, {}),
+                     LogRecord::Abort(loser),
+                 });
+  RecoveryReport report = RunRecovery(world);
+  EXPECT_EQ(report.families_committed, 1u);
+  EXPECT_EQ(report.families_aborted, 1u);
+  EXPECT_EQ(DurableValue(world, "srv", "a"), (Bytes{10}));
+  EXPECT_EQ(DurableValue(world, "srv", "b"), (Bytes{0}));
+  EXPECT_EQ(DurableValue(world, "srv", "c"), (Bytes{30}));
+}
+
+TEST(RecoveryTest, PreparedTransactionKeepsUpdatesAndLocks) {
+  World world(Quiet());
+  DataServer* server = world.AddServer(0, "srv");
+  const Tid tid = MakeTid(1);
+  SeedLog(world, {LogRecord::Update(tid, "srv", "x", {1}, {2}),
+                  LogRecord::Prepare(tid, SiteId{1}, {SiteId{1}, SiteId{0}},
+                                     CommitProtocol::kTwoPhase, 0, 0)});
+  // The coordinator site is down, so the restored subordinate must stay
+  // prepared and blocked (presumed abort would need the coordinator's word).
+  world.Crash(1);
+  RecoveryReport report = RunRecovery(world);
+  EXPECT_EQ(report.families_prepared, 1u);
+  // Redone (not undone): the outcome is the coordinator's to decide.
+  EXPECT_EQ(DurableValue(world, "srv", "x"), (Bytes{2}));
+  // The exclusive lock is held again.
+  EXPECT_TRUE(server->locks().Holds(tid, "x", LockMode::kExclusive));
+  // TranMan is back in the prepared state for this family.
+  EXPECT_EQ(world.site(0).tranman().QueryState(tid.family), TmTxnState::kPrepared);
+}
+
+TEST(RecoveryTest, CommittedCoordinatorWithoutEndIsResumed) {
+  World world(Quiet());
+  world.AddServer(0, "srv");
+  const Tid tid = MakeTid(1);
+  SeedLog(world, {LogRecord::Update(tid, "srv", "x", {1}, {2}),
+                  LogRecord::Commit(tid, {SiteId{1}})});  // Subordinate never acked.
+  RecoveryReport report = RunRecovery(world);
+  EXPECT_EQ(report.coordinators_resumed, 1u);
+  // Phase 2 re-ran to completion: the (state-less) subordinate blind-acked the
+  // retried COMMIT, the End record was appended, and the family was retired.
+  EXPECT_EQ(world.site(0).tranman().live_family_count(), 0u);
+  bool saw_end = false;
+  for (const auto& rec : world.site(0).log().ReadDurable()) {
+    saw_end = saw_end || rec.kind == LogRecordKind::kEnd;
+  }
+  // End is never forced; check the buffered log instead of only the durable one.
+  EXPECT_TRUE(saw_end || world.site(0).log().buffered_lsn() > world.site(0).log().durable_lsn());
+}
+
+TEST(RecoveryTest, EndedCoordinatorBecomesTombstoneOnly) {
+  World world(Quiet());
+  world.AddServer(0, "srv");
+  const Tid tid = MakeTid(1);
+  SeedLog(world, {LogRecord::Update(tid, "srv", "x", {1}, {2}),
+                  LogRecord::Commit(tid, {SiteId{1}}), LogRecord::End(tid)});
+  RecoveryReport report = RunRecovery(world);
+  EXPECT_EQ(report.coordinators_resumed, 0u);
+  EXPECT_EQ(world.site(0).tranman().QueryState(tid.family), TmTxnState::kCommitted);
+  EXPECT_EQ(world.site(0).tranman().live_family_count(), 0u);
+}
+
+TEST(RecoveryTest, ReplicationOnlyParticipantIsRestored) {
+  // An NBC participant that accepted a replication but has no prepare record
+  // (read-only coordinator / passive acceptor) must still come back as an
+  // in-doubt quorum participant.
+  World world(Quiet());
+  world.AddServer(0, "srv");
+  const Tid tid = MakeTid(1);
+  SeedLog(world, {LogRecord::Replication(tid, SiteId{1}, 0x105, 1,
+                                         {SiteId{1}, SiteId{0}, SiteId{2}})});
+  RecoveryReport report = RunRecovery(world);
+  EXPECT_EQ(report.families_prepared, 1u);
+  EXPECT_EQ(world.site(0).tranman().QueryState(tid.family), TmTxnState::kPrepared);
+}
+
+TEST(RecoveryTest, RecoveryIsIdempotent) {
+  World world(Quiet());
+  world.AddServer(0, "srv");
+  const Tid winner = MakeTid(1);
+  const Tid loser = MakeTid(2);
+  SeedLog(world, {LogRecord::Update(winner, "srv", "x", {1}, {2}),
+                  LogRecord::Commit(winner, {}),
+                  LogRecord::Update(loser, "srv", "y", {5}, {6})});
+  RunRecovery(world);
+  const Bytes x1 = DurableValue(world, "srv", "x");
+  const Bytes y1 = DurableValue(world, "srv", "y");
+  // Crash again immediately and re-recover: same answers.
+  world.site(0).site().Crash();
+  world.site(0).site().Restart();
+  RunRecovery(world);
+  EXPECT_EQ(DurableValue(world, "srv", "x"), x1);
+  EXPECT_EQ(DurableValue(world, "srv", "y"), y1);
+  EXPECT_EQ(x1, (Bytes{2}));
+  EXPECT_EQ(y1, (Bytes{5}));
+}
+
+TEST(RecoveryTest, LiveAbortedLoserDoesNotClobberLaterWinner) {
+  // Regression test for a value-logging undo hazard: transaction L writes x
+  // and live-aborts (its undo is logged as a CLR); later transaction W writes
+  // x and commits; then the site crashes. Recovery must end with W's value —
+  // a blind newest-first undo of ALL loser records would have restored L's
+  // stale old_value on top of W's redone write.
+  World world(Quiet());
+  world.AddServer(0, "srv");
+  const Tid loser = MakeTid(1);
+  const Tid winner = MakeTid(2);
+  SeedLog(world, {
+                     LogRecord::Update(loser, "srv", "x", {10}, {20}),   // L: 10 -> 20.
+                     LogRecord::UndoUpdate(loser, "srv", "x", {20}, {10}),  // CLR: back to 10.
+                     LogRecord::Abort(loser),
+                     LogRecord::Update(winner, "srv", "x", {10}, {30}),  // W: 10 -> 30.
+                     LogRecord::Commit(winner, {}),
+                 });
+  RunRecovery(world);
+  EXPECT_EQ(DurableValue(world, "srv", "x"), (Bytes{30}));
+}
+
+TEST(RecoveryTest, CrashMidAbortUndoesOnlyUncompensatedRecords) {
+  // A live abort got through one of two undos before the crash: recovery must
+  // finish the job exactly once (no double-undo of the compensated record).
+  World world(Quiet());
+  world.AddServer(0, "srv");
+  const Tid loser = MakeTid(1);
+  SeedLog(world, {
+                     LogRecord::Update(loser, "srv", "x", {1}, {2}),
+                     LogRecord::Update(loser, "srv", "y", {5}, {6}),
+                     LogRecord::Abort(loser),
+                     // The abort undid y (newest first), then the crash hit.
+                     LogRecord::UndoUpdate(loser, "srv", "y", {6}, {5}),
+                 });
+  RunRecovery(world);
+  EXPECT_EQ(DurableValue(world, "srv", "x"), (Bytes{1}));  // Undone by recovery.
+  EXPECT_EQ(DurableValue(world, "srv", "y"), (Bytes{5}));  // Already compensated.
+}
+
+TEST(RecoveryTest, EmptyLogRecoversToNothing) {
+  World world(Quiet());
+  world.AddServer(0, "srv");
+  RecoveryReport report = RunRecovery(world);
+  EXPECT_EQ(report.records_replayed, 0u);
+  EXPECT_EQ(report.families_committed + report.families_aborted + report.families_prepared +
+                report.families_presumed,
+            0u);
+}
+
+}  // namespace
+}  // namespace camelot

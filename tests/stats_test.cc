@@ -1,0 +1,120 @@
+// Tests for the statistics utilities: summaries, tables, and ASCII charts.
+#include <gtest/gtest.h>
+
+#include "src/stats/ascii_chart.h"
+#include "src/stats/summary.h"
+#include "src/stats/table.h"
+
+namespace camelot {
+namespace {
+
+TEST(SummaryTest, MeanAndStddevMatchKnownValues) {
+  Summary s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // Sample stddev (n-1).
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(SummaryTest, EmptyAndSingletonAreSafe) {
+  Summary s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 0.0);
+  s.Add(42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.median(), 42.0);
+}
+
+TEST(SummaryTest, PercentilesNearestRank) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) {
+    s.Add(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 1.0);
+}
+
+TEST(SummaryTest, MeanStddevStringFormat) {
+  Summary s;
+  s.Add(10.0);
+  s.Add(20.0);
+  EXPECT_EQ(s.MeanStddevString(1), "15.0 (7.1)");
+}
+
+TEST(SummaryTest, ClearResets) {
+  Summary s;
+  s.Add(1.0);
+  s.Clear();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table t({"A", "LONG HEADER"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer cell", "2"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("A            LONG HEADER"), std::string::npos);
+  EXPECT_NE(out.find("-----------  -----------"), std::string::npos);
+  EXPECT_NE(out.find("longer cell  2"), std::string::npos);
+}
+
+TEST(TableTest, ShortRowsArePadded) {
+  Table t({"A", "B", "C"});
+  t.AddRow({"only one"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("only one"), std::string::npos);
+}
+
+TEST(TableTest, CsvEscapesQuotesAndCommas) {
+  Table t({"name", "value"});
+  t.AddRow({"with,comma", "with\"quote"});
+  const std::string csv = t.RenderCsv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(AsciiChartTest, PlotsMarkersAndLegend) {
+  AsciiChart chart("x", "y", 40, 10);
+  chart.AddSeries("rising", '*', {0, 1, 2, 3}, {0, 10, 20, 30});
+  const std::string out = chart.Render();
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("* = rising"), std::string::npos);
+  EXPECT_NE(out.find("(x)"), std::string::npos);
+  // The max point appears near the top: first plotted row has a mark.
+  const size_t first_line_end = out.find('\n');
+  ASSERT_NE(first_line_end, std::string::npos);
+}
+
+TEST(AsciiChartTest, TwoSeriesBothVisible) {
+  AsciiChart chart("n", "ms", 40, 12);
+  chart.AddSeries("low", 'a', {0, 1, 2}, {1, 2, 3});
+  chart.AddSeries("high", 'b', {0, 1, 2}, {10, 20, 30});
+  const std::string out = chart.Render();
+  EXPECT_NE(out.find('a'), std::string::npos);
+  EXPECT_NE(out.find('b'), std::string::npos);
+}
+
+TEST(AsciiChartTest, EmptyAndDegenerateSeriesAreSafe) {
+  AsciiChart empty("x", "y");
+  EXPECT_FALSE(empty.Render().empty());
+
+  AsciiChart flat("x", "y");
+  flat.AddSeries("point", 'p', {5}, {5});  // Single point, zero x-range.
+  EXPECT_NE(flat.Render().find('p'), std::string::npos);
+
+  AsciiChart zero("x", "y");
+  zero.AddSeries("zeros", 'z', {0, 1}, {0, 0});  // All-zero y.
+  EXPECT_FALSE(zero.Render().empty());
+}
+
+}  // namespace
+}  // namespace camelot

@@ -1,0 +1,156 @@
+// Tests for the TranMan worker pool (Section 3.4's thread model) and the
+// protocol-message codec.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/scheduler.h"
+#include "src/tranman/messages.h"
+#include "src/tranman/worker_pool.h"
+
+namespace camelot {
+namespace {
+
+TEST(WorkerPoolTest, SingleWorkerSerializesEvents) {
+  Scheduler sched;
+  WorkerPool pool(sched, 1);
+  std::vector<SimTime> finish_times;
+  for (int i = 0; i < 3; ++i) {
+    sched.Spawn([](Scheduler& s, WorkerPool& p, std::vector<SimTime>* out) -> Async<void> {
+      co_await p.Run(Msec(10));
+      out->push_back(s.now());
+    }(sched, pool, &finish_times));
+  }
+  sched.RunUntilIdle();
+  ASSERT_EQ(finish_times.size(), 3u);
+  EXPECT_EQ(finish_times[0], Msec(10));
+  EXPECT_EQ(finish_times[1], Msec(20));
+  EXPECT_EQ(finish_times[2], Msec(30));
+  EXPECT_EQ(pool.queued_events(), 2u);
+}
+
+TEST(WorkerPoolTest, ManyWorkersRunInParallel) {
+  Scheduler sched;
+  WorkerPool pool(sched, 4);
+  std::vector<SimTime> finish_times;
+  for (int i = 0; i < 4; ++i) {
+    sched.Spawn([](Scheduler& s, WorkerPool& p, std::vector<SimTime>* out) -> Async<void> {
+      co_await p.Run(Msec(10));
+      out->push_back(s.now());
+    }(sched, pool, &finish_times));
+  }
+  sched.RunUntilIdle();
+  for (SimTime t : finish_times) {
+    EXPECT_EQ(t, Msec(10));
+  }
+  EXPECT_EQ(pool.queued_events(), 0u);
+}
+
+TEST(WorkerPoolTest, FifoAdmission) {
+  Scheduler sched;
+  WorkerPool pool(sched, 1);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sched.Spawn([](WorkerPool& p, std::vector<int>* out, int id) -> Async<void> {
+      co_await p.Run(Msec(1));
+      out->push_back(id);
+    }(pool, &order, i));
+  }
+  sched.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(WorkerPoolTest, AcquireHoldsThroughExternalWait) {
+  // The log-force case: a worker stays occupied while its holder awaits
+  // something slower than CPU.
+  Scheduler sched;
+  WorkerPool pool(sched, 1);
+  SimTime second_started = 0;
+  sched.Spawn([](Scheduler& s, WorkerPool& p) -> Async<void> {
+    co_await p.Acquire();
+    co_await s.Delay(Msec(40));  // "Log force" while holding the worker.
+    p.Release();
+  }(sched, pool));
+  sched.Spawn([](Scheduler& s, WorkerPool& p, SimTime* started) -> Async<void> {
+    co_await s.Delay(Msec(1));
+    co_await p.Run(Msec(1));
+    *started = s.now();
+  }(sched, pool, &second_started));
+  sched.RunUntilIdle();
+  EXPECT_EQ(second_started, Msec(41));  // Waited out the full force.
+}
+
+TEST(WorkerPoolTest, ZeroCpuEventStillCountsAndQueues) {
+  Scheduler sched;
+  WorkerPool pool(sched, 1);
+  sched.Spawn([](WorkerPool& p) -> Async<void> { co_await p.Run(0); }(pool));
+  sched.RunUntilIdle();
+  EXPECT_EQ(pool.events(), 1u);
+  EXPECT_EQ(pool.available(), 1u);
+}
+
+TEST(TmMsgTest, FullRoundTrip) {
+  TmMsg msg;
+  msg.type = TmMsgType::kPrepare;
+  msg.tid = Tid{FamilyId{SiteId{3}, 77}, 2, 1};
+  msg.from = SiteId{3};
+  msg.protocol = CommitProtocol::kNonBlocking;
+  msg.force_subordinate_commit = true;
+  msg.piggyback_commit_ack = true;
+  msg.sites = {SiteId{0}, SiteId{1}, SiteId{2}};
+  msg.commit_quorum = 2;
+  msg.abort_quorum = 2;
+  msg.vote = TmVote::kReadOnly;
+  msg.epoch = 0x20105;
+  msg.decision = TmDecision::kCommit;
+  msg.state = TmTxnState::kPrepared;
+  msg.has_replication = true;
+  msg.replicated_epoch = 0x105;
+  msg.replicated_decision = TmDecision::kCommit;
+
+  auto decoded = TmMsg::Decode(msg.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->type, msg.type);
+  EXPECT_EQ(decoded->tid, msg.tid);
+  EXPECT_EQ(decoded->from, msg.from);
+  EXPECT_EQ(decoded->protocol, msg.protocol);
+  EXPECT_EQ(decoded->force_subordinate_commit, msg.force_subordinate_commit);
+  EXPECT_EQ(decoded->piggyback_commit_ack, msg.piggyback_commit_ack);
+  EXPECT_EQ(decoded->sites, msg.sites);
+  EXPECT_EQ(decoded->commit_quorum, msg.commit_quorum);
+  EXPECT_EQ(decoded->vote, msg.vote);
+  EXPECT_EQ(decoded->epoch, msg.epoch);
+  EXPECT_EQ(decoded->decision, msg.decision);
+  EXPECT_EQ(decoded->state, msg.state);
+  EXPECT_EQ(decoded->has_replication, msg.has_replication);
+  EXPECT_EQ(decoded->replicated_epoch, msg.replicated_epoch);
+  EXPECT_EQ(decoded->replicated_decision, msg.replicated_decision);
+}
+
+TEST(TmMsgTest, TruncatedWireFailsCleanly) {
+  TmMsg msg;
+  msg.type = TmMsgType::kVote;
+  msg.tid = Tid{FamilyId{SiteId{1}, 2}, 0, 0};
+  Bytes wire = msg.Encode();
+  for (size_t cut = 1; cut < wire.size(); cut += 3) {
+    Bytes truncated(wire.begin(), wire.begin() + static_cast<ptrdiff_t>(cut));
+    EXPECT_FALSE(TmMsg::Decode(truncated).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(TmMsgTest, TrailingGarbageRejected) {
+  TmMsg msg;
+  msg.type = TmMsgType::kCommit;
+  Bytes wire = msg.Encode();
+  wire.push_back(0xff);
+  EXPECT_FALSE(TmMsg::Decode(wire).ok());
+}
+
+TEST(TmMsgTest, AllTypesHaveNames) {
+  for (uint8_t t = 1; t <= 10; ++t) {
+    EXPECT_STRNE(TmMsgTypeName(static_cast<TmMsgType>(t)), "UNKNOWN") << static_cast<int>(t);
+  }
+}
+
+}  // namespace
+}  // namespace camelot
