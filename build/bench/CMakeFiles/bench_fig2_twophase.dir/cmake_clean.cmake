@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_twophase.dir/bench_fig2_twophase.cc.o"
+  "CMakeFiles/bench_fig2_twophase.dir/bench_fig2_twophase.cc.o.d"
+  "bench_fig2_twophase"
+  "bench_fig2_twophase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_twophase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_nonblocking.dir/bench_fig3_nonblocking.cc.o"
+  "CMakeFiles/bench_fig3_nonblocking.dir/bench_fig3_nonblocking.cc.o.d"
+  "bench_fig3_nonblocking"
+  "bench_fig3_nonblocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_nonblocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_read_tput.dir/bench_fig5_read_tput.cc.o"
+  "CMakeFiles/bench_fig5_read_tput.dir/bench_fig5_read_tput.cc.o.d"
+  "bench_fig5_read_tput"
+  "bench_fig5_read_tput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_read_tput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

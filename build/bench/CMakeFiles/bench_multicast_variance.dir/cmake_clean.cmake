@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multicast_variance.dir/bench_multicast_variance.cc.o"
+  "CMakeFiles/bench_multicast_variance.dir/bench_multicast_variance.cc.o.d"
+  "bench_multicast_variance"
+  "bench_multicast_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multicast_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

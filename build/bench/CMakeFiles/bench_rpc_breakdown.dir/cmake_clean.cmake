@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rpc_breakdown.dir/bench_rpc_breakdown.cc.o"
+  "CMakeFiles/bench_rpc_breakdown.dir/bench_rpc_breakdown.cc.o.d"
+  "bench_rpc_breakdown"
+  "bench_rpc_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rpc_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table3_breakdown.cc" "bench/CMakeFiles/bench_table3_breakdown.dir/bench_table3_breakdown.cc.o" "gcc" "bench/CMakeFiles/bench_table3_breakdown.dir/bench_table3_breakdown.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/camelot_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/camelot_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/recovery/CMakeFiles/camelot_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/tranman/CMakeFiles/camelot_tranman.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/camelot_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/comman/CMakeFiles/camelot_comman.dir/DependInfo.cmake"
+  "/root/repo/build/src/diskmgr/CMakeFiles/camelot_diskmgr.dir/DependInfo.cmake"
+  "/root/repo/build/src/lockmgr/CMakeFiles/camelot_lockmgr.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipc/CMakeFiles/camelot_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/camelot_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/wal/CMakeFiles/camelot_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/camelot_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/camelot_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/camelot_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

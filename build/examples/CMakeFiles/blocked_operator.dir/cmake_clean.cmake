@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocked_operator.dir/blocked_operator.cpp.o"
+  "CMakeFiles/blocked_operator.dir/blocked_operator.cpp.o.d"
+  "blocked_operator"
+  "blocked_operator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocked_operator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

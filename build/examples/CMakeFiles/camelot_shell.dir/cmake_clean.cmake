@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camelot_shell.dir/camelot_shell.cpp.o"
+  "CMakeFiles/camelot_shell.dir/camelot_shell.cpp.o.d"
+  "camelot_shell"
+  "camelot_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camelot_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nested_travel.dir/nested_travel.cpp.o"
+  "CMakeFiles/nested_travel.dir/nested_travel.cpp.o.d"
+  "nested_travel"
+  "nested_travel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nested_travel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

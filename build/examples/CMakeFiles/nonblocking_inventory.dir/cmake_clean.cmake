@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nonblocking_inventory.dir/nonblocking_inventory.cpp.o"
+  "CMakeFiles/nonblocking_inventory.dir/nonblocking_inventory.cpp.o.d"
+  "nonblocking_inventory"
+  "nonblocking_inventory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nonblocking_inventory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

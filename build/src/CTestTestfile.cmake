@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("stats")
+subdirs("sim")
+subdirs("net")
+subdirs("ipc")
+subdirs("wal")
+subdirs("lockmgr")
+subdirs("diskmgr")
+subdirs("comman")
+subdirs("server")
+subdirs("tranman")
+subdirs("recovery")
+subdirs("analysis")
+subdirs("harness")

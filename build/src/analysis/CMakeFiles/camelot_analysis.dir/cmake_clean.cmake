@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camelot_analysis.dir/static_analysis.cc.o"
+  "CMakeFiles/camelot_analysis.dir/static_analysis.cc.o.d"
+  "libcamelot_analysis.a"
+  "libcamelot_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camelot_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

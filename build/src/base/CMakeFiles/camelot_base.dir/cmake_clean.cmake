@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camelot_base.dir/codec.cc.o"
+  "CMakeFiles/camelot_base.dir/codec.cc.o.d"
+  "CMakeFiles/camelot_base.dir/logging.cc.o"
+  "CMakeFiles/camelot_base.dir/logging.cc.o.d"
+  "CMakeFiles/camelot_base.dir/status.cc.o"
+  "CMakeFiles/camelot_base.dir/status.cc.o.d"
+  "CMakeFiles/camelot_base.dir/types.cc.o"
+  "CMakeFiles/camelot_base.dir/types.cc.o.d"
+  "libcamelot_base.a"
+  "libcamelot_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camelot_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

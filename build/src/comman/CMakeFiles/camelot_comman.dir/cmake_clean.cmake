@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camelot_comman.dir/comman.cc.o"
+  "CMakeFiles/camelot_comman.dir/comman.cc.o.d"
+  "libcamelot_comman.a"
+  "libcamelot_comman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camelot_comman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for camelot_comman.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camelot_diskmgr.dir/disk_manager.cc.o"
+  "CMakeFiles/camelot_diskmgr.dir/disk_manager.cc.o.d"
+  "libcamelot_diskmgr.a"
+  "libcamelot_diskmgr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camelot_diskmgr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

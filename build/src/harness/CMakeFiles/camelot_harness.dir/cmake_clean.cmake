@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camelot_harness.dir/experiments.cc.o"
+  "CMakeFiles/camelot_harness.dir/experiments.cc.o.d"
+  "CMakeFiles/camelot_harness.dir/world.cc.o"
+  "CMakeFiles/camelot_harness.dir/world.cc.o.d"
+  "libcamelot_harness.a"
+  "libcamelot_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camelot_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

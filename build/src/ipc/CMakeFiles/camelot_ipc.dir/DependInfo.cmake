@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ipc/name_service.cc" "src/ipc/CMakeFiles/camelot_ipc.dir/name_service.cc.o" "gcc" "src/ipc/CMakeFiles/camelot_ipc.dir/name_service.cc.o.d"
+  "/root/repo/src/ipc/netmsg.cc" "src/ipc/CMakeFiles/camelot_ipc.dir/netmsg.cc.o" "gcc" "src/ipc/CMakeFiles/camelot_ipc.dir/netmsg.cc.o.d"
+  "/root/repo/src/ipc/site.cc" "src/ipc/CMakeFiles/camelot_ipc.dir/site.cc.o" "gcc" "src/ipc/CMakeFiles/camelot_ipc.dir/site.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/camelot_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/camelot_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/camelot_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camelot_ipc.dir/name_service.cc.o"
+  "CMakeFiles/camelot_ipc.dir/name_service.cc.o.d"
+  "CMakeFiles/camelot_ipc.dir/netmsg.cc.o"
+  "CMakeFiles/camelot_ipc.dir/netmsg.cc.o.d"
+  "CMakeFiles/camelot_ipc.dir/site.cc.o"
+  "CMakeFiles/camelot_ipc.dir/site.cc.o.d"
+  "libcamelot_ipc.a"
+  "libcamelot_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camelot_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camelot_lockmgr.dir/lock_manager.cc.o"
+  "CMakeFiles/camelot_lockmgr.dir/lock_manager.cc.o.d"
+  "libcamelot_lockmgr.a"
+  "libcamelot_lockmgr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camelot_lockmgr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

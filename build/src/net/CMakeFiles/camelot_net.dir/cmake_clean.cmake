@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camelot_net.dir/network.cc.o"
+  "CMakeFiles/camelot_net.dir/network.cc.o.d"
+  "libcamelot_net.a"
+  "libcamelot_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camelot_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

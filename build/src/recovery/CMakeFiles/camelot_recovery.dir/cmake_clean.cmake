@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camelot_recovery.dir/recovery.cc.o"
+  "CMakeFiles/camelot_recovery.dir/recovery.cc.o.d"
+  "libcamelot_recovery.a"
+  "libcamelot_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camelot_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camelot_server.dir/data_server.cc.o"
+  "CMakeFiles/camelot_server.dir/data_server.cc.o.d"
+  "libcamelot_server.a"
+  "libcamelot_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camelot_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camelot_sim.dir/scheduler.cc.o"
+  "CMakeFiles/camelot_sim.dir/scheduler.cc.o.d"
+  "libcamelot_sim.a"
+  "libcamelot_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camelot_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camelot_stats.dir/ascii_chart.cc.o"
+  "CMakeFiles/camelot_stats.dir/ascii_chart.cc.o.d"
+  "CMakeFiles/camelot_stats.dir/summary.cc.o"
+  "CMakeFiles/camelot_stats.dir/summary.cc.o.d"
+  "CMakeFiles/camelot_stats.dir/table.cc.o"
+  "CMakeFiles/camelot_stats.dir/table.cc.o.d"
+  "libcamelot_stats.a"
+  "libcamelot_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camelot_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcamelot_stats.a"
+)

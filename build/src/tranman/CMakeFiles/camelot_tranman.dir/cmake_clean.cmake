@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camelot_tranman.dir/messages.cc.o"
+  "CMakeFiles/camelot_tranman.dir/messages.cc.o.d"
+  "CMakeFiles/camelot_tranman.dir/tranman.cc.o"
+  "CMakeFiles/camelot_tranman.dir/tranman.cc.o.d"
+  "libcamelot_tranman.a"
+  "libcamelot_tranman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camelot_tranman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

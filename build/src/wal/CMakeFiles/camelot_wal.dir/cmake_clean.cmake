@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camelot_wal.dir/log_record.cc.o"
+  "CMakeFiles/camelot_wal.dir/log_record.cc.o.d"
+  "CMakeFiles/camelot_wal.dir/stable_log.cc.o"
+  "CMakeFiles/camelot_wal.dir/stable_log.cc.o.d"
+  "libcamelot_wal.a"
+  "libcamelot_wal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camelot_wal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

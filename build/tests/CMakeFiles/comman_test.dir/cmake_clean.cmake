@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comman_test.dir/comman_test.cc.o"
+  "CMakeFiles/comman_test.dir/comman_test.cc.o.d"
+  "comman_test"
+  "comman_test.pdb"
+  "comman_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comman_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

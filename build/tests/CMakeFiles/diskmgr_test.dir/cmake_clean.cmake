@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diskmgr_test.dir/diskmgr_test.cc.o"
+  "CMakeFiles/diskmgr_test.dir/diskmgr_test.cc.o.d"
+  "diskmgr_test"
+  "diskmgr_test.pdb"
+  "diskmgr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diskmgr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

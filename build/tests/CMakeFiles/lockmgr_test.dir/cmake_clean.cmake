@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockmgr_test.dir/lockmgr_test.cc.o"
+  "CMakeFiles/lockmgr_test.dir/lockmgr_test.cc.o.d"
+  "lockmgr_test"
+  "lockmgr_test.pdb"
+  "lockmgr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockmgr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tranman_test.dir/tranman_test.cc.o"
+  "CMakeFiles/tranman_test.dir/tranman_test.cc.o.d"
+  "tranman_test"
+  "tranman_test.pdb"
+  "tranman_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tranman_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
