@@ -1,0 +1,157 @@
+// Media recovery costs: what the storage fault machinery adds to the paper's
+// numbers.
+//   1. Duplexing the common log (Camelot duplexed its log): both mirrors are
+//      forced in parallel, so a duplexed force costs the same 15 ms as a
+//      simplex one — the protection is (nearly) free in latency, and only
+//      doubles the transfer count.
+//   2. The foreground repair path: a cold read that trips a CRC failure pays
+//      one extra log transfer (the redo-from-log scan) on top of the normal
+//      data-disk read.
+//   3. Restart with damaged media: the post-redo sweep rebuilds each corrupt
+//      page from the log, so restart time grows linearly in the damage.
+#include <cstdio>
+
+#include "src/harness/world.h"
+#include "src/stats/table.h"
+
+namespace camelot {
+namespace {
+
+WorldConfig QuietConfig() {
+  WorldConfig cfg;
+  cfg.site_count = 1;
+  cfg.net.send_jitter_mean = 0;
+  cfg.net.stall_probability = 0;
+  cfg.net.receive_skew_mean = 0;
+  return cfg;
+}
+
+// Commits one transaction writing `objects` one-byte values, so every page
+// has log coverage for media recovery to redo from.
+void FundObjects(World& world, int objects) {
+  world.RunSync([](World* w, int n) -> Async<bool> {
+    AppClient app(w->site(0));
+    auto begin = co_await app.Begin();
+    if (!begin.ok()) {
+      co_return false;
+    }
+    for (int i = 0; i < n; ++i) {
+      co_await app.WriteInt(*begin, "srv", "obj" + std::to_string(i), i);
+    }
+    co_return (co_await app.Commit(*begin)).ok();
+  }(&world, objects));
+  world.RunSync([](World* w) -> Async<bool> {
+    co_await w->site(0).diskmgr().FlushAll();
+    co_return true;
+  }(&world));
+}
+
+double MeasureReadMs(World& world, const std::string& object) {
+  const SimTime before = world.sched().now();
+  world.RunSync([](World* w, std::string obj) -> Async<bool> {
+    AppClient app(w->site(0));
+    auto begin = co_await app.Begin();
+    if (!begin.ok()) {
+      co_return false;
+    }
+    auto v = co_await app.ReadInt(*begin, "srv", obj);
+    co_await app.Commit(*begin);
+    co_return v.ok();
+  }(&world, object));
+  return ToMs(world.sched().now() - before);
+}
+
+}  // namespace
+}  // namespace camelot
+
+int main() {
+  using namespace camelot;
+
+  std::printf("=== 1. Log force latency: simplex vs duplexed (100 forces each) ===\n\n");
+  {
+    Table table({"LOG", "ms/force", "disk writes", "mirror writes"});
+    for (bool duplex : {false, true}) {
+      Scheduler sched(1);
+      LogConfig cfg;
+      cfg.duplex = duplex;
+      StableLog log(sched, cfg);
+      const Tid tid{FamilyId{SiteId{0}, 1}, 0, 0};
+      const LogRecord rec = LogRecord::Update(tid, "s", "o", {}, {1});
+      for (int i = 0; i < 100; ++i) {
+        sched.Spawn([](StableLog* l, LogRecord r) -> Async<void> {
+          co_await l->AppendAndForce(r);
+        }(&log, rec));
+        sched.RunUntilIdle();
+      }
+      table.AddRow({duplex ? "duplexed" : "simplex",
+                    Table::Num(ToMs(sched.now()) / 100.0, 2),
+                    std::to_string(log.counters().disk_writes),
+                    std::to_string(log.counters().mirror_writes)});
+    }
+    table.Print();
+    std::printf("\nThe mirrors are forced in parallel: duplexing buys whole-frame\n"
+                "salvage on interior corruption for zero added commit latency.\n\n");
+  }
+
+  std::printf("=== 2. Cold read: clean page vs CRC failure repaired from the log ===\n\n");
+  {
+    World world(QuietConfig());
+    world.AddServer(0, "srv");
+    FundObjects(world, 8);
+    world.Crash(0);
+    world.Restart(0);
+    world.RunUntilIdle();
+    const double warm_ms = [&] {
+      MeasureReadMs(world, "obj0");          // Fault it in...
+      return MeasureReadMs(world, "obj0");   // ...then read the buffered page.
+    }();
+    const double cold_ms = MeasureReadMs(world, "obj1");
+    world.site(0).diskmgr().CorruptStoredPage("srv", "obj2");
+    const double repair_ms = MeasureReadMs(world, "obj2");
+    Table table({"READ", "ms"});
+    table.AddRow({"buffer hit", Table::Num(warm_ms, 2)});
+    table.AddRow({"cold (clean page)", Table::Num(cold_ms, 2)});
+    table.AddRow({"cold (corrupt page, rebuilt from log)", Table::Num(repair_ms, 2)});
+    table.Print();
+    std::printf("\npages repaired: %llu (CRC failures detected: %llu)\n"
+                "The repair premium is one log transfer for the redo scan —\n"
+                "corruption is detected and healed inline, never served.\n\n",
+                static_cast<unsigned long long>(world.site(0).diskmgr().counters().pages_repaired),
+                static_cast<unsigned long long>(
+                    world.site(0).diskmgr().counters().crc_failures_detected));
+  }
+
+  std::printf("=== 3. Restart time vs media damage (pages corrupted while down) ===\n\n");
+  {
+    Table table({"CORRUPT PAGES", "restart ms", "pages rebuilt", "repair failures"});
+    for (int damage : {0, 4, 16, 64}) {
+      WorldConfig cfg = QuietConfig();
+      cfg.log.checkpoint_generations_retained = 2;
+      World world(cfg);
+      world.AddServer(0, "srv");
+      FundObjects(world, 64);
+      // Checkpoint so the damaged pages' updates are BEHIND the replay start:
+      // redo cannot heal them, only the media sweep's fallback into the
+      // retained previous interval can.
+      world.RunSync([](World* w) -> Async<Status> {
+        co_return co_await w->site(0).recovery().WriteCheckpoint();
+      }(&world));
+      world.Crash(0);
+      for (int i = 0; i < damage; ++i) {
+        world.site(0).diskmgr().CorruptStoredPage("srv", "obj" + std::to_string(i));
+      }
+      const SimTime before = world.sched().now();
+      world.Restart(0);
+      world.RunUntilIdle();
+      const RecoveryReport& report = world.site(0).last_recovery();
+      table.AddRow({std::to_string(damage), Table::Num(ToMs(world.sched().now() - before), 1),
+                    std::to_string(report.pages_repaired),
+                    std::to_string(report.repair_failures)});
+    }
+    table.Print();
+    std::printf("\nEach rebuilt page pays one log scan: restart degrades linearly with\n"
+                "damage instead of failing, and pages the redo pass already rewrote\n"
+                "(post-checkpoint updates) are healed for free.\n");
+  }
+  return 0;
+}

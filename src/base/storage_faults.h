@@ -1,0 +1,45 @@
+// Storage fault model shared by the simulated data disk and the stable log.
+//
+// Real disks are not fail-stop: writes tear, sectors rot, reads stall. Every
+// probability below is evaluated against a deterministic per-device Rng
+// stream (forked from the scheduler's seed), so a faulty run is exactly
+// reproducible. All probabilities default to zero: the perfectly reliable
+// disk of the original simulator is the zero config.
+//
+// Fault semantics by device (see DESIGN.md "Storage fault model"):
+//   - torn_write_probability: a physical write is interrupted and leaves a
+//     garbled image behind — the stored CRC no longer matches the data, so
+//     the damage is detected on the next read rather than silently served.
+//     On a duplexed log, a torn force hits one mirror per event (the mirrors
+//     are independent transfers).
+//   - bit_rot_probability: per physical I/O, an unrelated resident page (or
+//     log byte) silently decays. Models latent media corruption that only a
+//     CRC check — foreground read or background scrub — can surface.
+//   - latent_sector_error_probability: a physical read finds the sector
+//     unreadable; the page stays unreadable until rewritten. Data disk only.
+//   - write_stall_probability / write_stall_extra: a physical write takes
+//     write_stall_extra longer (fail-slow disks; exercises group commit and
+//     commit timeouts under degraded hardware).
+#ifndef SRC_BASE_STORAGE_FAULTS_H_
+#define SRC_BASE_STORAGE_FAULTS_H_
+
+#include "src/base/types.h"
+
+namespace camelot {
+
+struct StorageFaultConfig {
+  double torn_write_probability = 0.0;
+  double bit_rot_probability = 0.0;
+  double latent_sector_error_probability = 0.0;
+  double write_stall_probability = 0.0;
+  SimDuration write_stall_extra = Usec(200000);
+
+  bool AnyEnabled() const {
+    return torn_write_probability > 0.0 || bit_rot_probability > 0.0 ||
+           latent_sector_error_probability > 0.0 || write_stall_probability > 0.0;
+  }
+};
+
+}  // namespace camelot
+
+#endif  // SRC_BASE_STORAGE_FAULTS_H_

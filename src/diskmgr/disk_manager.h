@@ -11,15 +11,27 @@
 // only after the log is durable up to that page's LSN. Committed-but-unflushed
 // and flushed-but-uncommitted states are both reachable, which is exactly what
 // the recovery module's redo/undo passes exist to repair.
+//
+// The data disk is NOT fail-stop: every stored page carries a CRC, and the
+// fault config can tear writes, rot bits, lose sectors, and stall writes (all
+// driven by a deterministic Rng stream). Corruption is therefore *detected*
+// on read instead of silently served; a registered media-repair hook (the
+// recovery manager's redo-from-log path) rebuilds the page in place, and a
+// background scrubber coroutine validates cold pages before a foreground
+// read ever trips over them.
 #ifndef SRC_DISKMGR_DISK_MANAGER_H_
 #define SRC_DISKMGR_DISK_MANAGER_H_
 
+#include <functional>
 #include <list>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "src/base/codec.h"
 #include "src/base/status.h"
+#include "src/base/storage_faults.h"
 #include "src/base/types.h"
 #include "src/sim/scheduler.h"
 #include "src/sim/sync.h"
@@ -34,6 +46,12 @@ struct DiskConfig {
   // One data-disk transfer (Table 1: raw disk write 26.8 ms/track; reads similar).
   SimDuration disk_read_latency = Usec(20000);
   SimDuration disk_write_latency = Usec(26800);
+  // Media faults on the data disk; see src/base/storage_faults.h.
+  StorageFaultConfig faults;
+  // Background scrubber: every interval, CRC-check a batch of cold pages and
+  // repair failures through the media-repair hook. 0 disables the scrubber.
+  SimDuration scrub_interval = 0;
+  size_t scrub_pages_per_pass = 4;
 };
 
 struct DiskCounters {
@@ -42,7 +60,23 @@ struct DiskCounters {
   uint64_t writes = 0;
   uint64_t evictions = 0;
   uint64_t wal_forces = 0;  // Forces triggered by the WAL rule at eviction/flush.
+  // Media faults injected (what the fault layer did to us).
+  uint64_t torn_writes_injected = 0;
+  uint64_t bit_rot_injected = 0;
+  uint64_t sector_errors_injected = 0;
+  uint64_t write_stalls = 0;
+  // Media faults detected and handled (what the CRC layer caught).
+  uint64_t crc_failures_detected = 0;
+  uint64_t pages_repaired = 0;       // Rebuilt from the log via the repair hook.
+  uint64_t repair_failures = 0;      // Hook missing or log had no coverage.
+  uint64_t pages_scrubbed = 0;       // Pages CRC-checked by the scrubber.
+  uint64_t scrub_repairs = 0;        // Repairs initiated by the scrubber.
 };
+
+// Rebuilds a page's correct current value from the durable log (registered by
+// the recovery manager). Returns Corruption if the log has no coverage.
+using MediaRepairFn =
+    std::function<Async<Result<Bytes>>(std::string segment, std::string object)>;
 
 // Pages are keyed by (segment, object); each recoverable object occupies its
 // own page (a deliberate simplification documented in DESIGN.md).
@@ -53,7 +87,9 @@ class DiskManager {
   StableLog& log() { return log_; }
 
   // Reads an object's current buffered value; faults it from the data disk on
-  // a miss. NotFound if the object has never been written or flushed.
+  // a miss. NotFound if the object has never been written or flushed. A page
+  // whose CRC fails on the physical read is rebuilt through the media-repair
+  // hook; Corruption if no hook is registered or the rebuild fails.
   Async<Result<Bytes>> Read(const std::string& segment, const std::string& object);
 
   // Installs a new value in the buffer pool. `rec_lsn` is the log record
@@ -69,14 +105,31 @@ class DiskManager {
   Async<void> FlushAll();
 
   // Crash: the buffer pool is volatile and vanishes; the data disk and the
-  // durable log survive. Callers then run recovery (src/recovery).
+  // durable log survive. Callers then run recovery (src/recovery). The
+  // scrubber incarnation dies with the site; call StartScrubber on restart.
   void OnCrash();
+
+  // Registers the redo-from-log page rebuilder (recovery manager).
+  void set_media_repair(MediaRepairFn fn) { repair_ = std::move(fn); }
+
+  // Spawns the background scrub coroutine (no-op if scrub_interval == 0 or a
+  // live incarnation is already running).
+  void StartScrubber();
+
+  // Enables/changes media faults mid-run (e.g. after a clean loading phase).
+  void set_faults(const StorageFaultConfig& faults) { config_.faults = faults; }
 
   // Recovery-only: writes directly to the data disk image without WAL checks
   // (used by redo/undo which re-derive correctness from the log itself).
+  // Recovery writes are modeled clean: restart re-verifies everything anyway.
   void RecoveryWrite(const std::string& segment, const std::string& object, Bytes value);
   // Recovery-only synchronous read of the disk image (no buffering, no delay).
+  // Corruption if the stored page fails its CRC check.
   Result<Bytes> RecoveryRead(const std::string& segment, const std::string& object) const;
+
+  // Every (segment, object) whose stored page currently fails its CRC —
+  // restart media-recovery sweeps this list and rebuilds each entry.
+  std::vector<std::pair<std::string, std::string>> CorruptPages() const;
 
   // Cold backup/restore of the data-disk image (pairs with
   // StableLog::SaveToFile for a full stable-storage snapshot). Load replaces
@@ -88,6 +141,9 @@ class DiskManager {
   size_t dirty_frames() const;
   size_t buffered_frames() const { return frames_.size(); }
 
+  // Testing hook: damage the stored image of a page so its CRC fails.
+  void CorruptStoredPage(const std::string& segment, const std::string& object);
+
  private:
   struct Frame {
     Bytes value;
@@ -95,20 +151,45 @@ class DiskManager {
     bool dirty = false;
     std::list<std::string>::iterator lru_pos;
   };
+  // One page of the data-disk image. `crc` is computed at store time; a
+  // mismatch on read means the media garbled the page after the fact.
+  struct StoredPage {
+    Bytes data;
+    uint32_t crc = 0;
+    bool sector_lost = false;  // Latent sector error: unreadable until rewritten.
+
+    bool Intact() const { return !sector_lost && Crc32(data) == crc; }
+  };
 
   static std::string PageKey(const std::string& segment, const std::string& object);
+  static std::pair<std::string, std::string> SplitKey(const std::string& key);
   void Touch(const std::string& key, Frame& frame);
   // Evicts LRU frames until the pool has room; flushes dirty victims.
   Async<void> EnsureRoom();
   Async<void> FlushFrame(const std::string& key, Frame& frame);
+  // Stores a page with a fresh CRC (the clean path).
+  void StorePage(const std::string& key, Bytes value);
+  // Fault hooks around physical transfers.
+  void InjectWriteFaults(const std::string& key, const Bytes& value);
+  void InjectReadFaults(const std::string& key);
+  SimDuration DrawWriteLatency();
+  // Runs the repair hook for a corrupt page; re-stores the rebuilt value.
+  Async<Result<Bytes>> RepairPage(const std::string& segment, const std::string& object,
+                                  bool from_scrub);
+  Async<void> ScrubberLoop(uint64_t epoch);
 
   Scheduler& sched_;
   StableLog& log_;
   DiskConfig config_;
   std::unordered_map<std::string, Frame> frames_;
   std::list<std::string> lru_;  // Front = most recent.
-  std::unordered_map<std::string, Bytes> disk_;  // The data-disk image.
+  std::unordered_map<std::string, StoredPage> disk_;  // The data-disk image.
   SimMutex io_;  // Serializes physical data-disk transfers.
+  Rng fault_rng_;  // Private stream: fault draws stay reproducible.
+  MediaRepairFn repair_;
+  uint64_t crash_epoch_ = 0;  // Bumped on crash; retires the scrubber.
+  bool scrubber_running_ = false;
+  size_t scrub_cursor_ = 0;  // Position in the sorted key list between passes.
   DiskCounters counters_;
 };
 

@@ -19,6 +19,23 @@ CamelotSite::CamelotSite(Scheduler& sched, Network& net, NameService& names, Sit
     log_.OnCrash();
     diskmgr_.OnCrash();
   });
+  // Media recovery: a CRC-failing data page (foreground read or background
+  // scrub) is rebuilt by redoing its history from the log.
+  diskmgr_.set_media_repair([this](std::string segment, std::string object) {
+    return recovery_.RebuildPage(std::move(segment), std::move(object));
+  });
+  diskmgr_.StartScrubber();
+}
+
+void CamelotSite::RecordRecovery(const RecoveryReport& report) {
+  last_recovery_ = report;
+  ++recovery_totals_.recoveries;
+  if (!report.status.ok()) {
+    ++recovery_totals_.failed_recoveries;
+  }
+  recovery_totals_.frames_salvaged += report.frames_salvaged;
+  recovery_totals_.pages_repaired += report.pages_repaired;
+  recovery_totals_.repair_failures += report.repair_failures;
 }
 
 DataServer* CamelotSite::AddServer(const std::string& name, ServerConfig config) {
@@ -59,8 +76,17 @@ void World::Restart(int site_index) {
   CamelotSite& s = site(site_index);
   s.site().Restart();
   sched_.Spawn([](CamelotSite* cs) -> Async<void> {
-    co_await cs->recovery().Recover(cs->ServerMap());
+    RecoveryReport report = co_await cs->recovery().Recover(cs->ServerMap());
+    cs->RecordRecovery(report);
+    if (!report.status.ok()) {
+      // Interior log corruption: the durable state is not trustworthy.
+      // Refuse service (stay down) rather than run on a silently truncated
+      // history — a real installation would page an operator for the archive.
+      cs->site().Crash();
+      co_return;
+    }
     cs->tranman().AnnounceRecovered();
+    cs->diskmgr().StartScrubber();
   }(&s));
 }
 
@@ -134,6 +160,27 @@ std::string World::StatsReport() {
   });
   row("pool evictions", [](CamelotSite& s) {
     return s.diskmgr().counters().evictions;
+  });
+  row("log mirror writes", [](CamelotSite& s) {
+    return s.log().counters().mirror_writes;
+  });
+  row("log torn writes", [](CamelotSite& s) {
+    return s.log().counters().torn_writes_injected;
+  });
+  row("log frames salvaged", [](CamelotSite& s) {
+    return s.log().counters().frames_salvaged;
+  });
+  row("data crc failures", [](CamelotSite& s) {
+    return s.diskmgr().counters().crc_failures_detected;
+  });
+  row("data pages repaired", [](CamelotSite& s) {
+    return s.diskmgr().counters().pages_repaired;
+  });
+  row("pages scrubbed", [](CamelotSite& s) {
+    return s.diskmgr().counters().pages_scrubbed;
+  });
+  row("restart pages rebuilt", [](CamelotSite& s) {
+    return static_cast<uint64_t>(s.recovery_totals().pages_repaired);
   });
   std::string out = report.Render();
   char buf[128];

@@ -57,6 +57,20 @@ class CamelotSite {
   DataServer* server(const std::string& name);
   std::map<std::string, DataServer*> ServerMap();
 
+  // Media-recovery observability: the report of the most recent restart, and
+  // totals accumulated across every restart of this site (the chaos soak
+  // asserts on these).
+  struct RecoveryTotals {
+    size_t recoveries = 0;
+    size_t failed_recoveries = 0;  // Non-OK status (interior log corruption).
+    size_t frames_salvaged = 0;
+    size_t pages_repaired = 0;
+    size_t repair_failures = 0;
+  };
+  void RecordRecovery(const RecoveryReport& report);
+  const RecoveryReport& last_recovery() const { return last_recovery_; }
+  const RecoveryTotals& recovery_totals() const { return recovery_totals_; }
+
  private:
   Site site_;
   NetMsgServer netmsg_;
@@ -67,6 +81,8 @@ class CamelotSite {
   TranMan tranman_;
   RecoveryManager recovery_;
   std::map<std::string, std::unique_ptr<DataServer>> servers_;
+  RecoveryReport last_recovery_;
+  RecoveryTotals recovery_totals_;
 };
 
 class World {

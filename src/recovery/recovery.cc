@@ -38,22 +38,48 @@ Async<Status> RecoveryManager::WriteCheckpoint() {
   if (tranman_.live_family_count() != 0) {
     co_return FailedPreconditionError("transaction began during checkpoint flush");
   }
-  const Lsn checkpoint_start = log_.buffered_lsn();
   const Lsn lsn = log_.Append(LogRecord::Checkpoint());
   const bool durable = co_await log_.Force(lsn);
   if (!durable) {
     co_return UnavailableError("crashed during checkpoint force");
   }
   // Everything before the checkpoint record is flushed data of finished
-  // transactions: reclaim the space.
-  log_.ReclaimBefore(checkpoint_start);
+  // transactions: reclaim the space — but retain the configured number of
+  // checkpoint generations, because media recovery rebuilds a corrupt page by
+  // redoing its history, and a page damaged AFTER the checkpoint flushed it
+  // needs the previous interval's records (a bounded on-disk archive).
+  const size_t keep = static_cast<size_t>(
+      std::max(1, log_.config().checkpoint_generations_retained));
+  std::vector<uint64_t> starts;  // Frame-start offset of each checkpoint record.
+  uint64_t prev = log_.reclaimed_bytes();
+  for (const LogRecord& rec : log_.ReadDurable()) {
+    if (rec.kind == LogRecordKind::kCheckpoint) {
+      starts.push_back(prev);
+    }
+    prev = rec.lsn.value;
+  }
+  if (starts.size() >= keep) {
+    log_.ReclaimBefore(Lsn{starts[starts.size() - keep]});
+  }
   co_return OkStatus();
 }
 
 Async<RecoveryReport> RecoveryManager::Recover(
     const std::map<std::string, DataServer*>& servers) {
   RecoveryReport report;
-  std::vector<LogRecord> records = log_.ReadDurable();
+  LogReplay replay = log_.ReplayDurable();
+  report.frames_salvaged = replay.frames_salvaged;
+  if (replay.end == LogScanEnd::kInteriorCorruption) {
+    // A complete interior frame failed CRC on every mirror: the disk lost
+    // committed work. Replaying the prefix and carrying on would silently
+    // drop transactions that were acknowledged as durable — refuse instead.
+    report.status = CorruptionError(
+        "log interior corruption: committed work lost; refusing to silently truncate replay");
+    CTRACE("[%8.1fms] %s recovery FAILED: interior log corruption after %zu records",
+           ToMs(site_.sched().now()), ToString(site_.id()).c_str(), replay.records.size());
+    co_return report;
+  }
+  std::vector<LogRecord> records = std::move(replay.records);
   // Replay starts at the LAST durable checkpoint: everything before it is
   // flushed data of finished transactions.
   size_t start = 0;
@@ -127,6 +153,7 @@ Async<RecoveryReport> RecoveryManager::Recover(
   // un-compensated forward is the newest record on its object, so writing its
   // old_value after full replay is correct. Per (family, object) the records
   // form a stack: forwards push, CLRs pop; the survivors get undone.
+  Lsn clr_lsn{0};
   for (const FamilyId& family : family_order) {
     const FamilyTrace& trace = traces.at(family);
     const bool in_doubt =
@@ -153,7 +180,34 @@ Async<RecoveryReport> RecoveryManager::Recover(
               [](const LogRecord* a, const LogRecord* b) { return a->lsn > b->lsn; });
     for (const LogRecord* rec : survivors) {
       diskmgr_.RecoveryWrite(rec->server, rec->object, rec->old_value);
+      // Log a CLR for the restart undo, exactly as a live abort would. This
+      // keeps "repeat history" complete: the newest update record for an
+      // object is always its current value, which is what media recovery
+      // (RebuildPage) depends on — and a re-crash won't re-undo these.
+      clr_lsn = log_.Append(LogRecord::UndoUpdate(rec->tid, rec->server, rec->object,
+                                                  rec->new_value, rec->old_value));
       ++report.undo_writes;
+    }
+  }
+  if (clr_lsn.value > 0) {
+    // CLRs must be durable before media recovery may trust repeat history.
+    co_await log_.Force(clr_lsn);
+  }
+
+  // --- Media recovery: rebuild CRC-failing data pages from the log ---------------
+  // Passes 2-3 re-stored (clean) every page with post-checkpoint coverage, so
+  // what is still corrupt here was damaged after its last update was
+  // checkpointed away — rebuild it from whatever the log physically retains.
+  for (const auto& [segment, object] : diskmgr_.CorruptPages()) {
+    Result<Bytes> rebuilt = co_await RebuildPage(segment, object);
+    if (rebuilt.ok()) {
+      diskmgr_.RecoveryWrite(segment, object, *rebuilt);
+      ++report.pages_repaired;
+    } else {
+      // No retained coverage (e.g. the history was reclaimed at a checkpoint
+      // and the media rotted afterwards). A real deployment falls back to the
+      // archive log here; we count it and leave the page to fail loudly.
+      ++report.repair_failures;
     }
   }
 
@@ -230,6 +284,29 @@ Async<RecoveryReport> RecoveryManager::Recover(
          report.families_committed, report.families_aborted, report.families_presumed,
          report.families_prepared, report.coordinators_resumed);
   co_return report;
+}
+
+Async<Result<Bytes>> RecoveryManager::RebuildPage(std::string segment, std::string object) {
+  // Media recovery re-reads the retained log from stable storage: charge one
+  // log-disk transfer for the scan.
+  co_await site_.sched().Delay(log_.config().force_latency);
+  const std::vector<LogRecord> records = log_.ReadDurable();
+  // Repeat history for just this page. Every writer logs its forwards AND its
+  // undos (live aborts and restart undo both emit CLRs), so the newest update
+  // record is the page's current committed-or-flushed value. Prepared
+  // in-doubt updates are included deliberately: their forwards are what the
+  // WAL rule allowed onto the disk.
+  const Bytes* value = nullptr;
+  for (const LogRecord& rec : records) {
+    if (rec.kind == LogRecordKind::kUpdate && rec.server == segment && rec.object == object) {
+      value = &rec.new_value;
+    }
+  }
+  if (value == nullptr) {
+    co_return CorruptionError("media recovery: no retained log coverage for " + segment + "/" +
+                              object);
+  }
+  co_return *value;
 }
 
 }  // namespace camelot

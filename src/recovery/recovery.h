@@ -14,6 +14,15 @@
 //      the transaction manager re-parks prepared subordinates (status query /
 //      takeover), resumes committed coordinators whose End record is missing,
 //      and plants outcome tombstones (NBC change 4).
+//
+// The log scan itself is ReplayDurable(): mirror-salvaging and end-classified.
+// A torn tail is expected (crash cut a force short) and is truncated; interior
+// corruption that no mirror can cover means committed work is gone, and
+// Recover fails LOUDLY (kCorruption status) instead of silently truncating
+// replay at the damage. Between passes 3 and 4 a media sweep rebuilds every
+// data page whose stored CRC fails, by redoing its history from the log
+// (RebuildPage); the same routine is the disk manager's repair hook for
+// corruption found later by foreground reads or the background scrubber.
 #ifndef SRC_RECOVERY_RECOVERY_H_
 #define SRC_RECOVERY_RECOVERY_H_
 
@@ -30,6 +39,10 @@
 namespace camelot {
 
 struct RecoveryReport {
+  // Non-OK means restart could NOT restore a consistent state — in practice
+  // kCorruption when the log scan hit interior media corruption with no
+  // intact mirror (committed work is gone; silent truncation would be worse).
+  Status status = OkStatus();
   size_t records_replayed = 0;   // Records AFTER the last checkpoint.
   size_t records_skipped = 0;    // Records before the last checkpoint.
   size_t families_committed = 0;
@@ -39,6 +52,10 @@ struct RecoveryReport {
   size_t coordinators_resumed = 0; // Commit without End: phase 2 restarted.
   size_t redo_writes = 0;
   size_t undo_writes = 0;
+  // Media recovery (see DESIGN.md "Storage fault model").
+  size_t frames_salvaged = 0;   // Log frames rebuilt from the other mirror.
+  size_t pages_repaired = 0;    // CRC-failing data pages rebuilt from the log.
+  size_t repair_failures = 0;   // Corrupt pages the retained log cannot rebuild.
 };
 
 class RecoveryManager {
@@ -54,6 +71,16 @@ class RecoveryManager {
   // kFailedPrecondition while any transaction is live at this site (the
   // simple policy Camelot-era systems used between batch windows).
   Async<Status> WriteCheckpoint();
+
+  // Media recovery: rebuilds one page's current committed value by repeating
+  // history from the full *retained* durable log (i.e. falling back past the
+  // last checkpoint to whatever the log still physically holds). Both live
+  // aborts and restart undo log CLRs, so the newest update record for an
+  // object IS its current value. Registered with the disk manager as the
+  // repair hook for CRC-failing pages (foreground reads and the scrubber);
+  // also used by Recover's restart media sweep. Corruption if the retained
+  // log has no coverage for the page.
+  Async<Result<Bytes>> RebuildPage(std::string segment, std::string object);
 
  private:
   Site& site_;

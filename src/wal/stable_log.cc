@@ -1,21 +1,31 @@
 #include "src/wal/stable_log.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <optional>
 
 #include "src/base/logging.h"
 
-#include <cstdio>
-
 namespace camelot {
 
+namespace {
+// Frame layout: payload length (4) + payload CRC (4) + header CRC over the
+// first 8 bytes (4). The header CRC lets replay trust the length field, which
+// is what makes a torn tail (valid header, payload cut short) distinguishable
+// from interior corruption (header or payload CRC mismatch on a complete
+// frame).
+constexpr size_t kFrameHeaderBytes = 12;
+}  // namespace
+
 StableLog::StableLog(Scheduler& sched, LogConfig config)
-    : sched_(sched), config_(config), disk_(sched) {}
+    : sched_(sched), config_(config), disk_(sched), fault_rng_(sched.rng().Fork()) {}
 
 Lsn StableLog::Append(const LogRecord& record) {
   const Bytes payload = record.Encode();
   ByteWriter frame;
   frame.U32(static_cast<uint32_t>(payload.size()));
   frame.U32(Crc32(payload));
+  frame.U32(Crc32(frame.bytes().data(), 8));
   const Bytes& header = frame.bytes();
   tail_.insert(tail_.end(), header.begin(), header.end());
   tail_.insert(tail_.end(), payload.begin(), payload.end());
@@ -27,6 +37,16 @@ Async<Lsn> StableLog::AppendAndForce(const LogRecord& record) {
   const Lsn lsn = Append(record);
   co_await Force(lsn);
   co_return lsn;
+}
+
+SimDuration StableLog::DrawWriteLatency() {
+  SimDuration latency = config_.force_latency;
+  if (config_.faults.write_stall_probability > 0.0 &&
+      fault_rng_.NextBool(config_.faults.write_stall_probability)) {
+    latency += config_.faults.write_stall_extra;
+    ++counters_.write_stalls;
+  }
+  return latency;
 }
 
 Async<bool> StableLog::Force(Lsn upto) {
@@ -45,7 +65,7 @@ Async<bool> StableLog::Force(Lsn upto) {
     }
     if (!IsDurable(upto)) {
       inflight_target_ = upto.value;
-      co_await sched_.Delay(config_.force_latency);
+      co_await sched_.Delay(DrawWriteLatency());
       if (epoch != crash_epoch_) {
         disk_.Unlock();
         co_return IsDurable(upto);  // Crashed mid-write; OnCrash published the torn prefix.
@@ -84,7 +104,7 @@ Async<void> StableLog::WriterDaemon() {
     // that queued while the previous write was in progress rides along.
     const uint64_t target = buffered_lsn().value;
     inflight_target_ = target;
-    co_await sched_.Delay(config_.force_latency);
+    co_await sched_.Delay(DrawWriteLatency());
     if (epoch != crash_epoch_) {
       co_return;  // Crashed mid-write; OnCrash already published the torn prefix.
     }
@@ -113,7 +133,34 @@ void StableLog::Publish(uint64_t target) {
   CAMELOT_CHECK(target >= durable_bytes_);
   const size_t n = static_cast<size_t>(target - durable_bytes_);
   CAMELOT_CHECK(n <= tail_.size());
-  durable_.insert(durable_.end(), tail_.begin(), tail_.begin() + static_cast<ptrdiff_t>(n));
+  const size_t rel = static_cast<size_t>(durable_bytes_ - base_offset_);
+  for (int m = 0; m < active_mirrors(); ++m) {
+    Bytes& image = mirror_[m];
+    CAMELOT_CHECK(image.size() == rel);
+    image.insert(image.end(), tail_.begin(), tail_.begin() + static_cast<ptrdiff_t>(n));
+    ++counters_.mirror_writes;
+    if (!image.empty() && config_.faults.bit_rot_probability > 0.0 &&
+        fault_rng_.NextBool(config_.faults.bit_rot_probability)) {
+      // Latent decay of a random byte of this mirror, surfaced only when a
+      // CRC check next covers it.
+      image[fault_rng_.NextBounded(image.size())] ^=
+          static_cast<uint8_t>(1u << fault_rng_.NextBounded(8));
+      ++counters_.bit_rot_injected;
+    }
+  }
+  if (n > 0 && config_.faults.torn_write_probability > 0.0 &&
+      fault_rng_.NextBool(config_.faults.torn_write_probability)) {
+    // An interrupted transfer garbles this write from a random point to its
+    // end, on ONE mirror: duplexed mirrors are independent transfers, so a
+    // single torn force does not take out both copies.
+    const int victim = static_cast<int>(fault_rng_.NextBounded(
+        static_cast<uint64_t>(active_mirrors())));
+    Bytes& image = mirror_[victim];
+    for (size_t i = rel + fault_rng_.NextBounded(n); i < image.size(); ++i) {
+      image[i] ^= 0xa5;
+    }
+    ++counters_.torn_writes_injected;
+  }
   tail_.erase(tail_.begin(), tail_.begin() + static_cast<ptrdiff_t>(n));
   durable_bytes_ = target;
   counters_.bytes_written += n;
@@ -121,15 +168,27 @@ void StableLog::Publish(uint64_t target) {
 
 void StableLog::OnCrash() {
   ++crash_epoch_;
-  // If a physical write was in progress, the disk holds a torn prefix of it:
-  // publish a random number of its bytes so recovery sees a realistic torn
-  // frame (ReadDurable stops at the first bad frame).
+  // If a physical write was in progress, each mirror holds an independently
+  // torn prefix of it (two disks stop at different points). The durable
+  // watermark advances to the longest prefix: a frame is durable as long as
+  // either copy holds it intact, and replay salvages across mirrors.
   if (inflight_target_ > durable_bytes_) {
     const uint64_t full = inflight_target_ - durable_bytes_;
-    const uint64_t partial = sched_.rng().NextBounded(full + 1);
-    if (partial > 0) {
-      Publish(durable_bytes_ + partial);
+    const size_t rel = static_cast<size_t>(durable_bytes_ - base_offset_);
+    uint64_t keep = 0;
+    for (int m = 0; m < active_mirrors(); ++m) {
+      const uint64_t partial = sched_.rng().NextBounded(full + 1);
+      mirror_[m].insert(mirror_[m].end(), tail_.begin(),
+                        tail_.begin() + static_cast<ptrdiff_t>(partial));
+      keep = std::max(keep, partial);
     }
+    for (int m = 0; m < active_mirrors(); ++m) {
+      // Pad the shorter mirror so offsets stay aligned; the padding never
+      // parses as a valid frame and is repaired or truncated at replay.
+      mirror_[m].resize(rel + static_cast<size_t>(keep), 0);
+    }
+    durable_bytes_ += keep;
+    counters_.bytes_written += keep;
     inflight_target_ = 0;
   }
   tail_.clear();
@@ -140,37 +199,116 @@ void StableLog::OnCrash() {
   waiters_.clear();
 }
 
-std::vector<LogRecord> StableLog::ReadDurable() const {
-  std::vector<LogRecord> records;
+StableLog::FrameProbe StableLog::Probe(const Bytes& image, size_t pos,
+                                       size_t* frame_len) const {
+  if (pos + kFrameHeaderBytes > image.size()) {
+    return FrameProbe::kTorn;  // Incomplete header at the end of this copy.
+  }
+  ByteReader header(image.data() + pos, kFrameHeaderBytes);
+  const uint32_t len = header.U32();
+  const uint32_t payload_crc = header.U32();
+  const uint32_t header_crc = header.U32();
+  if (Crc32(image.data() + pos, 8) != header_crc) {
+    return FrameProbe::kBad;  // Header damaged: the length cannot be trusted.
+  }
+  if (pos + kFrameHeaderBytes + len > image.size()) {
+    return FrameProbe::kTorn;  // Valid header, payload cut short: torn write.
+  }
+  if (Crc32(image.data() + pos + kFrameHeaderBytes, len) != payload_crc) {
+    return FrameProbe::kBad;  // Complete frame, corrupt payload: media damage.
+  }
+  *frame_len = kFrameHeaderBytes + len;
+  return FrameProbe::kValid;
+}
+
+LogReplay StableLog::Replay(bool repair) {
+  LogReplay out;
+  const int n = active_mirrors();
   size_t pos = 0;
-  while (pos + 8 <= durable_.size()) {
-    ByteReader header(durable_.data() + pos, 8);
-    const uint32_t len = header.U32();
-    const uint32_t crc = header.U32();
-    if (pos + 8 + len > durable_.size()) {
-      break;  // Torn frame at the end.
+  for (;;) {
+    FrameProbe probe[2] = {FrameProbe::kTorn, FrameProbe::kTorn};
+    size_t frame_len = 0;
+    int good = -1;
+    std::optional<LogRecord> record;
+    for (int m = 0; m < n; ++m) {
+      size_t len = 0;
+      probe[m] = Probe(mirror_[m], pos, &len);
+      if (probe[m] != FrameProbe::kValid) {
+        continue;
+      }
+      Bytes payload(mirror_[m].begin() + static_cast<ptrdiff_t>(pos + kFrameHeaderBytes),
+                    mirror_[m].begin() + static_cast<ptrdiff_t>(pos + len));
+      auto decoded = LogRecord::Decode(payload);
+      if (!decoded.ok()) {
+        probe[m] = FrameProbe::kBad;  // CRC-valid but undecodable: damage too.
+        continue;
+      }
+      if (good < 0) {
+        good = m;
+        frame_len = len;
+        record = std::move(*decoded);
+      }
     }
-    const uint8_t* payload = durable_.data() + pos + 8;
-    if (Crc32(payload, len) != crc) {
-      break;  // Corruption: stop replay here.
-    }
-    Bytes payload_bytes(payload, payload + len);
-    auto rec = LogRecord::Decode(payload_bytes);
-    if (!rec.ok()) {
+    if (good < 0) {
+      bool all_at_end = true;
+      bool any_torn = false;
+      for (int m = 0; m < n; ++m) {
+        all_at_end = all_at_end && pos == mirror_[m].size();
+        any_torn = any_torn || probe[m] == FrameProbe::kTorn;
+      }
+      out.end = all_at_end ? LogScanEnd::kCleanEnd
+                           : (any_torn ? LogScanEnd::kTornTail
+                                       : LogScanEnd::kInteriorCorruption);
       break;
     }
-    rec->lsn = Lsn{base_offset_ + pos + 8 + len};
-    records.push_back(std::move(*rec));
-    pos += 8 + len;
+    if (good != 0) {
+      // The primary copy of this frame was unreadable; the mirror saved it.
+      ++out.frames_salvaged;
+      if (repair) {
+        ++counters_.frames_salvaged;
+      }
+    }
+    if (repair) {
+      for (int m = 0; m < n; ++m) {
+        if (m == good || probe[m] == FrameProbe::kValid) {
+          continue;
+        }
+        if (mirror_[m].size() < pos + frame_len) {
+          mirror_[m].resize(pos + frame_len);
+        }
+        std::copy(mirror_[good].begin() + static_cast<ptrdiff_t>(pos),
+                  mirror_[good].begin() + static_cast<ptrdiff_t>(pos + frame_len),
+                  mirror_[m].begin() + static_cast<ptrdiff_t>(pos));
+      }
+    }
+    record->lsn = Lsn{base_offset_ + pos + frame_len};
+    out.records.push_back(std::move(*record));
+    pos += frame_len;
   }
-  return records;
+  if (repair) {
+    if (out.end == LogScanEnd::kInteriorCorruption) {
+      ++counters_.interior_corruption;
+    } else if (out.end == LogScanEnd::kTornTail && tail_.empty()) {
+      // Truncate the torn garbage so subsequent appends extend a clean log.
+      // (Without this, a torn frame would sit mid-log forever and silently
+      // end every future replay at that point.)
+      for (int m = 0; m < n; ++m) {
+        mirror_[m].resize(pos);
+      }
+      durable_bytes_ = base_offset_ + pos;
+    }
+  }
+  return out;
 }
 
 void StableLog::ReclaimBefore(Lsn lsn) {
   CAMELOT_CHECK(lsn.value >= base_offset_);
   CAMELOT_CHECK(lsn.value <= durable_bytes_);
   const size_t drop = static_cast<size_t>(lsn.value - base_offset_);
-  durable_.erase(durable_.begin(), durable_.begin() + static_cast<ptrdiff_t>(drop));
+  for (int m = 0; m < active_mirrors(); ++m) {
+    CAMELOT_CHECK(mirror_[m].size() >= drop);
+    mirror_[m].erase(mirror_[m].begin(), mirror_[m].begin() + static_cast<ptrdiff_t>(drop));
+  }
   base_offset_ = lsn.value;
 }
 
@@ -179,14 +317,15 @@ bool StableLog::SaveToFile(const std::string& path) const {
   if (f == nullptr) {
     return false;
   }
+  const Bytes& durable = mirror_[0];
   ByteWriter header;
   header.U32(0x43414d4cu);  // "CAML"
   header.U64(base_offset_);
-  header.U64(durable_.size());
-  header.U32(Crc32(durable_));
+  header.U64(durable.size());
+  header.U32(Crc32(durable));
   bool ok = std::fwrite(header.bytes().data(), 1, header.size(), f) == header.size();
-  ok = ok && (durable_.empty() ||
-              std::fwrite(durable_.data(), 1, durable_.size(), f) == durable_.size());
+  ok = ok && (durable.empty() ||
+              std::fwrite(durable.data(), 1, durable.size(), f) == durable.size());
   std::fclose(f);
   return ok;
 }
@@ -217,16 +356,18 @@ bool StableLog::LoadFromFile(const std::string& path) {
   if (!read_ok || Crc32(image) != crc) {
     return false;
   }
-  durable_ = std::move(image);
+  mirror_[1] = config_.duplex ? image : Bytes{};
+  mirror_[0] = std::move(image);
   base_offset_ = base;
-  durable_bytes_ = base + durable_.size();
+  durable_bytes_ = base + mirror_[0].size();
   tail_.clear();
   return true;
 }
 
-void StableLog::CorruptDurableByte(size_t offset) {
-  CAMELOT_CHECK(offset < durable_.size());
-  durable_[offset] ^= 0xff;
+void StableLog::CorruptDurableByte(size_t offset, int mirror) {
+  CAMELOT_CHECK(mirror >= 0 && mirror < active_mirrors());
+  CAMELOT_CHECK(offset < mirror_[mirror].size());
+  mirror_[mirror][offset] ^= 0xff;
 }
 
 }  // namespace camelot

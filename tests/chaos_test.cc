@@ -182,5 +182,174 @@ TEST_P(ChaosSweep, MoneyConservedAndStateConvergesThroughChaos) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSweep,
                          ::testing::Range<uint64_t>(1, 21));
 
+// --- Storage-fault soak ------------------------------------------------------------
+//
+// The same transfer chaos, but on degraded hardware: the duplexed log and the
+// data disks tear writes, rot bits, lose sectors, and stall — while sites
+// crash and partitions come and go. Money must still be conserved and every
+// site must agree, AND the media-recovery machinery must actually have done
+// work (pages rebuilt from the log, log frames salvaged from a mirror).
+// One TEST looping seeds internally: the repair/salvage totals accumulate
+// across the sweep (each gtest runs in its own process under ctest).
+
+WorldConfig StorageChaosConfig(uint64_t seed) {
+  WorldConfig cfg = ChaosConfig(seed);
+  cfg.log.duplex = true;  // A single log disk cannot survive torn forces.
+  cfg.disk.scrub_interval = Usec(400000);
+  cfg.disk.scrub_pages_per_pass = 2;
+  return cfg;
+}
+
+StorageFaultConfig LogFaults() {
+  StorageFaultConfig f;
+  f.torn_write_probability = 0.08;
+  f.bit_rot_probability = 0.005;
+  f.write_stall_probability = 0.05;
+  f.write_stall_extra = Usec(30000);
+  return f;
+}
+
+StorageFaultConfig DiskFaults() {
+  StorageFaultConfig f;
+  f.torn_write_probability = 0.10;
+  f.bit_rot_probability = 0.05;
+  f.latent_sector_error_probability = 0.10;
+  f.write_stall_probability = 0.05;
+  f.write_stall_extra = Usec(30000);
+  return f;
+}
+
+// Periodically flushes a random live site's pool so dirty pages keep crossing
+// the (faulty) physical write path — otherwise small working sets never evict
+// and the data disk sees no transfers between crashes.
+Async<void> PeriodicFlusher(World& world, uint64_t seed, int rounds) {
+  Rng rng(seed);
+  for (int i = 0; i < rounds; ++i) {
+    co_await world.sched().Delay(
+        Usec(600000 + static_cast<int64_t>(rng.NextBounded(400000))));
+    const int victim = static_cast<int>(rng.NextBounded(kSites));
+    if (world.site(victim).site().up()) {
+      co_await world.site(victim).diskmgr().FlushAll();
+    }
+  }
+}
+
+TEST(StorageFaultSoak, MoneyConservedAndMediaHealsAcrossSeeds) {
+  uint64_t total_pages_repaired = 0;   // Foreground + scrub + restart sweeps.
+  uint64_t total_frames_salvaged = 0;  // Log frames rebuilt from a mirror.
+  uint64_t total_crc_failures = 0;
+  uint64_t total_scrubbed = 0;
+
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    World world(StorageChaosConfig(seed));
+    for (int i = 0; i < kSites; ++i) {
+      world.AddServer(i, Srv(i))->CreateObjectForSetup("vault", EncodeInt64(0));
+    }
+    // Fund the vaults through the normal commit path with faults still OFF:
+    // CreateObjectForSetup bypasses the log, and media recovery can only
+    // rebuild pages the log has history for.
+    auto funded = world.RunSync([](World* w) -> Async<bool> {
+      AppClient app(w->site(0));
+      auto begin = co_await app.Begin();
+      if (!begin.ok()) {
+        co_return false;
+      }
+      for (int i = 0; i < kSites; ++i) {
+        auto st = co_await app.WriteInt(*begin, Srv(i), "vault", kInitialBalance);
+        if (!st.ok()) {
+          co_return false;
+        }
+      }
+      co_return (co_await app.Commit(*begin)).ok();
+    }(&world));
+    ASSERT_TRUE(funded.value_or(false)) << "seed " << seed;
+
+    // Degrade the hardware, then let the chaos rip.
+    for (int i = 0; i < kSites; ++i) {
+      world.site(i).log().set_faults(LogFaults());
+      world.site(i).diskmgr().set_faults(DiskFaults());
+    }
+    int committed = 0;
+    for (int home = 0; home < kSites; ++home) {
+      world.sched().Spawn(TrafficClient(world, home, /*transfers=*/8,
+                                        seed * 100 + static_cast<uint64_t>(home), &committed));
+    }
+    world.sched().Spawn(PeriodicFlusher(world, seed * 7 + 1, /*rounds=*/12));
+    Rng chaos_rng(seed * 31337);
+    ChaosDriver(world, &chaos_rng, /*remaining_events=*/6);
+    world.RunUntilIdle();
+
+    // Heal, then bounce EVERY site once more: the final restarts replay the
+    // (torn, rotted) duplexed logs — salvaging mirrors — and run the restart
+    // media sweep over whatever the scrubber had not caught yet.
+    world.net().ClearPartition();
+    for (int i = 0; i < kSites; ++i) {
+      if (world.site(i).site().up()) {
+        world.Crash(i);
+      }
+    }
+    for (int i = 0; i < kSites; ++i) {
+      world.Restart(i);
+    }
+    world.RunUntilIdle();
+
+    // Invariants, with the faults still enabled: audits ride the same repair
+    // machinery (a cold read that trips a latent sector error gets its page
+    // rebuilt from the log inline).
+    std::vector<int64_t> balances(kSites, -1);
+    for (int observer = 0; observer < 2; ++observer) {
+      AppClient auditor(world.site(observer));
+      int64_t total = 0;
+      for (int i = 0; i < kSites; ++i) {
+        auto v = world.RunSync([](AppClient& app, std::string srv) -> Async<int64_t> {
+          auto begin = co_await app.Begin();
+          if (!begin.ok()) {
+            co_return -1;
+          }
+          auto value = co_await app.ReadInt(*begin, srv, "vault");
+          co_await app.Commit(*begin);
+          co_return value.value_or(-1);
+        }(auditor, Srv(i)));
+        const int64_t balance = v.value_or(-1);
+        ASSERT_GE(balance, 0) << "seed " << seed << " site " << i;
+        if (observer == 0) {
+          balances[static_cast<size_t>(i)] = balance;
+        } else {
+          EXPECT_EQ(balance, balances[static_cast<size_t>(i)])
+              << "seed " << seed << ": observers disagree about site " << i;
+        }
+        total += balance;
+      }
+      EXPECT_EQ(total, kSites * kInitialBalance)
+          << "seed " << seed << " observer " << observer << " (committed " << committed << ")";
+    }
+    for (int i = 0; i < kSites; ++i) {
+      EXPECT_EQ(world.site(i).tranman().live_family_count(), 0u)
+          << "seed " << seed << " site " << i;
+      // No site may have hit unsalvageable interior log corruption.
+      EXPECT_EQ(world.site(i).recovery_totals().failed_recoveries, 0u)
+          << "seed " << seed << " site " << i;
+      total_pages_repaired += world.site(i).diskmgr().counters().pages_repaired +
+                              world.site(i).recovery_totals().pages_repaired;
+      total_frames_salvaged += world.site(i).log().counters().frames_salvaged;
+      total_crc_failures += world.site(i).diskmgr().counters().crc_failures_detected;
+      total_scrubbed += world.site(i).diskmgr().counters().pages_scrubbed;
+    }
+  }
+  // The sweep must have exercised the machinery it exists to test: at least
+  // one data page rebuilt from the log and at least one log frame salvaged
+  // from its mirror, across all seeds.
+  EXPECT_GE(total_pages_repaired, 1u);
+  EXPECT_GE(total_frames_salvaged, 1u);
+  // Every detected CRC failure was either repaired or honestly reported —
+  // print the totals for the curious (ctest -V).
+  std::printf("storage soak totals: %llu crc failures, %llu pages repaired, "
+              "%llu frames salvaged, %llu pages scrubbed\n",
+              static_cast<unsigned long long>(total_crc_failures),
+              static_cast<unsigned long long>(total_pages_repaired),
+              static_cast<unsigned long long>(total_frames_salvaged),
+              static_cast<unsigned long long>(total_scrubbed));
+}
+
 }  // namespace
 }  // namespace camelot

@@ -238,6 +238,87 @@ TEST(RecoveryTest, CrashMidAbortUndoesOnlyUncompensatedRecords) {
   EXPECT_EQ(DurableValue(world, "srv", "y"), (Bytes{5}));  // Already compensated.
 }
 
+TEST(RecoveryTest, InteriorLogCorruptionFailsRecoveryLoudly) {
+  // The single (non-duplexed) log lost a committed frame to media damage:
+  // recovery must refuse with a Corruption status, not silently replay the
+  // prefix and drop acknowledged transactions.
+  World world(Quiet());
+  world.AddServer(0, "srv");
+  const Tid tid = MakeTid(1);
+  SeedLog(world, {LogRecord::Update(tid, "srv", "x", {1}, {2}),
+                  LogRecord::Commit(tid, {})});
+  world.site(0).log().CorruptDurableByte(13);  // First frame's payload.
+  RecoveryReport report = RunRecovery(world);
+  EXPECT_EQ(report.status.code(), StatusCode::kCorruption);
+  EXPECT_EQ(report.records_replayed, 0u);
+  EXPECT_EQ(report.families_committed, 0u);  // Nothing was half-applied.
+}
+
+TEST(RecoveryTest, DuplexedLogSalvagesDamagedFrameDuringRecovery) {
+  // The same damage with a duplexed log is survivable: recovery reads the
+  // intact mirror, repairs the bad one, and reports the salvage.
+  WorldConfig cfg = Quiet();
+  cfg.log.duplex = true;
+  World world(cfg);
+  world.AddServer(0, "srv");
+  const Tid tid = MakeTid(1);
+  SeedLog(world, {LogRecord::Update(tid, "srv", "x", {1}, {2}),
+                  LogRecord::Commit(tid, {})});
+  world.site(0).log().CorruptDurableByte(13, /*mirror=*/0);
+  RecoveryReport report = RunRecovery(world);
+  EXPECT_TRUE(report.status.ok()) << report.status.ToString();
+  EXPECT_EQ(report.families_committed, 1u);
+  EXPECT_EQ(report.frames_salvaged, 1u);
+  EXPECT_EQ(DurableValue(world, "srv", "x"), (Bytes{2}));
+}
+
+TEST(RecoveryTest, RestartMediaSweepRebuildsPageCheckpointedAway) {
+  // A page whose updates sit in the PREVIOUS checkpoint interval is corrupted
+  // after the checkpoint flushed it; redo alone cannot help (its records are
+  // behind the replay start), so the restart media sweep must fall back past
+  // the last checkpoint and rebuild it from the retained history.
+  WorldConfig cfg = Quiet();
+  cfg.log.checkpoint_generations_retained = 2;
+  World world(cfg);
+  world.AddServer(0, "srv");
+  const Tid tid = MakeTid(1);
+  SeedLog(world, {LogRecord::Update(tid, "srv", "x", {1}, {2}),
+                  LogRecord::Commit(tid, {})});
+  RunRecovery(world);  // Redo writes x=2 onto the data disk.
+  auto checkpointed = world.RunSync([](World* w) -> Async<Status> {
+    co_return co_await w->site(0).recovery().WriteCheckpoint();
+  }(&world));
+  ASSERT_TRUE(checkpointed.has_value());
+  ASSERT_TRUE(checkpointed->ok()) << checkpointed->ToString();
+  // The media rots the flushed page after the checkpoint.
+  world.site(0).diskmgr().CorruptStoredPage("srv", "x");
+  RecoveryReport report = RunRecovery(world);
+  EXPECT_TRUE(report.status.ok()) << report.status.ToString();
+  EXPECT_EQ(report.pages_repaired, 1u);
+  EXPECT_EQ(report.repair_failures, 0u);
+  EXPECT_EQ(DurableValue(world, "srv", "x"), (Bytes{2}));
+}
+
+TEST(RecoveryTest, RestartSweepCountsUnrebuildablePage) {
+  // With only one checkpoint generation retained the history is reclaimed, so
+  // the same damage is honestly reported as unrepairable (archive territory).
+  World world(Quiet());
+  world.AddServer(0, "srv");
+  const Tid tid = MakeTid(1);
+  SeedLog(world, {LogRecord::Update(tid, "srv", "x", {1}, {2}),
+                  LogRecord::Commit(tid, {})});
+  RunRecovery(world);
+  auto checkpointed = world.RunSync([](World* w) -> Async<Status> {
+    co_return co_await w->site(0).recovery().WriteCheckpoint();
+  }(&world));
+  ASSERT_TRUE(checkpointed.has_value() && checkpointed->ok());
+  world.site(0).diskmgr().CorruptStoredPage("srv", "x");
+  RecoveryReport report = RunRecovery(world);
+  EXPECT_TRUE(report.status.ok());
+  EXPECT_EQ(report.pages_repaired, 0u);
+  EXPECT_EQ(report.repair_failures, 1u);
+}
+
 TEST(RecoveryTest, EmptyLogRecoversToNothing) {
   World world(Quiet());
   world.AddServer(0, "srv");

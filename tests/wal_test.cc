@@ -270,5 +270,145 @@ TEST(StableLogTest, LogSurvivesCrashButTailDoesNot) {
   }
 }
 
+// --- Duplexing and media corruption ------------------------------------------------
+
+TEST(StableLogTest, DuplexForcesBothMirrorsInParallel) {
+  Scheduler sched;
+  LogConfig cfg;
+  cfg.duplex = true;
+  StableLog log(sched, cfg);
+  const Lsn lsn = log.Append(LogRecord::Abort(kTid));
+  bool done = false;
+  sched.Spawn(ForceTask(log, lsn, &done));
+  sched.RunUntilIdle();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(sched.now(), Usec(15000));  // The mirrors are parallel, not serial.
+  EXPECT_EQ(log.counters().disk_writes, 1u);
+  EXPECT_EQ(log.counters().mirror_writes, 2u);
+  EXPECT_EQ(log.ReadDurable().size(), 1u);
+}
+
+TEST(StableLogTest, DuplexSalvagesFrameFromIntactMirror) {
+  Scheduler sched;
+  LogConfig cfg;
+  cfg.duplex = true;
+  StableLog log(sched, cfg);
+  log.Append(LogRecord::Update(kTid, "srv", "obj", {1}, {2}));
+  const Lsn lsn = log.Append(LogRecord::Commit(kTid, {}));
+  sched.Spawn([](StableLog& l, Lsn x) -> Async<void> { co_await l.Force(x); }(log, lsn));
+  sched.RunUntilIdle();
+  log.CorruptDurableByte(13, /*mirror=*/0);  // First frame's payload, primary copy.
+  LogReplay replay = log.ReplayDurable();
+  EXPECT_EQ(replay.end, LogScanEnd::kCleanEnd);
+  ASSERT_EQ(replay.records.size(), 2u);
+  EXPECT_EQ(replay.records[0].kind, LogRecordKind::kUpdate);
+  EXPECT_EQ(replay.records[0].new_value, (Bytes{2}));
+  EXPECT_EQ(replay.frames_salvaged, 1u);
+  EXPECT_EQ(log.counters().frames_salvaged, 1u);
+  // The replay also repaired the damaged mirror in place: a second scan is clean.
+  EXPECT_EQ(log.ReplayDurable().frames_salvaged, 0u);
+}
+
+TEST(StableLogTest, InteriorCorruptionIsLoudNotSilent) {
+  Scheduler sched;
+  StableLog log(sched, LogConfig{});  // Single log disk: nothing to salvage from.
+  log.Append(LogRecord::Update(kTid, "srv", "obj", {1}, {2}));
+  const Lsn lsn = log.Append(LogRecord::Commit(kTid, {}));
+  sched.Spawn([](StableLog& l, Lsn x) -> Async<void> { co_await l.Force(x); }(log, lsn));
+  sched.RunUntilIdle();
+  log.CorruptDurableByte(13);  // First frame's payload: committed work is damaged.
+  LogReplay replay = log.ReplayDurable();
+  EXPECT_EQ(replay.end, LogScanEnd::kInteriorCorruption);
+  EXPECT_TRUE(replay.records.empty());
+  EXPECT_EQ(log.counters().interior_corruption, 1u);
+  // No truncation: the damaged image stays as evidence, nothing pretends the
+  // log legitimately ends at the corruption.
+  EXPECT_EQ(log.durable_lsn(), lsn);
+}
+
+TEST(StableLogTest, ReplayTruncatesTornTailSoNewAppendsExtendCleanLog) {
+  // A crash mid-write can leave a torn final frame in the durable image.
+  // ReplayDurable must classify it as a torn tail (not corruption) and
+  // truncate it — otherwise the garbage sits mid-log forever and silently
+  // ends every future replay there once new records are appended past it.
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Scheduler sched(seed);
+    StableLog log(sched, LogConfig{});
+    const Lsn keep = log.Append(LogRecord::Abort(kTid));
+    bool keep_durable = false;
+    sched.Spawn(ForceTask(log, keep, &keep_durable));
+    sched.RunUntilIdle();
+    ASSERT_TRUE(keep_durable);
+    const Lsn lost =
+        log.Append(LogRecord::Update(kTid, "srv", "obj", Bytes(40, 1), Bytes(40, 2)));
+    bool lost_durable = true;
+    sched.Spawn(ForceTask(log, lost, &lost_durable));
+    sched.Post(Usec(22000), [&] { log.OnCrash(); });  // Mid-write (15..30 ms).
+    sched.RunUntilIdle();
+
+    LogReplay replay = log.ReplayDurable();
+    EXPECT_NE(replay.end, LogScanEnd::kInteriorCorruption) << "seed " << seed;
+    ASSERT_GE(replay.records.size(), 1u);
+    // The log now ends at the last intact frame; appending must extend it
+    // cleanly and replay must see everything.
+    const Lsn next = log.Append(LogRecord::End(kTid));
+    bool next_durable = false;
+    sched.Spawn(ForceTask(log, next, &next_durable));
+    sched.RunUntilIdle();
+    ASSERT_TRUE(next_durable);
+    auto records = log.ReadDurable();
+    ASSERT_EQ(records.size(), replay.records.size() + 1) << "seed " << seed;
+    EXPECT_EQ(records.back().kind, LogRecordKind::kEnd);
+  }
+}
+
+TEST(StableLogTest, DuplexCrashMidWriteNeverReadsAsInteriorCorruption) {
+  // Each mirror keeps an independently torn prefix of an interrupted write;
+  // replay must always classify the result as a (possibly clean) tail, and
+  // Force's verdict must agree with what replay can actually recover.
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    Scheduler sched(seed);
+    LogConfig cfg;
+    cfg.duplex = true;
+    StableLog log(sched, cfg);
+    const Lsn lsn =
+        log.Append(LogRecord::Update(kTid, "srv", "obj", Bytes(40, 1), Bytes(40, 2)));
+    bool durable = true;
+    sched.Spawn(ForceTask(log, lsn, &durable));
+    sched.Post(Usec(7000), [&] { log.OnCrash(); });
+    sched.RunUntilIdle();
+    LogReplay replay = log.ReplayDurable();
+    EXPECT_NE(replay.end, LogScanEnd::kInteriorCorruption) << "seed " << seed;
+    EXPECT_EQ(durable, replay.records.size() == 1u) << "seed " << seed;
+  }
+}
+
+TEST(StableLogTest, TornForceFaultOnDuplexedLogLosesNothing) {
+  // With torn-write faults on EVERY force, a duplexed log still replays all
+  // records: a torn force damages one mirror per event and replay salvages
+  // from the other copy.
+  Scheduler sched;
+  LogConfig cfg;
+  cfg.duplex = true;
+  cfg.faults.torn_write_probability = 1.0;
+  StableLog log(sched, cfg);
+  for (uint8_t i = 0; i < 8; ++i) {
+    const Lsn lsn = log.Append(LogRecord::Update(kTid, "srv", "obj", {}, {i}));
+    bool done = false;
+    sched.Spawn(ForceTask(log, lsn, &done));
+    sched.RunUntilIdle();
+    ASSERT_TRUE(done);
+  }
+  EXPECT_EQ(log.counters().torn_writes_injected, 8u);
+  LogReplay replay = log.ReplayDurable();
+  EXPECT_EQ(replay.end, LogScanEnd::kCleanEnd);
+  ASSERT_EQ(replay.records.size(), 8u);
+  for (uint8_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(replay.records[i].new_value, (Bytes{i}));
+  }
+  // After the repairing replay both mirrors are whole again.
+  EXPECT_EQ(log.ReplayDurable().frames_salvaged, 0u);
+}
+
 }  // namespace
 }  // namespace camelot
