@@ -113,6 +113,22 @@ Async<Result<Bytes>> DiskManager::RepairPage(const std::string& segment,
 }
 
 Async<Result<Bytes>> DiskManager::Read(const std::string& segment, const std::string& object) {
+  // Capture the crash epoch: a read that overlaps a crash must fail instead
+  // of completing for a caller whose site is gone — a zombie success would
+  // let the caller keep mutating the freshly-cleared pool (money-losing).
+  const uint64_t epoch = crash_epoch_;
+  if (failpoints_.active()) {
+    const FailpointHit hit = failpoints_.Eval("disk.read");
+    if (hit.action == FailpointAction::kDelay) {
+      co_await sched_.Delay(hit.delay);
+    }
+    if (hit.action == FailpointAction::kError) {
+      co_return UnavailableError("failpoint: disk read error");
+    }
+    if (epoch != crash_epoch_) {
+      co_return UnavailableError("crashed during disk read");
+    }
+  }
   const std::string key = PageKey(segment, object);
   auto it = frames_.find(key);
   if (it != frames_.end()) {
@@ -129,6 +145,9 @@ Async<Result<Bytes>> DiskManager::Read(const std::string& segment, const std::st
   co_await io_.Lock();
   co_await sched_.Delay(config_.disk_read_latency);
   io_.Unlock();
+  if (epoch != crash_epoch_) {
+    co_return UnavailableError("crashed during disk read");
+  }
   InjectReadFaults(key);
   // Re-check: another reader may have faulted it while we waited.
   it = frames_.find(key);
@@ -171,10 +190,14 @@ Async<Result<Bytes>> DiskManager::Read(const std::string& segment, const std::st
 
 Async<Status> DiskManager::Write(const std::string& segment, const std::string& object,
                                  Bytes value, Lsn rec_lsn) {
+  const uint64_t epoch = crash_epoch_;
   const std::string key = PageKey(segment, object);
   auto it = frames_.find(key);
   if (it == frames_.end()) {
     co_await EnsureRoom();
+    if (epoch != crash_epoch_) {
+      co_return UnavailableError("crashed during page write");
+    }
     Frame frame;
     lru_.push_front(key);
     frame.lru_pos = lru_.begin();
@@ -223,6 +246,12 @@ Async<void> DiskManager::FlushFrame(const std::string& key, Frame& frame) {
       co_return;  // Crashed mid-force; the pool is gone anyway.
     }
   }
+  if (failpoints_.active()) {
+    const FailpointHit hit = failpoints_.Eval("disk.flush.before_write");
+    if (hit.action == FailpointAction::kDelay) {
+      co_await sched_.Delay(hit.delay);
+    }
+  }
   co_await io_.Lock();
   co_await sched_.Delay(DrawWriteLatency());
   io_.Unlock();
@@ -233,6 +262,9 @@ Async<void> DiskManager::FlushFrame(const std::string& key, Frame& frame) {
   StorePage(key, it->second.value);
   InjectWriteFaults(key, it->second.value);
   it->second.dirty = false;
+  if (failpoints_.active()) {
+    failpoints_.Eval("disk.flush.after_write");  // Page stored; crash lands here.
+  }
 }
 
 Async<void> DiskManager::FlushAll() {

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "src/base/codec.h"
+#include "src/base/failpoint.h"
 #include "src/base/status.h"
 #include "src/base/storage_faults.h"
 #include "src/base/types.h"
@@ -119,6 +120,11 @@ class DiskManager {
   // Enables/changes media faults mid-run (e.g. after a clean loading phase).
   void set_faults(const StorageFaultConfig& faults) { config_.faults = faults; }
 
+  // Fault-injection points around physical page I/O: "disk.read" (honors
+  // error-return, delay, crash), "disk.flush.before_write" /
+  // "disk.flush.after_write" (crash, delay). See base/failpoint.h.
+  void set_failpoints(Failpoints failpoints) { failpoints_ = std::move(failpoints); }
+
   // Recovery-only: writes directly to the data disk image without WAL checks
   // (used by redo/undo which re-derive correctness from the log itself).
   // Recovery writes are modeled clean: restart re-verifies everything anyway.
@@ -185,6 +191,7 @@ class DiskManager {
   std::list<std::string> lru_;  // Front = most recent.
   std::unordered_map<std::string, StoredPage> disk_;  // The data-disk image.
   SimMutex io_;  // Serializes physical data-disk transfers.
+  Failpoints failpoints_;
   Rng fault_rng_;  // Private stream: fault draws stay reproducible.
   MediaRepairFn repair_;
   uint64_t crash_epoch_ = 0;  // Bumped on crash; retires the scrubber.

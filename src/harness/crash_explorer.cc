@@ -1,0 +1,405 @@
+#include "src/harness/crash_explorer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace camelot {
+namespace {
+
+std::string Srv(int i) { return "server:" + std::to_string(i); }
+
+// Tight protocol timers (the failure_test tuning): crash scenarios resolve in
+// seconds of virtual time, and zero jitter keeps every run bit-deterministic.
+WorldConfig MakeWorldConfig(const ExplorerConfig& cfg) {
+  WorldConfig w;
+  w.site_count = cfg.site_count;
+  w.seed = cfg.seed;
+  w.net.send_jitter_mean = 0;
+  w.net.stall_probability = 0;
+  w.net.receive_skew_mean = 0;
+  w.tranman.outcome_timeout = Usec(400000);
+  w.tranman.retry_interval = Usec(300000);
+  w.tranman.takeover_backoff = Usec(300000);
+  w.tranman.orphan_check_interval = Sec(1.0);
+  w.ipc.rpc_timeout = Sec(1.5);
+  w.server.lock_wait_timeout = Sec(1.0);
+  return w;
+}
+
+Async<Status> OneTransfer(AppClient& app, std::string from_srv, std::string to_srv,
+                          int64_t amount, CommitOptions options) {
+  auto begin = co_await app.Begin();
+  if (!begin.ok()) {
+    co_return begin.status();
+  }
+  const Tid tid = *begin;
+  auto a = co_await app.ReadInt(tid, from_srv, "vault");
+  auto b = co_await app.ReadInt(tid, to_srv, "vault");
+  if (!a.ok() || !b.ok()) {
+    co_await app.Abort(tid);
+    co_return AbortedError("read failed");
+  }
+  Status w1 = co_await app.WriteInt(tid, from_srv, "vault", *a - amount);
+  Status w2 = co_await app.WriteInt(tid, to_srv, "vault", *b + amount);
+  if (!w1.ok() || !w2.ok()) {
+    co_await app.Abort(tid);
+    co_return AbortedError("write failed");
+  }
+  co_return co_await app.Commit(tid, options);
+}
+
+// The fixed workload: `transfers` serial transfers issued from site 0's
+// application; transfer i moves `amount` from vault i%N to vault (i+1)%N, so
+// with N >= 3 every transfer spans three sites (coordinator + two vault
+// owners). One transaction per transfer, never retried — the oracle reasons
+// about which attempts committed, and a retry would be a second attempt.
+Async<void> Workload(World* world, ExplorerConfig cfg, std::vector<Status>* statuses,
+                     std::vector<bool>* attempted, bool* done) {
+  AppClient app(world->site(0));
+  const int n = cfg.site_count;
+  const CommitOptions options =
+      cfg.non_blocking ? CommitOptions::NonBlocking() : CommitOptions::Optimized();
+  for (int i = 0; i < cfg.transfers; ++i) {
+    // If the home site is down (a schedule crashed it), wait out the outage —
+    // bounded, so the run always quiesces even if healing fails.
+    for (int wait = 0; wait < 8 && !world->site(0).site().up(); ++wait) {
+      co_await world->sched().Delay(Sec(1));
+    }
+    if (!world->site(0).site().up()) {
+      statuses->push_back(UnavailableError("home site down"));
+      attempted->push_back(false);
+      continue;
+    }
+    Status st = co_await OneTransfer(app, Srv(i % n), Srv((i + 1) % n), cfg.amount, options);
+    statuses->push_back(st);
+    attempted->push_back(true);
+  }
+  *done = true;
+}
+
+Async<int64_t> ReadVault(AppClient& app, std::string srv) {
+  auto begin = co_await app.Begin();
+  if (!begin.ok()) {
+    co_return -1;
+  }
+  auto value = co_await app.ReadInt(*begin, srv, "vault");
+  co_await app.Commit(*begin);
+  co_return value.value_or(-1);
+}
+
+void Violate(RunResult* out, std::string text) {
+  out->ok = false;
+  out->violations.push_back(std::move(text));
+}
+
+}  // namespace
+
+std::string RunResult::Explain() const {
+  std::string out;
+  for (const auto& v : violations) {
+    out += "  - " + v + "\n";
+  }
+  return out;
+}
+
+std::string CrashExplorer::ReplayPrefix() const {
+  return "CAMELOT_SEED=" + std::to_string(config_.seed) + " CAMELOT_PROTOCOL=" +
+         (config_.non_blocking ? "nbc" : "2pc");
+}
+
+std::vector<DiscoveredPoint> CrashExplorer::Discover() {
+  return Run(CrashSchedule{}, /*record=*/true).discovered;
+}
+
+RunResult CrashExplorer::Run(const CrashSchedule& schedule, bool record) {
+  RunResult out;
+  out.replay = ReplayPrefix() + " CAMELOT_SCHEDULE='" + schedule.ToString() + "'";
+
+  World world(MakeWorldConfig(config_));
+  const int n = config_.site_count;
+  for (int i = 0; i < n; ++i) {
+    world.AddServer(i, Srv(i))->CreateObjectForSetup("vault",
+                                                     EncodeInt64(config_.initial_balance));
+  }
+  if (record) {
+    world.failpoints().set_recording(true);
+  }
+  schedule.ArmAll(world.failpoints());
+
+  std::vector<Status> statuses;
+  std::vector<bool> attempted;
+  bool done = false;
+  world.sched().Spawn(Workload(&world, config_, &statuses, &attempted, &done));
+  world.RunFor(config_.workload_window);
+
+  // Heal: restart every down site, again if a recovery.* crash took one back
+  // down mid-restart (recovery must be idempotent across the retries).
+  int attempts = 0;
+  while (attempts < config_.max_restart_attempts) {
+    std::vector<int> down;
+    for (int i = 0; i < n; ++i) {
+      if (!world.site(i).site().up()) {
+        down.push_back(i);
+      }
+    }
+    if (down.empty()) {
+      break;
+    }
+    ++attempts;
+    for (int i : down) {
+      world.Restart(i);
+    }
+    world.RunFor(config_.heal_window);
+  }
+  bool all_up = true;
+  for (int i = 0; i < n; ++i) {
+    if (!world.site(i).site().up()) {
+      all_up = false;
+      Violate(&out, "site " + std::to_string(i) + " still down after " +
+                        std::to_string(attempts) + " restart attempts");
+    }
+  }
+
+  // Drain: let every in-doubt outcome, orphan watcher, and the workload's
+  // remaining transfers resolve. Bounded so a livelocked run fails loudly
+  // instead of hanging the sweep.
+  bool quiesced = all_up;
+  if (all_up) {
+    constexpr size_t kMaxEvents = 2u * 1000 * 1000;
+    if (world.sched().RunUntilIdle(kMaxEvents) >= kMaxEvents) {
+      quiesced = false;
+      Violate(&out, "world did not quiesce within " + std::to_string(kMaxEvents) + " events");
+    }
+  }
+
+  // Freeze the exploration record before the audit: discovery must cover only
+  // the workload + healing, so every discovered hit is reachable before the
+  // audit traffic starts (a sweep crash during the audit would be a false
+  // positive, not a protocol bug).
+  if (record) {
+    out.trace = world.failpoints().trace();
+    out.discovered = world.failpoints().Discovered();
+    world.failpoints().set_recording(false);
+  }
+  world.failpoints().DisarmAll();
+
+  if (!done) {
+    Violate(&out, "workload did not finish (" + std::to_string(statuses.size()) + "/" +
+                      std::to_string(config_.transfers) + " transfers attempted)");
+  }
+  for (size_t i = 0; i < statuses.size(); ++i) {
+    if (statuses[i].ok()) {
+      ++out.client_ok;
+    }
+  }
+  if (!all_up || !quiesced) {
+    return out;  // No quiescent installation to audit (RunSync would hang).
+  }
+
+  // Audit 1: two observers read every vault; they must agree and every read
+  // must succeed.
+  std::vector<int64_t> balances(static_cast<size_t>(n), -1);
+  for (int observer = 0; observer < 2 && observer < n; ++observer) {
+    AppClient auditor(world.site(observer));
+    for (int i = 0; i < n; ++i) {
+      const int64_t balance = world.RunSync(ReadVault(auditor, Srv(i))).value_or(-1);
+      if (balance < 0) {
+        Violate(&out, "audit read of vault " + std::to_string(i) + " from observer " +
+                          std::to_string(observer) + " failed");
+        return out;
+      }
+      if (observer == 0) {
+        balances[static_cast<size_t>(i)] = balance;
+      } else if (balance != balances[static_cast<size_t>(i)]) {
+        Violate(&out, "observers disagree about vault " + std::to_string(i) + ": " +
+                          std::to_string(balances[static_cast<size_t>(i)]) + " vs " +
+                          std::to_string(balance));
+      }
+    }
+  }
+
+  // Audit 2: money conserved, and the final balances are explained by SOME
+  // subset of the attempted transfers that includes EVERY client-visible OK
+  // (commit returned OK => the transfer is durably committed everywhere;
+  // timeouts/errors may have committed or not — both are legal).
+  int64_t total = 0;
+  std::vector<int64_t> delta(static_cast<size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    total += balances[static_cast<size_t>(i)];
+    delta[static_cast<size_t>(i)] =
+        balances[static_cast<size_t>(i)] - config_.initial_balance;
+  }
+  if (total != static_cast<int64_t>(n) * config_.initial_balance) {
+    std::string detail;
+    for (int i = 0; i < n; ++i) {
+      detail += (i > 0 ? " " : "") + std::to_string(balances[static_cast<size_t>(i)]);
+    }
+    Violate(&out, "money not conserved: total " + std::to_string(total) + " != " +
+                      std::to_string(static_cast<int64_t>(n) * config_.initial_balance) +
+                      " (balances: " + detail + ")");
+  }
+  const size_t k = statuses.size();
+  if (k <= 20) {  // 2^k subsets; the explorer workloads are a handful.
+    uint32_t must = 0;
+    uint32_t may = 0;
+    for (size_t i = 0; i < k; ++i) {
+      if (statuses[i].ok()) {
+        must |= 1u << i;
+      }
+      if (attempted[i]) {
+        may |= 1u << i;  // Never-attempted transfers cannot have committed.
+      }
+    }
+    bool matched = false;
+    for (uint32_t mask = 0; mask < (1u << k) && !matched; ++mask) {
+      if ((mask & must) != must || (mask & ~may) != 0) {
+        continue;
+      }
+      std::vector<int64_t> d(static_cast<size_t>(n), 0);
+      for (size_t i = 0; i < k; ++i) {
+        if (mask & (1u << i)) {
+          d[static_cast<size_t>(static_cast<int>(i) % n)] -= config_.amount;
+          d[static_cast<size_t>((static_cast<int>(i) + 1) % n)] += config_.amount;
+        }
+      }
+      matched = (d == delta);
+    }
+    if (!matched) {
+      Violate(&out,
+              "final balances match no subset of attempted transfers containing every "
+              "client-OK commit (lost commit or partial transfer)");
+    }
+  }
+
+  // Audit 3: nothing leaked anywhere, and no recovery pass failed outright.
+  for (int i = 0; i < n; ++i) {
+    CamelotSite& s = world.site(i);
+    const size_t locks = s.server(Srv(i))->locks().held_lock_count();
+    if (locks != 0) {
+      Violate(&out, "site " + std::to_string(i) + " leaked " + std::to_string(locks) + " locks");
+    }
+    const size_t live = s.tranman().live_family_count();
+    if (live != 0) {
+      Violate(&out,
+              "site " + std::to_string(i) + " has " + std::to_string(live) + " live families");
+    }
+    if (s.recovery_totals().failed_recoveries != 0) {
+      Violate(&out, "site " + std::to_string(i) + " reported " +
+                        std::to_string(s.recovery_totals().failed_recoveries) +
+                        " failed recoveries");
+    }
+  }
+  return out;
+}
+
+std::vector<SweepFailure> CrashExplorer::ExhaustiveSingleCrashSweep(uint64_t max_hits_per_point,
+                                                                    int* runs) {
+  std::vector<SweepFailure> failures;
+  int count = 0;
+  for (const DiscoveredPoint& dp : Discover()) {
+    const uint64_t cap =
+        max_hits_per_point == 0 ? dp.hits : std::min(dp.hits, max_hits_per_point);
+    for (uint64_t hit = 1; hit <= cap; ++hit) {
+      CrashSchedule schedule;
+      schedule.entries.push_back({dp.point, dp.site, hit, FailpointAction::kCrash, 0});
+      RunResult result = Run(schedule);
+      ++count;
+      if (!result.ok) {
+        failures.push_back({std::move(schedule), std::move(result)});
+      }
+    }
+  }
+  if (runs != nullptr) {
+    *runs = count;
+  }
+  return failures;
+}
+
+std::vector<SweepFailure> CrashExplorer::RecoverySweep(const ScheduleEntry& base, int* runs) {
+  std::vector<SweepFailure> failures;
+  CrashSchedule base_only;
+  base_only.entries.push_back(base);
+  RunResult recorded = Run(base_only, /*record=*/true);
+  int count = 1;
+  if (!recorded.ok) {
+    failures.push_back({base_only, recorded});
+  }
+  for (const DiscoveredPoint& dp : recorded.discovered) {
+    if (dp.point.rfind("recovery.", 0) != 0) {
+      continue;
+    }
+    CrashSchedule schedule;
+    schedule.entries.push_back(base);
+    schedule.entries.push_back({dp.point, dp.site, 1, FailpointAction::kCrash, 0});
+    RunResult result = Run(schedule);
+    ++count;
+    if (!result.ok) {
+      failures.push_back({std::move(schedule), std::move(result)});
+    }
+  }
+  if (runs != nullptr) {
+    *runs = count;
+  }
+  return failures;
+}
+
+std::vector<SweepFailure> CrashExplorer::RandomSweep(uint64_t rng_seed, int rounds,
+                                                     int max_faults, int* runs) {
+  std::vector<SweepFailure> failures;
+  const std::vector<DiscoveredPoint> discovered = Discover();
+  if (discovered.empty()) {
+    if (runs != nullptr) {
+      *runs = 0;
+    }
+    return failures;
+  }
+  Rng rng(rng_seed);
+  int count = 0;
+  for (int round = 0; round < rounds; ++round) {
+    const int faults = 1 + static_cast<int>(rng.NextBounded(
+                               static_cast<uint64_t>(std::max(1, max_faults))));
+    CrashSchedule schedule;
+    for (int j = 0; j < faults; ++j) {
+      const DiscoveredPoint& dp = discovered[rng.NextBounded(discovered.size())];
+      ScheduleEntry e;
+      e.point = dp.point;
+      e.site = dp.site;
+      e.hit = 1 + rng.NextBounded(dp.hits);
+      // Drop and error only mean something where the woven code has a loss or
+      // failure path: datagram sends and disk I/O. At protocol force points
+      // and transitions they would inject impossible failures (a log force
+      // cannot fail while the site stays up), so roll crash or delay there.
+      const bool lossy = dp.point.rfind("tm.send.", 0) == 0 || dp.point.rfind("disk.", 0) == 0;
+      switch (rng.NextBounded(lossy ? 4 : 2)) {
+        case 0:
+          e.action = FailpointAction::kCrash;
+          break;
+        case 1:
+          e.action = FailpointAction::kDelay;
+          e.delay = Usec(1000 + static_cast<int64_t>(rng.NextBounded(400000)));
+          break;
+        case 2:
+          e.action = FailpointAction::kDrop;
+          break;
+        default:
+          e.action = FailpointAction::kError;
+          break;
+      }
+      schedule.entries.push_back(std::move(e));
+    }
+    RunResult result = Run(schedule);
+    ++count;
+    if (!result.ok) {
+      failures.push_back({std::move(schedule), std::move(result)});
+    }
+  }
+  if (runs != nullptr) {
+    *runs = count;
+  }
+  return failures;
+}
+
+}  // namespace camelot

@@ -6,7 +6,7 @@
 namespace camelot {
 
 CamelotSite::CamelotSite(Scheduler& sched, Network& net, NameService& names, SiteId id,
-                         const WorldConfig& config)
+                         const WorldConfig& config, FailpointRegistry& failpoints)
     : site_(sched, net, id, config.ipc),
       netmsg_(site_, net),
       names_(names),
@@ -19,6 +19,20 @@ CamelotSite::CamelotSite(Scheduler& sched, Network& net, NameService& names, Sit
     log_.OnCrash();
     diskmgr_.OnCrash();
   });
+  // Every component that hosts failpoints shares one per-site handle into the
+  // world's registry; a kCrash trigger takes this whole site down.
+  const Failpoints handle(
+      &failpoints, id, [this] { return site_.sched().now(); },
+      [this] { return site_.up(); },
+      [this] {
+        if (site_.up()) {
+          site_.Crash();
+        }
+      });
+  log_.set_failpoints(handle);
+  diskmgr_.set_failpoints(handle);
+  tranman_.set_failpoints(handle);
+  recovery_.set_failpoints(handle);
   // Media recovery: a CRC-failing data page (foreground read or background
   // scrub) is rebuilt by redoing its history from the log.
   diskmgr_.set_media_repair([this](std::string segment, std::string object) {
@@ -62,7 +76,7 @@ World::World(WorldConfig config)
     : config_(config), sched_(config.seed), net_(sched_, config.net) {
   for (int i = 0; i < config.site_count; ++i) {
     sites_.push_back(std::make_unique<CamelotSite>(
-        sched_, net_, names_, SiteId{static_cast<uint32_t>(i)}, config_));
+        sched_, net_, names_, SiteId{static_cast<uint32_t>(i)}, config_, failpoints_));
   }
 }
 
@@ -77,6 +91,11 @@ void World::Restart(int site_index) {
   s.site().Restart();
   sched_.Spawn([](CamelotSite* cs) -> Async<void> {
     RecoveryReport report = co_await cs->recovery().Recover(cs->ServerMap());
+    if (!cs->site().up()) {
+      // A failpoint crashed the site mid-recovery: the interrupted pass does
+      // not count as a recovery; the site stays down until restarted again.
+      co_return;
+    }
     cs->RecordRecovery(report);
     if (!report.status.ok()) {
       // Interior log corruption: the durable state is not trustworthy.

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "src/base/failpoint.h"
 #include "src/comman/comman.h"
 #include "src/diskmgr/disk_manager.h"
 #include "src/ipc/name_service.h"
@@ -43,7 +44,7 @@ struct WorldConfig {
 class CamelotSite {
  public:
   CamelotSite(Scheduler& sched, Network& net, NameService& names, SiteId id,
-              const WorldConfig& config);
+              const WorldConfig& config, FailpointRegistry& failpoints);
 
   Site& site() { return site_; }
   NetMsgServer& netmsg() { return netmsg_; }
@@ -102,6 +103,10 @@ class World {
   void Crash(int site_index);
   void Restart(int site_index);
 
+  // The shared failpoint registry every site's components evaluate against
+  // (arm points / record discovery here; see base/failpoint.h).
+  FailpointRegistry& failpoints() { return failpoints_; }
+
   // Drives the simulation.
   size_t RunUntilIdle() { return sched_.RunUntilIdle(); }
   size_t RunFor(SimDuration d) { return sched_.RunUntil(sched_.now() + d); }
@@ -147,6 +152,7 @@ class World {
   Scheduler sched_;
   Network net_;
   NameService names_;
+  FailpointRegistry failpoints_;  // Declared before sites_: handles point here.
   std::vector<std::unique_ptr<CamelotSite>> sites_;
 };
 

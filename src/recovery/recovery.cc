@@ -30,6 +30,13 @@ RecoveryManager::RecoveryManager(Site& site, DiskManager& diskmgr, StableLog& lo
                                  TranMan& tranman)
     : site_(site), diskmgr_(diskmgr), log_(log), tranman_(tranman) {}
 
+bool RecoveryManager::AtPoint(const char* point) {
+  if (failpoints_.active()) {
+    failpoints_.Eval(point);
+  }
+  return !site_.up();
+}
+
 Async<Status> RecoveryManager::WriteCheckpoint() {
   if (tranman_.live_family_count() != 0) {
     co_return FailedPreconditionError("live transactions present; checkpoint must be quiescent");
@@ -38,10 +45,16 @@ Async<Status> RecoveryManager::WriteCheckpoint() {
   if (tranman_.live_family_count() != 0) {
     co_return FailedPreconditionError("transaction began during checkpoint flush");
   }
+  if (AtPoint("recovery.checkpoint_force.before")) {
+    co_return UnavailableError("crashed before checkpoint force");
+  }
   const Lsn lsn = log_.Append(LogRecord::Checkpoint());
   const bool durable = co_await log_.Force(lsn);
-  if (!durable) {
+  if (!durable || !site_.up()) {
     co_return UnavailableError("crashed during checkpoint force");
+  }
+  if (AtPoint("recovery.checkpoint_force.after")) {
+    co_return UnavailableError("crashed after checkpoint force");
   }
   // Everything before the checkpoint record is flushed data of finished
   // transactions: reclaim the space — but retain the configured number of
@@ -94,6 +107,11 @@ Async<RecoveryReport> RecoveryManager::Recover(
   }
   report.records_replayed = records.size();
 
+  if (AtPoint("recovery.scan_done")) {
+    report.status = UnavailableError("crashed during recovery (after log scan)");
+    co_return report;
+  }
+
   // --- Pass 1: analysis -------------------------------------------------------
   std::unordered_map<FamilyId, FamilyTrace> traces;
   std::vector<FamilyId> family_order;  // First-touched order, for determinism.
@@ -143,8 +161,16 @@ Async<RecoveryReport> RecoveryManager::Recover(
     if (rec.kind != LogRecordKind::kUpdate) {
       continue;
     }
+    if (AtPoint("recovery.redo")) {
+      report.status = UnavailableError("crashed during recovery (mid-redo)");
+      co_return report;
+    }
     diskmgr_.RecoveryWrite(rec.server, rec.object, rec.new_value);
     ++report.redo_writes;
+  }
+  if (AtPoint("recovery.redo_done")) {
+    report.status = UnavailableError("crashed during recovery (after redo)");
+    co_return report;
   }
 
   // --- Pass 3: undo losers' UN-compensated forwards (newest first) ----------------
@@ -179,6 +205,10 @@ Async<RecoveryReport> RecoveryManager::Recover(
     std::sort(survivors.begin(), survivors.end(),
               [](const LogRecord* a, const LogRecord* b) { return a->lsn > b->lsn; });
     for (const LogRecord* rec : survivors) {
+      if (AtPoint("recovery.undo")) {
+        report.status = UnavailableError("crashed during recovery (mid-undo)");
+        co_return report;
+      }
       diskmgr_.RecoveryWrite(rec->server, rec->object, rec->old_value);
       // Log a CLR for the restart undo, exactly as a live abort would. This
       // keeps "repeat history" complete: the newest update record for an
@@ -191,7 +221,14 @@ Async<RecoveryReport> RecoveryManager::Recover(
   }
   if (clr_lsn.value > 0) {
     // CLRs must be durable before media recovery may trust repeat history.
-    co_await log_.Force(clr_lsn);
+    if (!co_await log_.Force(clr_lsn) || !site_.up()) {
+      report.status = UnavailableError("crashed during recovery (CLR force)");
+      co_return report;
+    }
+  }
+  if (AtPoint("recovery.undo_done")) {
+    report.status = UnavailableError("crashed during recovery (after undo)");
+    co_return report;
   }
 
   // --- Media recovery: rebuild CRC-failing data pages from the log ---------------
@@ -199,7 +236,15 @@ Async<RecoveryReport> RecoveryManager::Recover(
   // what is still corrupt here was damaged after its last update was
   // checkpointed away — rebuild it from whatever the log physically retains.
   for (const auto& [segment, object] : diskmgr_.CorruptPages()) {
+    if (AtPoint("recovery.media_sweep")) {
+      report.status = UnavailableError("crashed during recovery (mid-media-sweep)");
+      co_return report;
+    }
     Result<Bytes> rebuilt = co_await RebuildPage(segment, object);
+    if (!site_.up()) {
+      report.status = UnavailableError("crashed during recovery (media rebuild)");
+      co_return report;
+    }
     if (rebuilt.ok()) {
       diskmgr_.RecoveryWrite(segment, object, *rebuilt);
       ++report.pages_repaired;
@@ -209,6 +254,10 @@ Async<RecoveryReport> RecoveryManager::Recover(
       // archive log here; we count it and leave the page to fail loudly.
       ++report.repair_failures;
     }
+  }
+  if (AtPoint("recovery.media_done")) {
+    report.status = UnavailableError("crashed during recovery (after media sweep)");
+    co_return report;
   }
 
   // --- Pass 4: rebuild volatile state ------------------------------------------

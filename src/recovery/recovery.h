@@ -82,11 +82,24 @@ class RecoveryManager {
   // log has no coverage for the page.
   Async<Result<Bytes>> RebuildPage(std::string segment, std::string object);
 
+  // Failpoints between and inside the restart passes (crash/callback):
+  //   recovery.scan_done, recovery.redo (before each pass-2 write),
+  //   recovery.redo_done, recovery.undo (before each pass-3 undo),
+  //   recovery.undo_done, recovery.media_sweep (before each page rebuild),
+  //   recovery.media_done, recovery.checkpoint_force.before/.after.
+  // A crash mid-recovery leaves the report kUnavailable; the harness restarts
+  // the site again and recovery must be idempotent.
+  void set_failpoints(Failpoints failpoints) { failpoints_ = std::move(failpoints); }
+
  private:
+  // Evaluates a recovery failpoint; true means a crash fired (stop recovery).
+  bool AtPoint(const char* point);
+
   Site& site_;
   DiskManager& diskmgr_;
   StableLog& log_;
   TranMan& tranman_;
+  Failpoints failpoints_;
 };
 
 }  // namespace camelot

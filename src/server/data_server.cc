@@ -195,8 +195,14 @@ Async<RpcResult> DataServer::HandleWrite(const Tid& tid, const std::string& obje
     locks_.Release(tid, object);
     co_return RpcResult{AbortedError("transaction concluded while waiting"), {}};
   }
+  const uint32_t inc = site_.incarnation();
   Bytes old_value;
   auto existing = co_await diskmgr_.Read(name_, object);
+  if (!site_.up() || site_.incarnation() != inc) {
+    // The site crashed while we read: appending the update now would plant a
+    // record (and a dirty page) in the NEXT incarnation's state.
+    co_return RpcResult{UnavailableError("site crashed during write"), {}};
+  }
   if (existing.ok()) {
     old_value = *existing;
   }
@@ -245,7 +251,11 @@ Async<RpcResult> DataServer::HandleCommitFamily(const Tid& top) {
 Async<void> DataServer::UndoUpdates(std::vector<UpdateEntry> updates) {
   // Newest first; value logging makes undo a plain write of the old value.
   // The records are CLRs so recovery knows these forwards were compensated.
+  const uint32_t inc = site_.incarnation();
   for (auto it = updates.rbegin(); it != updates.rend(); ++it) {
+    if (!site_.up() || site_.incarnation() != inc) {
+      co_return;  // Crashed mid-undo; restart recovery finishes the job.
+    }
     const Lsn lsn = diskmgr_.log().Append(
         LogRecord::UndoUpdate(it->tid, name_, it->object, it->new_value, it->old_value));
     co_await diskmgr_.Write(name_, it->object, it->old_value, lsn);

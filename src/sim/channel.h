@@ -28,6 +28,12 @@ class Channel {
   Channel(const Channel&) = delete;
   Channel& operator=(const Channel&) = delete;
 
+  // Destroying a channel with pending timed receivers must neutralize their
+  // timer thunks (which hold a raw back-pointer): closing marks every waiter
+  // non-pending, so a later timer firing returns without touching the dead
+  // channel, and the receivers resume with nullopt.
+  ~Channel() { Close(); }
+
   void Send(T item) {
     if (closed_) {
       return;  // Receiver is gone (site crashed); drop on the floor.

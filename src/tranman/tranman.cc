@@ -89,6 +89,52 @@ Async<bool> TranMan::ForceHoldingWorker(Lsn lsn) {
   co_return durable;
 }
 
+Async<bool> TranMan::AtForcePoint(std::string point, uint32_t inc) {
+  if (!failpoints_.active()) {
+    co_return true;
+  }
+  const FailpointHit hit = failpoints_.Eval(point);
+  if (hit.action == FailpointAction::kDelay) {
+    co_await site_.sched().Delay(hit.delay);
+  }
+  co_return !Dead(inc) && hit.action != FailpointAction::kError;
+}
+
+Async<bool> TranMan::ForceAt(const char* point, Lsn lsn) {
+  const uint32_t inc = site_.incarnation();
+  if (!co_await AtForcePoint(std::string(point) + ".before", inc)) {
+    co_return false;
+  }
+  if (!co_await ForceHoldingWorker(lsn)) {
+    co_return false;
+  }
+  if (!co_await AtForcePoint(std::string(point) + ".after", inc)) {
+    co_return false;
+  }
+  co_return !Dead(inc);
+}
+
+Async<bool> TranMan::DirectForceAt(const char* point, Lsn lsn) {
+  const uint32_t inc = site_.incarnation();
+  if (!co_await AtForcePoint(std::string(point) + ".before", inc)) {
+    co_return false;
+  }
+  if (!co_await log_.Force(lsn)) {
+    co_return false;
+  }
+  if (!co_await AtForcePoint(std::string(point) + ".after", inc)) {
+    co_return false;
+  }
+  co_return !Dead(inc);
+}
+
+bool TranMan::AtTransition(const char* transition) {
+  if (failpoints_.active()) {
+    failpoints_.Eval(transition);
+  }
+  return !site_.up();
+}
+
 uint64_t TranMan::NextEpoch(Family* fam) {
   uint64_t round = fam->takeover_round + 1;
   const uint64_t seen = std::max(fam->promised_epoch, fam->replicated_epoch);
@@ -167,6 +213,23 @@ Bytes EncodeBatch(const std::vector<TmMsg>& msgs) {
 
 void TranMan::SendMsg(SiteId dst, TmMsg msg) {
   msg.from = site_.id();
+  if (failpoints_.active()) {
+    const FailpointHit hit =
+        failpoints_.Eval(std::string("tm.send.") + TmMsgTypeName(msg.type));
+    if (!site_.up() || hit.action == FailpointAction::kDrop ||
+        hit.action == FailpointAction::kError) {
+      return;  // Crashed at the point, or the datagram is lost.
+    }
+    if (hit.action == FailpointAction::kDelay) {
+      const uint32_t inc = site_.incarnation();
+      site_.sched().Post(hit.delay, [this, dst, inc, delayed = std::move(msg)]() mutable {
+        if (!Dead(inc)) {
+          SendMsg(dst, std::move(delayed));
+        }
+      });
+      return;
+    }
+  }
   std::vector<TmMsg> batch{std::move(msg)};
   // Piggyback: queued off-path messages for this destination ride along.
   auto it = offpath_queue_.find(dst);
@@ -192,12 +255,31 @@ void TranMan::SendMsgToAll(const std::vector<SiteId>& dsts, TmMsg msg) {
     any_queued = any_queued || (it != offpath_queue_.end() && !it->second.empty());
   }
   if (any_queued) {
-    // Per-destination payloads differ: fall back to unicast sends.
+    // Per-destination payloads differ: fall back to unicast sends (each
+    // evaluates its own tm.send.* failpoint inside SendMsg).
     for (SiteId dst : dsts) {
       TmMsg copy = msg;
       SendMsg(dst, std::move(copy));
     }
     return;
+  }
+  if (failpoints_.active()) {
+    const FailpointHit hit =
+        failpoints_.Eval(std::string("tm.send.") + TmMsgTypeName(msg.type));
+    if (!site_.up() || hit.action == FailpointAction::kDrop ||
+        hit.action == FailpointAction::kError) {
+      return;  // Crashed at the point, or the whole multicast is lost.
+    }
+    if (hit.action == FailpointAction::kDelay) {
+      const uint32_t inc = site_.incarnation();
+      site_.sched().Post(hit.delay,
+                         [this, dsts, inc, delayed = std::move(msg)]() mutable {
+                           if (!Dead(inc)) {
+                             SendMsgToAll(dsts, std::move(delayed));
+                           }
+                         });
+      return;
+    }
   }
   net_.SendToAll(site_.id(), dsts, kTranManService, static_cast<uint32_t>(msg.type),
                  EncodeBatch({msg}));
@@ -206,9 +288,7 @@ void TranMan::SendMsgToAll(const std::vector<SiteId>& dsts, TmMsg msg) {
 void TranMan::QueueOffPath(SiteId dst, TmMsg msg) {
   msg.from = site_.id();
   if (config_.piggyback_delay <= 0) {
-    std::vector<TmMsg> batch{std::move(msg)};
-    net_.Send(Datagram{site_.id(), dst, kTranManService,
-                       static_cast<uint32_t>(batch.front().type), EncodeBatch(batch)});
+    SendMsg(dst, std::move(msg));  // No batching: an ordinary unicast send.
     return;
   }
   const bool first = offpath_queue_[dst].empty();
@@ -227,6 +307,31 @@ void TranMan::FlushOffPath(SiteId dst) {
   auto it = offpath_queue_.find(dst);
   if (it == offpath_queue_.end() || it->second.empty()) {
     return;
+  }
+  if (failpoints_.active()) {
+    const FailpointHit hit =
+        failpoints_.Eval(std::string("tm.send.") + TmMsgTypeName(it->second.front().type));
+    if (!site_.up()) {
+      return;  // Crashed at the point (the queue died with the site).
+    }
+    // A crash listener or callback may have touched the queue: re-find.
+    it = offpath_queue_.find(dst);
+    if (it == offpath_queue_.end() || it->second.empty()) {
+      return;
+    }
+    if (hit.action == FailpointAction::kDrop || hit.action == FailpointAction::kError) {
+      offpath_queue_.erase(it);  // The whole batch is lost in flight.
+      return;
+    }
+    if (hit.action == FailpointAction::kDelay) {
+      const uint32_t inc = site_.incarnation();
+      site_.sched().Post(hit.delay, [this, dst, inc] {
+        if (!Dead(inc)) {
+          FlushOffPath(dst);
+        }
+      });
+      return;
+    }
   }
   std::vector<TmMsg> batch = std::move(it->second);
   offpath_queue_.erase(it);
@@ -561,22 +666,34 @@ Async<RpcResult> TranMan::HandleCommit(const Tid& tid, const CommitOptions& opti
   if (subs.empty()) {
     status = co_await CommitLocalOnly(fam, local_updates);
   } else if (options.protocol == CommitProtocol::kNonBlocking) {
-    status = co_await CoordinateNonBlocking(fam, options, std::move(subs), local_updates);
+    status = co_await CoordinateNonBlocking(fam, options, subs, local_updates);
   } else {
-    status = co_await CoordinateTwoPhase(fam, options, std::move(subs), local_updates);
+    status = co_await CoordinateTwoPhase(fam, options, subs, local_updates);
+  }
+  if (!status.ok() && !Dead(inc)) {
+    // The coordinate path failed while this site stayed up (e.g. an injected
+    // force error). An undecided family must not be abandoned with
+    // committing=true: no watcher will ever resolve it, its locks never
+    // release, and subordinates poll its status forever. No decision record
+    // exists while the state is still kActive, so presumed abort is safe.
+    fam = FindFamily(tid.family);
+    if (fam != nullptr && fam->state == TmTxnState::kActive) {
+      co_await AbortDistributed(fam, subs);
+    }
   }
   co_return RpcResult{std::move(status), {}};
 }
 
 Async<Status> TranMan::CommitLocalOnly(Family* fam, bool has_updates) {
-  const uint32_t inc = site_.incarnation();
   if (has_updates) {
     // Figure 1, event 9: the single log force that commits the transaction.
     const Lsn lsn = log_.Append(LogRecord::Commit(fam->top, {}));
-    const bool durable = co_await ForceHoldingWorker(lsn);
-    if (!durable || Dead(inc)) {
+    if (!co_await ForceAt("tm.local.commit_force", lsn)) {
       co_return UnavailableError("crashed during commit force");
     }
+  }
+  if (AtTransition("tm.committed")) {
+    co_return UnavailableError("site crashed");
   }
   fam->state = TmTxnState::kCommitted;
   ++counters_.committed;
@@ -611,6 +728,9 @@ Async<void> TranMan::AbortDistributed(Family* fam, const std::vector<SiteId>& no
   abort.type = TmMsgType::kAbort;
   abort.tid = fam->top;
   SendMsgToAll(notify, abort);
+  if (AtTransition("tm.aborted")) {
+    co_return;
+  }
   fam->state = TmTxnState::kAborted;
   ++counters_.aborted;
   if (fam->protocol == CommitProtocol::kNonBlocking && fam->committing && fam->is_coordinator) {
@@ -700,6 +820,9 @@ Async<Status> TranMan::CoordinateTwoPhase(Family* fam, const CommitOptions& opti
 
   if (votes.update_subs.empty() && !local_updates) {
     // The entire transaction was read-only: commit without writing anything.
+    if (AtTransition("tm.committed")) {
+      co_return UnavailableError("site crashed");
+    }
     fam->state = TmTxnState::kCommitted;
     ++counters_.committed;
     NotifyServersDropLocks(*fam);
@@ -709,9 +832,11 @@ Async<Status> TranMan::CoordinateTwoPhase(Family* fam, const CommitOptions& opti
 
   // Commit point: force the commit record listing subordinates needing acks.
   const Lsn lsn = log_.Append(LogRecord::Commit(fam->top, votes.update_subs));
-  const bool durable = co_await ForceHoldingWorker(lsn);
-  if (!durable || Dead(inc)) {
+  if (!co_await ForceAt("tm.2pc.commit_force", lsn)) {
     co_return UnavailableError("crashed during commit force");
+  }
+  if (AtTransition("tm.committed")) {
+    co_return UnavailableError("site crashed");
   }
   fam->state = TmTxnState::kCommitted;
   ++counters_.committed;
@@ -799,9 +924,12 @@ Async<Status> TranMan::CoordinateNonBlocking(Family* fam, const CommitOptions& /
     const Lsn prep_lsn = log_.Append(LogRecord::Prepare(fam->top, site_.id(), fam->sites,
                                                         CommitProtocol::kNonBlocking,
                                                         fam->commit_quorum, fam->abort_quorum));
-    if (!co_await ForceHoldingWorker(prep_lsn) || Dead(inc)) {
+    if (!co_await ForceAt("tm.nbc.prepare_force", prep_lsn)) {
       co_return UnavailableError("crashed during prepare force");
     }
+  }
+  if (AtTransition("tm.prepared")) {
+    co_return UnavailableError("site crashed");
   }
   fam->state = TmTxnState::kPrepared;
 
@@ -831,6 +959,18 @@ Async<Status> TranMan::CoordinateNonBlocking(Family* fam, const CommitOptions& /
     co_return status;
   }
 
+  // A takeover may have raced our vote gathering: a participant that timed
+  // out started a higher-epoch round, and we promised it (HandleStatusReq) or
+  // outright accepted its ABORT (HandleReplicate). Starting our own epoch-0
+  // commit round UNDER that promise would clobber the accepted state and let
+  // disjoint-looking quorums decide commit AND abort. Since our commit intent
+  // was never replicated, nobody can decide commit — aborting is safe and
+  // agrees with any outcome the takeover can reach.
+  if (fam->has_replication || fam->promised_epoch > 0) {
+    co_await SubordinateAbort(fam);
+    co_return AbortedError("superseded by a takeover round during vote gathering");
+  }
+
   // Replication phase (change 3): replicate the commit intent until a commit
   // quorum (counting our own forced records) exists.
   fam->has_replication = true;
@@ -839,7 +979,7 @@ Async<Status> TranMan::CoordinateNonBlocking(Family* fam, const CommitOptions& /
   const Lsn rep_lsn = log_.Append(LogRecord::Replication(
       fam->top, site_.id(), fam->replicated_epoch, static_cast<uint8_t>(TmDecision::kCommit),
       fam->sites));
-  if (!co_await ForceHoldingWorker(rep_lsn) || Dead(inc)) {
+  if (!co_await ForceAt("tm.nbc.replicate_force", rep_lsn)) {
     co_return UnavailableError("crashed during replication force");
   }
 
@@ -912,8 +1052,11 @@ Async<Status> TranMan::CoordinateNonBlocking(Family* fam, const CommitOptions& /
 
   // Commit point: the log write that completes a commit quorum.
   const Lsn commit_lsn = log_.Append(LogRecord::Commit(fam->top, votes.update_subs));
-  if (!co_await ForceHoldingWorker(commit_lsn) || Dead(inc)) {
+  if (!co_await ForceAt("tm.nbc.commit_force", commit_lsn)) {
     co_return UnavailableError("crashed during commit force");
+  }
+  if (AtTransition("tm.committed")) {
+    co_return UnavailableError("site crashed");
   }
   fam->state = TmTxnState::kCommitted;
   ++counters_.committed;
@@ -927,12 +1070,14 @@ Async<Status> TranMan::CoordinateNonBlocking(Family* fam, const CommitOptions& /
 
 Async<Status> TranMan::CommitLocalOnlyNbc(Family* fam, bool local_updates,
                                           const std::vector<SiteId>& subs) {
-  const uint32_t inc = site_.incarnation();
   if (local_updates) {
     const Lsn lsn = log_.Append(LogRecord::Commit(fam->top, {}));
-    if (!co_await ForceHoldingWorker(lsn) || Dead(inc)) {
+    if (!co_await ForceAt("tm.local.commit_force", lsn)) {
       co_return UnavailableError("crashed during commit force");
     }
+  }
+  if (AtTransition("tm.committed")) {
+    co_return UnavailableError("site crashed");
   }
   fam->state = TmTxnState::kCommitted;
   ++counters_.committed;
@@ -972,6 +1117,11 @@ Async<void> TranMan::HandleRemotePrepare(TmMsg msg) {
     vote.tid = msg.tid;
     vote.vote = TmVote::kReadOnly;
     SendMsg(msg.from, vote);
+    co_return;
+  }
+  if (fam != nullptr && fam->committing) {
+    // A duplicate prepare raced the one we are already processing (vote /
+    // prepare force in flight). Let the first finish; it sends the vote.
     co_return;
   }
   if (fam == nullptr) {
@@ -1054,11 +1204,14 @@ Async<void> TranMan::HandleRemotePrepare(TmMsg msg) {
   const Lsn prep_lsn = log_.Append(LogRecord::Prepare(fam->top, msg.from, msg.sites,
                                                       msg.protocol, msg.commit_quorum,
                                                       msg.abort_quorum));
-  if (!co_await ForceHoldingWorker(prep_lsn) || Dead(inc)) {
+  if (!co_await ForceAt("tm.sub.prepare_force", prep_lsn)) {
     co_return;
   }
   fam = FindFamily(msg.tid.family);
   if (fam == nullptr) {
+    co_return;
+  }
+  if (AtTransition("tm.prepared")) {
     co_return;
   }
   fam->state = TmTxnState::kPrepared;
@@ -1137,10 +1290,21 @@ Async<void> TranMan::SubordinateWait(FamilyId family_id, uint32_t inc) {
           co_await SubordinateCommit(fam);
           co_return;
         }
-        if (msg->state == TmTxnState::kAborted || msg->state == TmTxnState::kUnknown) {
-          // Presumed abort: an unknown transaction aborted.
-          co_await SubordinateAbort(fam);
+        if (msg->state == TmTxnState::kAborted) {
+          co_await SubordinateAbort(fam);  // A definite outcome from anyone.
           co_return;
+        }
+        if (msg->state == TmTxnState::kUnknown) {
+          // Presumed abort — but ONLY on the coordinator's authority: it
+          // forgets a transaction only after abort or full completion. A
+          // recovered PEER answers unknown for any transaction it never
+          // touched (the site-up nudge queries whoever just came back up);
+          // treating that as an outcome aborts committed work.
+          if (msg->from == fam->coordinator) {
+            co_await SubordinateAbort(fam);
+            co_return;
+          }
+          continue;  // A peer's ignorance proves nothing; keep waiting.
         }
         status_rounds = 0;  // Coordinator alive but undecided: keep waiting.
         continue;
@@ -1154,6 +1318,9 @@ Async<void> TranMan::SubordinateWait(FamilyId family_id, uint32_t inc) {
 Async<void> TranMan::SubordinateCommit(Family* fam) {
   const uint32_t inc = site_.incarnation();
   fam->blocked = false;
+  if (AtTransition("tm.committed")) {
+    co_return;
+  }
   fam->state = TmTxnState::kCommitted;
   ++counters_.committed;
   const FamilyId family_id = fam->top.family;
@@ -1161,7 +1328,7 @@ Async<void> TranMan::SubordinateCommit(Family* fam) {
   if (fam->force_sub_commit) {
     // Unoptimized: force the commit record, then drop locks, then ack.
     const Lsn lsn = log_.Append(LogRecord::Commit(fam->top, {}));
-    if (!co_await ForceHoldingWorker(lsn) || Dead(inc)) {
+    if (!co_await ForceAt("tm.sub.commit_force", lsn)) {
       co_return;
     }
     fam = FindFamily(family_id);
@@ -1199,7 +1366,7 @@ Async<void> TranMan::DelayedCommitAck(FamilyId family_id, Tid top, SiteId coordi
     co_return;
   }
   // Usually free: a group-commit batch or later traffic already hardened it.
-  if (!co_await log_.Force(commit_lsn) || Dead(inc)) {
+  if (!co_await DirectForceAt("tm.sub.ack_force", commit_lsn)) {
     co_return;
   }
   TmMsg ack;
@@ -1224,6 +1391,9 @@ Async<void> TranMan::SubordinateAbort(Family* fam) {
   }
   fam = FindFamily(family_id);
   if (fam == nullptr) {
+    co_return;
+  }
+  if (AtTransition("tm.aborted")) {
     co_return;
   }
   fam->state = TmTxnState::kAborted;
@@ -1404,7 +1574,7 @@ Async<bool> TranMan::Takeover(FamilyId family_id, uint32_t inc) {
   const Lsn rep_lsn = log_.Append(LogRecord::Replication(fam->top, site_.id(), epoch,
                                                          static_cast<uint8_t>(proposal),
                                                          fam->sites));
-  if (!co_await log_.Force(rep_lsn) || Dead(inc)) {
+  if (!co_await DirectForceAt("tm.takeover.replicate_force", rep_lsn)) {
     co_return true;
   }
   fam = FindFamily(family_id);
@@ -1465,7 +1635,7 @@ Async<bool> TranMan::Takeover(FamilyId family_id, uint32_t inc) {
   // Decision point.
   if (proposal == TmDecision::kCommit) {
     const Lsn commit_lsn = log_.Append(LogRecord::Commit(fam->top, {}));
-    if (!co_await log_.Force(commit_lsn) || Dead(inc)) {
+    if (!co_await DirectForceAt("tm.takeover.commit_force", commit_lsn)) {
       co_return true;
     }
     fam = FindFamily(family_id);
@@ -1473,6 +1643,9 @@ Async<bool> TranMan::Takeover(FamilyId family_id, uint32_t inc) {
       co_return true;
     }
     fam->blocked = false;
+    if (AtTransition("tm.committed")) {
+      co_return true;
+    }
     fam->state = TmTxnState::kCommitted;
     ++counters_.committed;
     NotifyServersDropLocks(*fam);
@@ -1491,6 +1664,9 @@ Async<bool> TranMan::Takeover(FamilyId family_id, uint32_t inc) {
       co_return true;
     }
     fam->blocked = false;
+    if (AtTransition("tm.aborted")) {
+      co_return true;
+    }
     fam->state = TmTxnState::kAborted;
     ++counters_.aborted;
     TmMsg abort;
@@ -1504,7 +1680,6 @@ Async<bool> TranMan::Takeover(FamilyId family_id, uint32_t inc) {
 // --- Stateless-ish message handlers ---------------------------------------------------------
 
 Async<void> TranMan::HandleReplicate(TmMsg msg) {
-  const uint32_t inc = site_.incarnation();
   Family* fam = FindFamily(msg.tid.family);
   if (fam == nullptr || fam->state != TmTxnState::kPrepared) {
     co_return;
@@ -1523,7 +1698,7 @@ Async<void> TranMan::HandleReplicate(TmMsg msg) {
   const Lsn lsn = log_.Append(LogRecord::Replication(fam->top, msg.from, msg.epoch,
                                                      static_cast<uint8_t>(msg.decision),
                                                      fam->sites));
-  if (!co_await log_.Force(lsn) || Dead(inc)) {
+  if (!co_await DirectForceAt("tm.accept.replicate_force", lsn)) {
     co_return;
   }
   TmMsg ack;

@@ -31,6 +31,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/base/failpoint.h"
 #include "src/comman/comman.h"
 #include "src/ipc/site.h"
 #include "src/net/network.h"
@@ -128,6 +129,16 @@ class TranMan {
   // the regular case." If the real outcome later arrives and disagrees,
   // counters().heuristic_damage records the inconsistency.
   Status HeuristicResolve(const FamilyId& family, TmDecision decision);
+
+  // Failpoints woven through the commit protocols (see base/failpoint.h):
+  //   tm.<role>.<what>_force.before / .after — around every protocol log
+  //     force (local commit, 2PC commit, subordinate prepare/commit/ack,
+  //     NBC prepare/replicate/commit, takeover replicate/commit, acceptor
+  //     replicate);
+  //   tm.send.<MsgType> — before each datagram send (crash/drop/delay/error);
+  //   tm.prepared / tm.committed / tm.aborted — just before the family's
+  //     state transition is applied.
+  void set_failpoints(Failpoints failpoints) { failpoints_ = std::move(failpoints); }
 
   // --- Introspection -------------------------------------------------------------
   TmTxnState QueryState(const FamilyId& family) const;
@@ -262,6 +273,18 @@ class TranMan {
   // A synchronous log force performed BY a worker thread: the thread is
   // occupied for the force's whole duration (Section 3.4/3.5 interplay).
   Async<bool> ForceHoldingWorker(Lsn lsn);
+  // Evaluates a single "<point>.before"/".after" force failpoint; honors a
+  // delay inline. False means the caller must treat the force as failed
+  // (crash or error-return fired at the point).
+  Async<bool> AtForcePoint(std::string point, uint32_t inc);
+  // ForceHoldingWorker bracketed by "<point>.before" / "<point>.after"
+  // failpoints; returns false (not durable) if a crash fired at either point.
+  Async<bool> ForceAt(const char* point, Lsn lsn);
+  // Same bracketing around a direct (worker-less) log force.
+  Async<bool> DirectForceAt(const char* point, Lsn lsn);
+  // Evaluates "tm.<transition>" just before a family state change; true means
+  // a crash fired and the caller must stop.
+  bool AtTransition(const char* transition);
   uint64_t NextEpoch(Family* fam);
 
   Site& site_;
@@ -269,6 +292,7 @@ class TranMan {
   ComMan& comman_;
   StableLog& log_;
   TranManConfig config_;
+  Failpoints failpoints_;
   WorkerPool pool_;
   uint64_t next_family_seq_ = 1;
   std::unordered_map<FamilyId, std::unique_ptr<Family>> families_;

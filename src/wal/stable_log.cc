@@ -49,6 +49,17 @@ SimDuration StableLog::DrawWriteLatency() {
   return latency;
 }
 
+Async<bool> StableLog::AtWritePoint(const char* point, uint64_t epoch) {
+  if (!failpoints_.active()) {
+    co_return false;
+  }
+  const FailpointHit hit = failpoints_.Eval(point);
+  if (hit.action == FailpointAction::kDelay) {
+    co_await sched_.Delay(hit.delay);
+  }
+  co_return epoch != crash_epoch_;
+}
+
 Async<bool> StableLog::Force(Lsn upto) {
   CAMELOT_CHECK(upto.value <= buffered_lsn().value);
   ++counters_.force_requests;
@@ -64,6 +75,10 @@ Async<bool> StableLog::Force(Lsn upto) {
       co_return IsDurable(upto);  // Crashed while queued; caller's world is gone.
     }
     if (!IsDurable(upto)) {
+      if (co_await AtWritePoint("wal.force.before_write", epoch)) {
+        disk_.Unlock();
+        co_return IsDurable(upto);  // A failpoint crashed the site at the write.
+      }
       inflight_target_ = upto.value;
       co_await sched_.Delay(DrawWriteLatency());
       if (epoch != crash_epoch_) {
@@ -73,6 +88,10 @@ Async<bool> StableLog::Force(Lsn upto) {
       inflight_target_ = 0;
       ++counters_.disk_writes;
       Publish(upto.value);
+      if (co_await AtWritePoint("wal.force.after_write", epoch)) {
+        disk_.Unlock();
+        co_return IsDurable(upto);  // Durable, but the site is down.
+      }
     } else {
       ++counters_.records_batched;  // Someone else's write covered us anyway.
     }
@@ -102,6 +121,9 @@ Async<void> StableLog::WriterDaemon() {
     }
     // One physical write covers everything buffered right now — every waiter
     // that queued while the previous write was in progress rides along.
+    if (co_await AtWritePoint("wal.force.before_write", epoch)) {
+      co_return;  // A failpoint crashed the site; OnCrash closed the waiters.
+    }
     const uint64_t target = buffered_lsn().value;
     inflight_target_ = target;
     co_await sched_.Delay(DrawWriteLatency());
@@ -111,6 +133,9 @@ Async<void> StableLog::WriterDaemon() {
     inflight_target_ = 0;
     ++counters_.disk_writes;
     Publish(target);
+    if (co_await AtWritePoint("wal.force.after_write", epoch)) {
+      co_return;  // Records durable, but the crash already woke the waiters.
+    }
     size_t satisfied = 0;
     auto it = waiters_.begin();
     while (it != waiters_.end()) {

@@ -26,6 +26,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/base/failpoint.h"
 #include "src/base/storage_faults.h"
 #include "src/sim/channel.h"
 #include "src/sim/scheduler.h"
@@ -141,6 +142,11 @@ class StableLog {
   void ReclaimBefore(Lsn lsn);
   uint64_t reclaimed_bytes() const { return base_offset_; }
 
+  // Fault-injection points around the physical log write: the harness wires a
+  // per-site handle so crash schedules can cut a force short at exactly
+  // "wal.force.before_write" / "wal.force.after_write" (see base/failpoint.h).
+  void set_failpoints(Failpoints failpoints) { failpoints_ = std::move(failpoints); }
+
   void set_group_commit(bool on) { config_.group_commit = on; }
   bool group_commit() const { return config_.group_commit; }
   // Enables/changes media faults mid-run (e.g. after a clean loading phase).
@@ -170,8 +176,13 @@ class StableLog {
   FrameProbe Probe(const Bytes& image, size_t pos, size_t* frame_len) const;
   LogReplay Replay(bool repair);
 
+  // Evaluates a wal.force.* failpoint; honors kDelay inline (kCrash is applied
+  // by the handle). Returns true if a crash fired while we were at the point.
+  Async<bool> AtWritePoint(const char* point, uint64_t epoch);
+
   Scheduler& sched_;
   LogConfig config_;
+  Failpoints failpoints_;
   Bytes mirror_[2];          // Disk image(s), starting at base_offset_.
                              // mirror_[1] is live only when duplexing.
   uint64_t base_offset_ = 0; // Bytes reclaimed from the front (checkpointing).

@@ -1,0 +1,191 @@
+// Crash-schedule exploration: discovery, exhaustive single-crash sweeps under
+// both commit protocols, crash-during-recovery sweeps, determinism, and
+// environment-variable replay (see src/harness/crash_explorer.h).
+//
+// Every failing run is reported with a one-line replay recipe; rerun it with
+//   CAMELOT_SEED=<s> CAMELOT_PROTOCOL=<2pc|nbc> CAMELOT_SCHEDULE='<schedule>'
+//   ./crash_schedule_test --gtest_filter='*ReplaysScheduleFromEnvironment*'
+// which reproduces the identical event trace and prints it.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/base/logging.h"
+#include "src/harness/crash_explorer.h"
+
+namespace camelot {
+namespace {
+
+ExplorerConfig Config(bool non_blocking, uint64_t seed = 1) {
+  ExplorerConfig cfg;
+  cfg.non_blocking = non_blocking;
+  cfg.seed = seed;
+  return cfg;
+}
+
+void ReportFailures(const std::vector<SweepFailure>& failures) {
+  for (const SweepFailure& f : failures) {
+    ADD_FAILURE() << "schedule " << f.schedule.ToString() << " violated the oracle:\n"
+                  << f.result.Explain() << "  replay: " << f.result.replay;
+  }
+}
+
+bool Has(const std::vector<DiscoveredPoint>& discovered, const char* point, uint32_t site) {
+  for (const DiscoveredPoint& d : discovered) {
+    if (d.point == point && d.site.value == site) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// --- Instrumentation-rot guard ----------------------------------------------------
+//
+// If someone reworks a commit path and forgets to re-weave its failpoints, the
+// explorer silently stops exploring that path. These tests pin the expected
+// point set for a 3-site transfer workload under each protocol.
+
+TEST(CrashScheduleDiscovery, FindsTheTwoPhaseInstrumentation) {
+  auto d = CrashExplorer(Config(/*non_blocking=*/false)).Discover();
+  // Coordinator (site 0).
+  EXPECT_TRUE(Has(d, "tm.send.PREPARE", 0));
+  EXPECT_TRUE(Has(d, "tm.send.COMMIT", 0));
+  EXPECT_TRUE(Has(d, "tm.2pc.commit_force.before", 0));
+  EXPECT_TRUE(Has(d, "tm.2pc.commit_force.after", 0));
+  EXPECT_TRUE(Has(d, "tm.committed", 0));
+  EXPECT_TRUE(Has(d, "wal.force.before_write", 0));
+  EXPECT_TRUE(Has(d, "wal.force.after_write", 0));
+  // Subordinates (sites 1 and 2).
+  for (uint32_t sub = 1; sub <= 2; ++sub) {
+    EXPECT_TRUE(Has(d, "tm.sub.prepare_force.before", sub)) << sub;
+    EXPECT_TRUE(Has(d, "tm.sub.prepare_force.after", sub)) << sub;
+    EXPECT_TRUE(Has(d, "tm.prepared", sub)) << sub;
+    EXPECT_TRUE(Has(d, "tm.send.VOTE", sub)) << sub;
+    EXPECT_TRUE(Has(d, "tm.sub.ack_force.before", sub)) << sub;
+    EXPECT_TRUE(Has(d, "tm.committed", sub)) << sub;
+    EXPECT_TRUE(Has(d, "disk.read", sub)) << sub;
+  }
+}
+
+TEST(CrashScheduleDiscovery, FindsTheNonBlockingInstrumentation) {
+  auto d = CrashExplorer(Config(/*non_blocking=*/true)).Discover();
+  // The three coordinator forces of the paper's non-blocking protocol.
+  EXPECT_TRUE(Has(d, "tm.nbc.prepare_force.before", 0));
+  EXPECT_TRUE(Has(d, "tm.nbc.prepare_force.after", 0));
+  EXPECT_TRUE(Has(d, "tm.nbc.replicate_force.before", 0));
+  EXPECT_TRUE(Has(d, "tm.nbc.commit_force.before", 0));
+  EXPECT_TRUE(Has(d, "tm.nbc.commit_force.after", 0));
+  EXPECT_TRUE(Has(d, "tm.prepared", 0));
+  EXPECT_TRUE(Has(d, "tm.send.REPLICATE", 0));
+  // Subordinates force a replication record and acknowledge it.
+  for (uint32_t sub = 1; sub <= 2; ++sub) {
+    EXPECT_TRUE(Has(d, "tm.accept.replicate_force.before", sub)) << sub;
+    EXPECT_TRUE(Has(d, "tm.accept.replicate_force.after", sub)) << sub;
+    EXPECT_TRUE(Has(d, "tm.send.REPLICATE-ACK", sub)) << sub;
+    EXPECT_TRUE(Has(d, "tm.sub.prepare_force.before", sub)) << sub;
+    EXPECT_TRUE(Has(d, "tm.prepared", sub)) << sub;
+  }
+}
+
+// --- Exhaustive single-crash sweeps -----------------------------------------------
+//
+// The acceptance property: crash at EVERY discovered (point, site, hit), heal,
+// and the atomicity oracle must hold — money conserved, observers agree,
+// client-visible OK commits durable, nothing leaked, recovery idempotent.
+
+TEST(CrashScheduleSweep, ExhaustiveSingleCrashSweepPassesOracle_TwoPhase) {
+  int runs = 0;
+  ReportFailures(CrashExplorer(Config(/*non_blocking=*/false))
+                     .ExhaustiveSingleCrashSweep(/*max_hits_per_point=*/0, &runs));
+  EXPECT_GE(runs, 60) << "suspiciously few runs: instrumentation rot?";
+}
+
+TEST(CrashScheduleSweep, ExhaustiveSingleCrashSweepPassesOracle_NonBlocking) {
+  int runs = 0;
+  ReportFailures(CrashExplorer(Config(/*non_blocking=*/true))
+                     .ExhaustiveSingleCrashSweep(/*max_hits_per_point=*/0, &runs));
+  EXPECT_GE(runs, 100) << "suspiciously few runs: instrumentation rot?";
+}
+
+// --- Crash during recovery --------------------------------------------------------
+//
+// A base crash forces a real restart; the sweep then crashes the site AGAIN at
+// every recovery.* point that restart evaluates (mid-redo, mid-undo, mid media
+// sweep). Recovery must be idempotent across the interrupted passes.
+
+TEST(CrashScheduleSweep, CrashDuringRecoverySweep_TwoPhase) {
+  CrashExplorer ex(Config(/*non_blocking=*/false));
+  int runs = 0;
+  // Coordinator dies with its commit record durable: restart must redo and
+  // resume phase 2 — and survive being crashed again at each recovery point.
+  ReportFailures(ex.RecoverySweep(
+      {"tm.2pc.commit_force.after", SiteId{0}, 1, FailpointAction::kCrash, 0}, &runs));
+  EXPECT_GE(runs, 4) << "the base crash discovered no recovery points";
+
+  // A prepared subordinate dies: restart re-takes its locks and re-parks it.
+  ReportFailures(ex.RecoverySweep(
+      {"tm.sub.prepare_force.after", SiteId{1}, 1, FailpointAction::kCrash, 0}, &runs));
+  EXPECT_GE(runs, 4);
+}
+
+TEST(CrashScheduleSweep, CrashDuringRecoverySweep_NonBlocking) {
+  CrashExplorer ex(Config(/*non_blocking=*/true));
+  int runs = 0;
+  ReportFailures(ex.RecoverySweep(
+      {"tm.nbc.commit_force.after", SiteId{0}, 1, FailpointAction::kCrash, 0}, &runs));
+  EXPECT_GE(runs, 4) << "the base crash discovered no recovery points";
+}
+
+// --- Determinism ------------------------------------------------------------------
+
+TEST(CrashScheduleDeterminism, SameSeedAndScheduleReproduceIdenticalTrace) {
+  for (const bool non_blocking : {false, true}) {
+    CrashExplorer ex(Config(non_blocking));
+    const char* text = non_blocking ? "tm.nbc.replicate_force.before@0#1=crash"
+                                    : "tm.2pc.commit_force.before@0#1=crash";
+    const auto schedule = CrashSchedule::Parse(text);
+    ASSERT_TRUE(schedule.ok());
+    const RunResult r1 = ex.Run(*schedule, /*record=*/true);
+    const RunResult r2 = ex.Run(*schedule, /*record=*/true);
+    EXPECT_FALSE(r1.trace.empty());
+    EXPECT_EQ(r1.trace, r2.trace) << "protocol " << (non_blocking ? "nbc" : "2pc")
+                                  << ": replay diverged — determinism is broken";
+    EXPECT_EQ(r1.ok, r2.ok);
+  }
+}
+
+// --- Environment-variable replay --------------------------------------------------
+//
+// The recipe printed by every sweep failure targets this test: it rebuilds the
+// exact run (seed + protocol + schedule), prints the full event trace, and
+// applies the oracle.
+
+TEST(CrashScheduleReplay, ReplaysScheduleFromEnvironment) {
+  const char* schedule_text = std::getenv("CAMELOT_SCHEDULE");
+  if (schedule_text == nullptr) {
+    GTEST_SKIP() << "set CAMELOT_SEED / CAMELOT_PROTOCOL / CAMELOT_SCHEDULE to replay";
+  }
+  ExplorerConfig cfg;
+  if (const char* seed = std::getenv("CAMELOT_SEED")) {
+    cfg.seed = std::strtoull(seed, nullptr, 10);
+  }
+  if (const char* protocol = std::getenv("CAMELOT_PROTOCOL")) {
+    cfg.non_blocking = std::string(protocol) == "nbc";
+  }
+  if (std::getenv("CAMELOT_TRACE") != nullptr) {
+    SetTraceLevel(TraceLevel::kDebug);  // Protocol-level sim tracing too.
+  }
+  const auto schedule = CrashSchedule::Parse(schedule_text);
+  ASSERT_TRUE(schedule.ok()) << schedule.status().message();
+  const RunResult result = CrashExplorer(cfg).Run(*schedule, /*record=*/true);
+  for (const std::string& line : result.trace) {
+    std::printf("%s\n", line.c_str());
+  }
+  EXPECT_TRUE(result.ok) << result.Explain() << "  replay: " << result.replay;
+}
+
+}  // namespace
+}  // namespace camelot

@@ -1,0 +1,94 @@
+// Crash-schedule soak (ctest label: soak): the expensive end of the explorer.
+// Multi-seed exhaustive every-hit sweeps plus seeded random multi-fault
+// schedules under both commit protocols. Failing schedules are appended to
+// crash_soak_failures.txt (override the directory with CAMELOT_ARTIFACT_DIR)
+// so CI can upload them as an artifact; each line is a ready-to-run replay
+// recipe for crash_schedule_test's ReplaysScheduleFromEnvironment.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/harness/crash_explorer.h"
+
+namespace camelot {
+namespace {
+
+std::string ArtifactPath() {
+  const char* dir = std::getenv("CAMELOT_ARTIFACT_DIR");
+  return (dir != nullptr ? std::string(dir) + "/" : std::string()) + "crash_soak_failures.txt";
+}
+
+void ReportFailures(const std::vector<SweepFailure>& failures) {
+  if (failures.empty()) {
+    return;
+  }
+  std::FILE* artifact = std::fopen(ArtifactPath().c_str(), "a");
+  for (const SweepFailure& f : failures) {
+    ADD_FAILURE() << "schedule " << f.schedule.ToString() << " violated the oracle:\n"
+                  << f.result.Explain() << "  replay: " << f.result.replay;
+    if (artifact != nullptr) {
+      std::fprintf(artifact, "%s\n", f.result.replay.c_str());
+    }
+  }
+  if (artifact != nullptr) {
+    std::fclose(artifact);
+  }
+}
+
+TEST(CrashSoak, ExhaustiveEveryHitSweepAcrossSeeds) {
+  int total_runs = 0;
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    for (const bool non_blocking : {false, true}) {
+      ExplorerConfig cfg;
+      cfg.seed = seed;
+      cfg.non_blocking = non_blocking;
+      cfg.transfers = 4;
+      int runs = 0;
+      ReportFailures(CrashExplorer(cfg).ExhaustiveSingleCrashSweep(/*max_hits_per_point=*/0,
+                                                                   &runs));
+      total_runs += runs;
+    }
+  }
+  std::printf("crash soak: %d exhaustive single-crash runs\n", total_runs);
+  EXPECT_GE(total_runs, 800);
+}
+
+TEST(CrashSoak, RandomMultiFaultSchedules) {
+  int total_runs = 0;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    for (const bool non_blocking : {false, true}) {
+      ExplorerConfig cfg;
+      cfg.seed = seed;
+      cfg.non_blocking = non_blocking;
+      int runs = 0;
+      ReportFailures(CrashExplorer(cfg).RandomSweep(/*rng_seed=*/seed * 7919, /*rounds=*/40,
+                                                    /*max_faults=*/3, &runs));
+      total_runs += runs;
+    }
+  }
+  std::printf("crash soak: %d random multi-fault runs\n", total_runs);
+  EXPECT_GE(total_runs, 400);
+}
+
+TEST(CrashSoak, RecoverySweepAcrossSeeds) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    for (const bool non_blocking : {false, true}) {
+      ExplorerConfig cfg;
+      cfg.seed = seed;
+      cfg.non_blocking = non_blocking;
+      CrashExplorer ex(cfg);
+      const char* base_point =
+          non_blocking ? "tm.nbc.commit_force.after" : "tm.2pc.commit_force.after";
+      int runs = 0;
+      ReportFailures(
+          ex.RecoverySweep({base_point, SiteId{0}, 1, FailpointAction::kCrash, 0}, &runs));
+      EXPECT_GE(runs, 2) << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace camelot

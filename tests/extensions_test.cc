@@ -3,7 +3,6 @@
 // protocol robustness under message loss and duplication.
 #include <gtest/gtest.h>
 
-#include <functional>
 #include <string>
 
 #include "src/harness/world.h"
@@ -48,17 +47,9 @@ struct Rig {
 // Drives a 2-site update into the blocked state: subordinate prepared, then
 // the coordinator crashes before deciding.
 void BlockSubordinate(Rig& rig) {
-  auto watcher = std::make_shared<std::function<void()>>();
-  *watcher = [&rig, watcher] {
-    for (const auto& rec : rig.world.site(1).log().ReadDurable()) {
-      if (rec.kind == LogRecordKind::kPrepare) {
-        rig.world.Crash(0);
-        return;
-      }
-    }
-    rig.world.sched().Post(Usec(300), *watcher);
-  };
-  rig.world.sched().Post(Usec(300), *watcher);
+  rig.world.failpoints().Arm(
+      "tm.sub.prepare_force.after", SiteId{1},
+      FailpointArm::Callback(1, [&rig] { rig.world.Crash(0); }));
   rig.world.sched().Spawn([](Rig& r) -> Async<void> {
     auto b = co_await r.app.Begin();
     co_await r.app.WriteInt(*b, Srv(0), "acct", 50);

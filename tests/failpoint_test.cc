@@ -1,0 +1,159 @@
+// Unit tests for the failpoint registry, the per-site evaluation handle, and
+// the crash-schedule string grammar (see src/base/failpoint.h).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/base/failpoint.h"
+
+namespace camelot {
+namespace {
+
+TEST(FailpointRegistryTest, CountsOnlyWhileActive) {
+  FailpointRegistry reg;
+  EXPECT_FALSE(reg.active());
+  reg.Eval("p", SiteId{0}, 0);  // Inactive: not counted.
+  EXPECT_EQ(reg.hits("p", SiteId{0}), 0u);
+
+  reg.set_recording(true);
+  EXPECT_TRUE(reg.active());
+  reg.Eval("p", SiteId{0}, 10);
+  reg.Eval("p", SiteId{0}, 20);
+  reg.Eval("p", SiteId{1}, 30);
+  EXPECT_EQ(reg.hits("p", SiteId{0}), 2u);
+  EXPECT_EQ(reg.hits("p", SiteId{1}), 1u);
+  ASSERT_EQ(reg.trace().size(), 3u);
+  EXPECT_EQ(reg.trace()[0], "10us p@0#1");
+  EXPECT_EQ(reg.trace()[2], "30us p@1#1");
+}
+
+TEST(FailpointRegistryTest, ArmFiresAtItsHitNumberExactlyOnce) {
+  FailpointRegistry reg;
+  reg.Arm("p", SiteId{0}, FailpointArm::Drop(2));
+  EXPECT_TRUE(reg.active());
+  EXPECT_EQ(reg.Eval("p", SiteId{0}, 0).action, FailpointAction::kNone);
+  EXPECT_EQ(reg.Eval("p", SiteId{0}, 0).action, FailpointAction::kDrop);
+  // Fired: the registry goes inactive again (no arms, not recording).
+  EXPECT_FALSE(reg.active());
+  EXPECT_EQ(reg.Eval("p", SiteId{0}, 0).action, FailpointAction::kNone);
+}
+
+TEST(FailpointRegistryTest, ArmsAreScopedToPointAndSite) {
+  FailpointRegistry reg;
+  reg.set_recording(true);
+  reg.Arm("p", SiteId{0}, FailpointArm::Crash(1));
+  EXPECT_EQ(reg.Eval("q", SiteId{0}, 0).action, FailpointAction::kNone);
+  EXPECT_EQ(reg.Eval("p", SiteId{1}, 0).action, FailpointAction::kNone);
+  EXPECT_EQ(reg.Eval("p", SiteId{0}, 0).action, FailpointAction::kCrash);
+}
+
+TEST(FailpointRegistryTest, MultipleArmsPerPointAndUnfiredArms) {
+  FailpointRegistry reg;
+  reg.Arm("p", SiteId{0}, FailpointArm::Crash(1));
+  reg.Arm("p", SiteId{0}, FailpointArm::Error(3));
+  EXPECT_EQ(reg.Eval("p", SiteId{0}, 0).action, FailpointAction::kCrash);
+  ASSERT_EQ(reg.UnfiredArms().size(), 1u);
+  EXPECT_EQ(reg.UnfiredArms()[0], "p@0#3=error");
+
+  // DisarmAll clears arms but keeps counters; Reset clears everything.
+  reg.DisarmAll();
+  EXPECT_TRUE(reg.UnfiredArms().empty());
+  EXPECT_EQ(reg.hits("p", SiteId{0}), 1u);
+  reg.Reset();
+  EXPECT_EQ(reg.hits("p", SiteId{0}), 0u);
+}
+
+TEST(FailpointRegistryTest, DelayCarriesItsDuration) {
+  FailpointRegistry reg;
+  reg.Arm("p", SiteId{0}, FailpointArm::Delay(1, Usec(5000)));
+  const FailpointHit hit = reg.Eval("p", SiteId{0}, 0);
+  EXPECT_EQ(hit.action, FailpointAction::kDelay);
+  EXPECT_EQ(hit.delay, Usec(5000));
+}
+
+TEST(FailpointRegistryTest, CallbackRunsInsideEval) {
+  FailpointRegistry reg;
+  int fired = 0;
+  reg.Arm("p", SiteId{0}, FailpointArm::Callback(2, [&] { ++fired; }));
+  reg.Eval("p", SiteId{0}, 0);
+  EXPECT_EQ(fired, 0);
+  reg.Eval("p", SiteId{0}, 0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(FailpointRegistryTest, DiscoveredIsSortedByPointThenSite) {
+  FailpointRegistry reg;
+  reg.set_recording(true);
+  reg.Eval("b", SiteId{1}, 0);
+  reg.Eval("a", SiteId{2}, 0);
+  reg.Eval("b", SiteId{0}, 0);
+  reg.Eval("b", SiteId{0}, 0);
+  const auto discovered = reg.Discovered();
+  ASSERT_EQ(discovered.size(), 3u);
+  EXPECT_EQ(discovered[0].point, "a");
+  EXPECT_EQ(discovered[1].point, "b");
+  EXPECT_EQ(discovered[1].site.value, 0u);
+  EXPECT_EQ(discovered[1].hits, 2u);
+  EXPECT_EQ(discovered[2].site.value, 1u);
+}
+
+TEST(FailpointsHandleTest, CrashActionCrashesTheSiteAndDeadSitesAreSuppressed) {
+  FailpointRegistry reg;
+  bool up = true;
+  int crashes = 0;
+  const Failpoints fp(
+      &reg, SiteId{3}, [] { return static_cast<SimTime>(42); }, [&] { return up; },
+      [&] {
+        up = false;
+        ++crashes;
+      });
+  reg.Arm("x", SiteId{3}, FailpointArm::Crash(2));
+  reg.set_recording(true);
+  EXPECT_EQ(fp.Eval("x").action, FailpointAction::kNone);
+  EXPECT_EQ(fp.Eval("x").action, FailpointAction::kCrash);
+  EXPECT_EQ(crashes, 1);
+  EXPECT_FALSE(up);
+  // The site is down: further evaluations are suppressed, not counted.
+  fp.Eval("x");
+  EXPECT_EQ(reg.hits("x", SiteId{3}), 2u);
+}
+
+TEST(FailpointsHandleTest, DefaultConstructedHandleIsInert) {
+  const Failpoints fp;
+  EXPECT_FALSE(fp.active());
+  EXPECT_EQ(fp.Eval("anything").action, FailpointAction::kNone);
+}
+
+TEST(CrashScheduleStringTest, ToStringParseRoundTrip) {
+  CrashSchedule s;
+  s.entries.push_back({"tm.2pc.commit_force.before", SiteId{0}, 1, FailpointAction::kCrash, 0});
+  s.entries.push_back({"tm.send.COMMIT-ACK", SiteId{2}, 3, FailpointAction::kDelay, Usec(5000)});
+  s.entries.push_back({"disk.read", SiteId{1}, 2, FailpointAction::kError, 0});
+  const std::string text = s.ToString();
+  EXPECT_EQ(text,
+            "tm.2pc.commit_force.before@0#1=crash;"
+            "tm.send.COMMIT-ACK@2#3=delay:5000;disk.read@1#2=error");
+  const auto parsed = CrashSchedule::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed->ToString(), text);
+}
+
+TEST(CrashScheduleStringTest, ParseRejectsMalformedEntries) {
+  EXPECT_FALSE(CrashSchedule::Parse("nope").ok());
+  EXPECT_FALSE(CrashSchedule::Parse("p@0#0=crash").ok());  // Hits are 1-based.
+  EXPECT_FALSE(CrashSchedule::Parse("p@0#1=explode").ok());
+  EXPECT_FALSE(CrashSchedule::Parse("p@0#1=delay:-5").ok());
+  EXPECT_TRUE(CrashSchedule::Parse("").ok());  // Empty schedule: no faults.
+}
+
+TEST(CrashScheduleStringTest, ArmAllInstallsEveryEntry) {
+  const auto parsed = CrashSchedule::Parse("a@0#1=crash;b@1#2=drop");
+  ASSERT_TRUE(parsed.ok());
+  FailpointRegistry reg;
+  parsed->ArmAll(reg);
+  EXPECT_EQ(reg.UnfiredArms().size(), 2u);
+  EXPECT_TRUE(reg.active());
+}
+
+}  // namespace
+}  // namespace camelot

@@ -1,9 +1,12 @@
 // Failure-injection integration tests: crashes at chosen protocol points,
 // recovery, 2PC blocking, non-blocking takeover, partitions, and randomized
 // atomicity sweeps (money conservation under arbitrary crash timing).
+//
+// Crash timing is expressed with named failpoints (src/base/failpoint.h):
+// arming "tm.2pc.commit_force.before"@0 crashes the coordinator exactly at
+// that protocol point, replacing the old poll-the-durable-log watchers.
 #include <gtest/gtest.h>
 
-#include <functional>
 #include <string>
 
 #include "src/harness/world.h"
@@ -56,37 +59,15 @@ struct Rig {
     return v.value_or(-1);
   }
 
-  // Installs a watcher that crashes `victim` as soon as `predicate` holds
-  // (checked every 0.5 ms of virtual time).
-  void CrashWhen(int victim, std::function<bool()> predicate) {
-    auto state = std::make_shared<std::function<void()>>();
-    *state = [this, victim, predicate, state] {
-      if (!world.site(victim).site().up()) {
-        return;
-      }
-      if (predicate()) {
-        world.Crash(victim);
-        return;
-      }
-      world.sched().Post(Usec(500), *state);
-    };
-    world.sched().Post(Usec(500), *state);
+  // Arms a one-shot crash of `victim` at the first hit of `point`.
+  void CrashAt(const char* point, int victim) {
+    world.failpoints().Arm(point, SiteId{static_cast<uint32_t>(victim)},
+                           FailpointArm::Crash(1));
   }
 
   World world;
   AppClient app;
 };
-
-// Counts records of `kind` in the durable log of a site.
-size_t DurableCount(World& world, int site, LogRecordKind kind) {
-  size_t n = 0;
-  for (const auto& rec : world.site(site).log().ReadDurable()) {
-    if (rec.kind == kind) {
-      ++n;
-    }
-  }
-  return n;
-}
 
 Async<Status> TransferTxn(AppClient& app, const std::string& from_srv,
                           const std::string& to_srv, int64_t amount, CommitOptions options) {
@@ -134,13 +115,10 @@ TEST(FailureTest, CrashBeforeCommitPresumesAbortEverywhere) {
 
 TEST(FailureTest, TwoPhaseSubordinateBlocksUntilCoordinatorReturns_Abort) {
   Rig rig(FailConfig(2));
-  // Crash the coordinator the moment the subordinate's prepare record is
-  // durable — squarely inside the window of vulnerability, before the
-  // coordinator's own commit record exists.
-  rig.CrashWhen(0, [&] {
-    return DurableCount(rig.world, 1, LogRecordKind::kPrepare) > 0 &&
-           DurableCount(rig.world, 0, LogRecordKind::kCommit) == 0;
-  });
+  // Crash the coordinator at the brink of its commit force — squarely inside
+  // the window of vulnerability: the subordinate's prepare record is durable
+  // (its vote is in) but the coordinator's commit record does not exist.
+  rig.CrashAt("tm.2pc.commit_force.before", 0);
   std::optional<Status> commit_status;
   rig.world.sched().Spawn([](Rig& r, std::optional<Status>* out) -> Async<void> {
     Status st = co_await TransferTxn(r.app, Rig::ServerName(0), Rig::ServerName(1), 10,
@@ -168,8 +146,8 @@ TEST(FailureTest, TwoPhaseSubordinateBlocksUntilCoordinatorReturns_Abort) {
 TEST(FailureTest, TwoPhaseCoordinatorCrashAfterCommitPointStillCommits) {
   Rig rig(FailConfig(2));
   // Crash the coordinator as soon as its commit record is durable (before the
-  // COMMIT notification can be processed by the subordinate).
-  rig.CrashWhen(0, [&] { return DurableCount(rig.world, 0, LogRecordKind::kCommit) > 0; });
+  // COMMIT notification can be sent to the subordinate).
+  rig.CrashAt("tm.2pc.commit_force.after", 0);
   rig.world.sched().Spawn([](Rig& r) -> Async<void> {
     co_await TransferTxn(r.app, Rig::ServerName(0), Rig::ServerName(1), 10,
                          CommitOptions::Optimized());
@@ -189,12 +167,10 @@ TEST(FailureTest, TwoPhaseCoordinatorCrashAfterCommitPointStillCommits) {
 
 TEST(FailureTest, NonBlockingTakeoverCommitsAfterCoordinatorCrash) {
   Rig rig(FailConfig(3));
-  // Crash the coordinator once BOTH subordinates hold replication records but
-  // before any subordinate learns the outcome.
-  rig.CrashWhen(0, [&] {
-    return DurableCount(rig.world, 1, LogRecordKind::kReplication) > 0 &&
-           DurableCount(rig.world, 2, LogRecordKind::kReplication) > 0;
-  });
+  // Crash the coordinator at the brink of its commit force: the replicate
+  // phase reached its quorum (commit intent is durable at subordinates) but
+  // no subordinate has learned the outcome.
+  rig.CrashAt("tm.nbc.commit_force.before", 0);
   std::optional<Status> status;
   rig.world.sched().Spawn([](Rig& r, std::optional<Status>* out) -> Async<void> {
     auto begin = co_await r.app.Begin();
@@ -224,14 +200,10 @@ TEST(FailureTest, NonBlockingTakeoverCommitsAfterCoordinatorCrash) {
 
 TEST(FailureTest, NonBlockingTakeoverAbortsWhenNoReplicationExists) {
   Rig rig(FailConfig(3));
-  // Crash the coordinator right after the subordinates prepare, before any
-  // replication: no commit intent exists anywhere, so takeover must ABORT.
-  rig.CrashWhen(0, [&] {
-    return DurableCount(rig.world, 1, LogRecordKind::kPrepare) > 0 &&
-           DurableCount(rig.world, 2, LogRecordKind::kPrepare) > 0 &&
-           DurableCount(rig.world, 1, LogRecordKind::kReplication) == 0 &&
-           DurableCount(rig.world, 2, LogRecordKind::kReplication) == 0;
-  });
+  // Crash the coordinator right after the subordinates prepare, before its
+  // replicate phase starts: no commit intent exists anywhere, so takeover
+  // must ABORT.
+  rig.CrashAt("tm.nbc.replicate_force.before", 0);
   rig.world.sched().Spawn([](Rig& r) -> Async<void> {
     auto begin = co_await r.app.Begin();
     const Tid tid = *begin;
@@ -254,25 +226,15 @@ TEST(FailureTest, NonBlockingTakeoverAbortsWhenNoReplicationExists) {
 
 TEST(FailureTest, NonBlockingSurvivesPartitionOfCoordinator) {
   Rig rig(FailConfig(3));
-  // Partition the coordinator away once replication is everywhere; the
-  // majority side {1,2} must decide without it.
-  bool partitioned = false;
-  auto watch = std::make_shared<std::function<void()>>();
-  *watch = [&rig, &partitioned, watch] {
-    if (!partitioned &&
-        DurableCount(rig.world, 1, LogRecordKind::kReplication) > 0 &&
-        DurableCount(rig.world, 2, LogRecordKind::kReplication) > 0) {
-      partitioned = true;
-      rig.world.net().SetPartition({{SiteId{0}}, {SiteId{1}, SiteId{2}}});
-      // Heal after a while so the coordinator can learn the outcome.
-      rig.world.sched().Post(Sec(8), [&rig] { rig.world.net().ClearPartition(); });
-      return;
-    }
-    if (!partitioned) {
-      rig.world.sched().Post(Usec(500), *watch);
-    }
-  };
-  rig.world.sched().Post(Usec(500), *watch);
+  // Partition the coordinator away at the brink of its commit force, once
+  // replication reached its quorum; the majority side {1,2} must decide
+  // without it. A callback arm replaces the old durable-log polling watcher.
+  rig.world.failpoints().Arm(
+      "tm.nbc.commit_force.before", SiteId{0}, FailpointArm::Callback(1, [&rig] {
+        rig.world.net().SetPartition({{SiteId{0}}, {SiteId{1}, SiteId{2}}});
+        // Heal after a while so the coordinator can learn the outcome.
+        rig.world.sched().Post(Sec(8), [&rig] { rig.world.net().ClearPartition(); });
+      }));
 
   std::optional<Status> status;
   rig.world.sched().Spawn([](Rig& r, std::optional<Status>* out) -> Async<void> {
