@@ -181,8 +181,12 @@ bool Shell::Execute(const std::string& line) {
         groups.back().push_back(SiteId{static_cast<uint32_t>(std::stoul(tok))});
       }
     }
-    W().net().SetPartition(groups);
-    std::printf("[%8.1f ms] partition installed (%zu groups)\n", vtime(), groups.size());
+    const Status st = W().net().SetPartition(groups);
+    if (st.ok()) {
+      std::printf("[%8.1f ms] partition installed (%zu groups)\n", vtime(), groups.size());
+    } else {
+      std::printf("[%8.1f ms] partition rejected: %s\n", vtime(), st.ToString().c_str());
+    }
   } else if (cmd == "heal") {
     W().net().ClearPartition();
     std::printf("[%8.1f ms] partition healed\n", vtime());

@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/harness/oracle.h"
+
 namespace camelot {
 namespace {
 
@@ -78,16 +80,6 @@ Async<void> Workload(World* world, ExplorerConfig cfg, std::vector<Status>* stat
     attempted->push_back(true);
   }
   *done = true;
-}
-
-Async<int64_t> ReadVault(AppClient& app, std::string srv) {
-  auto begin = co_await app.Begin();
-  if (!begin.ok()) {
-    co_return -1;
-  }
-  auto value = co_await app.ReadInt(*begin, srv, "vault");
-  co_await app.Commit(*begin);
-  co_return value.value_or(-1);
 }
 
 void Violate(RunResult* out, std::string text) {
@@ -199,98 +191,25 @@ RunResult CrashExplorer::Run(const CrashSchedule& schedule, bool record) {
     return out;  // No quiescent installation to audit (RunSync would hang).
   }
 
-  // Audit 1: two observers read every vault; they must agree and every read
-  // must succeed.
-  std::vector<int64_t> balances(static_cast<size_t>(n), -1);
-  for (int observer = 0; observer < 2 && observer < n; ++observer) {
-    AppClient auditor(world.site(observer));
-    for (int i = 0; i < n; ++i) {
-      const int64_t balance = world.RunSync(ReadVault(auditor, Srv(i))).value_or(-1);
-      if (balance < 0) {
-        Violate(&out, "audit read of vault " + std::to_string(i) + " from observer " +
-                          std::to_string(observer) + " failed");
-        return out;
-      }
-      if (observer == 0) {
-        balances[static_cast<size_t>(i)] = balance;
-      } else if (balance != balances[static_cast<size_t>(i)]) {
-        Violate(&out, "observers disagree about vault " + std::to_string(i) + ": " +
-                          std::to_string(balances[static_cast<size_t>(i)]) + " vs " +
-                          std::to_string(balance));
-      }
-    }
+  // Audits (shared with the partition explorer; see harness/oracle.h):
+  // observer agreement + money conservation + commit-subset match, then leak
+  // and recovery checks.
+  std::vector<TransferAttempt> transfer_attempts;
+  for (size_t i = 0; i < statuses.size(); ++i) {
+    TransferAttempt a;
+    a.status = statuses[i];
+    a.attempted = attempted[i];
+    a.from_vault = static_cast<int>(i) % n;
+    a.to_vault = (static_cast<int>(i) + 1) % n;
+    a.amount = config_.amount;
+    transfer_attempts.push_back(std::move(a));
   }
-
-  // Audit 2: money conserved, and the final balances are explained by SOME
-  // subset of the attempted transfers that includes EVERY client-visible OK
-  // (commit returned OK => the transfer is durably committed everywhere;
-  // timeouts/errors may have committed or not — both are legal).
-  int64_t total = 0;
-  std::vector<int64_t> delta(static_cast<size_t>(n), 0);
-  for (int i = 0; i < n; ++i) {
-    total += balances[static_cast<size_t>(i)];
-    delta[static_cast<size_t>(i)] =
-        balances[static_cast<size_t>(i)] - config_.initial_balance;
-  }
-  if (total != static_cast<int64_t>(n) * config_.initial_balance) {
-    std::string detail;
-    for (int i = 0; i < n; ++i) {
-      detail += (i > 0 ? " " : "") + std::to_string(balances[static_cast<size_t>(i)]);
-    }
-    Violate(&out, "money not conserved: total " + std::to_string(total) + " != " +
-                      std::to_string(static_cast<int64_t>(n) * config_.initial_balance) +
-                      " (balances: " + detail + ")");
-  }
-  const size_t k = statuses.size();
-  if (k <= 20) {  // 2^k subsets; the explorer workloads are a handful.
-    uint32_t must = 0;
-    uint32_t may = 0;
-    for (size_t i = 0; i < k; ++i) {
-      if (statuses[i].ok()) {
-        must |= 1u << i;
-      }
-      if (attempted[i]) {
-        may |= 1u << i;  // Never-attempted transfers cannot have committed.
-      }
-    }
-    bool matched = false;
-    for (uint32_t mask = 0; mask < (1u << k) && !matched; ++mask) {
-      if ((mask & must) != must || (mask & ~may) != 0) {
-        continue;
-      }
-      std::vector<int64_t> d(static_cast<size_t>(n), 0);
-      for (size_t i = 0; i < k; ++i) {
-        if (mask & (1u << i)) {
-          d[static_cast<size_t>(static_cast<int>(i) % n)] -= config_.amount;
-          d[static_cast<size_t>((static_cast<int>(i) + 1) % n)] += config_.amount;
-        }
-      }
-      matched = (d == delta);
-    }
-    if (!matched) {
-      Violate(&out,
-              "final balances match no subset of attempted transfers containing every "
-              "client-OK commit (lost commit or partial transfer)");
-    }
-  }
-
-  // Audit 3: nothing leaked anywhere, and no recovery pass failed outright.
-  for (int i = 0; i < n; ++i) {
-    CamelotSite& s = world.site(i);
-    const size_t locks = s.server(Srv(i))->locks().held_lock_count();
-    if (locks != 0) {
-      Violate(&out, "site " + std::to_string(i) + " leaked " + std::to_string(locks) + " locks");
-    }
-    const size_t live = s.tranman().live_family_count();
-    if (live != 0) {
-      Violate(&out,
-              "site " + std::to_string(i) + " has " + std::to_string(live) + " live families");
-    }
-    if (s.recovery_totals().failed_recoveries != 0) {
-      Violate(&out, "site " + std::to_string(i) + " reported " +
-                        std::to_string(s.recovery_totals().failed_recoveries) +
-                        " failed recoveries");
-    }
+  std::vector<std::string> violations;
+  AuditBalancesAndSubset(world, n, config_.initial_balance, transfer_attempts, &violations);
+  AuditLeaks(world, n, &violations);
+  AuditExactlyOnce(world, n, &violations);
+  for (auto& v : violations) {
+    Violate(&out, std::move(v));
   }
   return out;
 }

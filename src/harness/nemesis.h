@@ -1,0 +1,127 @@
+// Network nemesis: deterministic, replayable network-fault scripts driven
+// against a live CamelotWorld — the network-side analogue of CrashSchedule.
+//
+// A NemesisScript is an ordered list of events. Each event pairs a firing
+// condition ("when") with a network fault action:
+//
+//   when:
+//     @<usec>              absolute virtual time, measured from Install();
+//     +<usec>              relative: fires <usec> after the PREVIOUS event in
+//                          the script applied (chains off triggers, so "heal
+//                          4 s after the partition installed" works even when
+//                          the install time is protocol-dependent);
+//     <point>@<site>#<hit> failpoint trigger: fires when the named failpoint
+//                          reaches its <hit>-th evaluation on <site> (e.g.
+//                          "tm.2pc.commit_force.after@0#1" = the instant the
+//                          coordinator's commit record hits the disk).
+//
+//   action:
+//     partition:<g>|<g>... install a partition; groups separated by '|',
+//                          sites by ',' (e.g. "partition:0|1,2"). Sites in no
+//                          group are isolated; "partition:" alone isolates
+//                          every site.
+//     heal                 clear the partition;
+//     loss:<p>             set datagram loss probability;
+//     dup:<p>              set datagram duplication probability;
+//     reorder:<p>[,<max>]  set reorder probability (and optionally the max
+//                          extra delay draw, usec);
+//     congest:<usec>       set the congestion delay mean (0 turns it off);
+//     calm                 reset loss/dup/reorder/congestion to zero.
+//
+// Textual form (the CAMELOT_NEMESIS replay string): events joined by ';',
+// e.g. "tm.2pc.commit_force.after@0#1=partition:0|1,2;+4000000=heal".
+//
+// Determinism: timed events post plain scheduler events; trigger events arm
+// FailpointArm::Callback on the shared registry. For a fixed (seed, workload,
+// script) every run applies the same faults at the same virtual instants.
+#ifndef SRC_HARNESS_NEMESIS_H_
+#define SRC_HARNESS_NEMESIS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/base/failpoint.h"
+#include "src/base/status.h"
+#include "src/base/types.h"
+#include "src/net/network.h"
+#include "src/sim/scheduler.h"
+
+namespace camelot {
+
+struct NemesisEvent {
+  enum class When : uint8_t { kAbsolute, kRelative, kTrigger };
+  enum class Action : uint8_t { kPartition, kHeal, kLoss, kDup, kReorder, kCongest, kCalm };
+
+  When when = When::kAbsolute;
+  SimDuration at = 0;    // kAbsolute: offset from Install(); kRelative: offset
+                         // from the previous event's application.
+  std::string point;     // kTrigger.
+  SiteId site{0};        // kTrigger.
+  uint64_t hit = 1;      // kTrigger.
+
+  Action action = Action::kHeal;
+  double value = 0;                          // kLoss / kDup / kReorder probability.
+  SimDuration duration = 0;                  // kCongest mean; kReorder max delay (0 = keep).
+  std::vector<std::vector<SiteId>> groups;   // kPartition.
+
+  std::string ToString() const;
+};
+
+struct NemesisScript {
+  std::vector<NemesisEvent> events;
+
+  bool empty() const { return events.empty(); }
+  std::string ToString() const;
+  static Result<NemesisScript> Parse(std::string_view text);
+};
+
+// Drives one script against one world. Install() schedules/arms every event;
+// the nemesis then applies them as their conditions fire. HealAll() force-
+// clears every installed fault (partition + probabilistic knobs) — explorers
+// call it at the end of the fault window so the liveness oracle always
+// measures a fully-healed network.
+class Nemesis {
+ public:
+  // `failpoints` may be null when the script has no trigger events.
+  Nemesis(Scheduler& sched, Network& net, FailpointRegistry* failpoints = nullptr)
+      : sched_(sched), net_(net), failpoints_(failpoints) {}
+
+  // Schedules every event. Trigger events require a registry. A second
+  // Install replaces the first (not-yet-fired timed events of the old script
+  // become no-ops).
+  Status Install(NemesisScript script);
+
+  // Applied regardless of script position: clear partition + calm all knobs.
+  // Reported to the on_apply observer as a synthetic kHeal then kCalm event.
+  void HealAll();
+
+  // Observer invoked after each event (including HealAll's synthetic events)
+  // is applied to the network — explorers snapshot counters here to measure
+  // "decisions inside the partition window".
+  void set_on_apply(std::function<void(const NemesisEvent&)> fn) { on_apply_ = std::move(fn); }
+
+  int applied_count() const { return applied_count_; }
+  // Installed events whose condition never fired (e.g. a trigger the workload
+  // never reached, or a relative event chained behind one).
+  std::vector<std::string> Unapplied() const;
+  // One line per applied event: "[<ms>] <event>".
+  const std::vector<std::string>& log() const { return log_; }
+
+ private:
+  void Apply(size_t index, uint64_t generation);
+
+  Scheduler& sched_;
+  Network& net_;
+  FailpointRegistry* failpoints_;
+  NemesisScript script_;
+  std::function<void(const NemesisEvent&)> on_apply_;
+  std::vector<bool> applied_;
+  std::vector<std::string> log_;
+  int applied_count_ = 0;
+  uint64_t generation_ = 0;  // Bumped by Install; stale timed events no-op.
+};
+
+}  // namespace camelot
+
+#endif  // SRC_HARNESS_NEMESIS_H_

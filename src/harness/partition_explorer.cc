@@ -1,0 +1,333 @@
+#include "src/harness/partition_explorer.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/base/logging.h"
+#include "src/harness/oracle.h"
+
+namespace camelot {
+namespace {
+
+std::string Srv(int i) { return "server:" + std::to_string(i); }
+
+// Same tight tuning as the crash explorer: zero jitter keeps every run
+// bit-deterministic, and short protocol timers make partition scenarios
+// resolve in seconds of virtual time.
+WorldConfig MakeWorldConfig(const PartitionExplorerConfig& cfg) {
+  WorldConfig w;
+  w.site_count = cfg.site_count;
+  w.seed = cfg.seed;
+  w.net.send_jitter_mean = 0;
+  w.net.stall_probability = 0;
+  w.net.receive_skew_mean = 0;
+  w.tranman.outcome_timeout = Usec(400000);
+  w.tranman.retry_interval = Usec(300000);
+  w.tranman.takeover_backoff = Usec(300000);
+  w.tranman.orphan_check_interval = Sec(1.0);
+  w.ipc.rpc_timeout = Sec(1.5);
+  w.server.lock_wait_timeout = Sec(1.0);
+  return w;
+}
+
+Async<Status> OneTransfer(AppClient& app, std::string from_srv, std::string to_srv,
+                          int64_t amount, CommitOptions options) {
+  auto begin = co_await app.Begin();
+  if (!begin.ok()) {
+    co_return begin.status();
+  }
+  const Tid tid = *begin;
+  auto a = co_await app.ReadInt(tid, from_srv, "vault");
+  auto b = co_await app.ReadInt(tid, to_srv, "vault");
+  if (!a.ok() || !b.ok()) {
+    co_await app.Abort(tid);
+    co_return AbortedError("read failed");
+  }
+  Status w1 = co_await app.WriteInt(tid, from_srv, "vault", *a - amount);
+  Status w2 = co_await app.WriteInt(tid, to_srv, "vault", *b + amount);
+  if (!w1.ok() || !w2.ok()) {
+    co_await app.Abort(tid);
+    co_return AbortedError("write failed");
+  }
+  co_return co_await app.Commit(tid, options);
+}
+
+// The fixed workload: serial transfers ping-ponging `amount` between vault 1
+// and vault 2 (direction alternates), coordinated from site 0's application.
+// Every transfer spans three sites, so a coordinator-isolating split leaves
+// the two vault owners as a connected NBC majority. One transaction per
+// transfer, never retried — the oracle reasons about which attempts
+// committed, and a retry would be a second attempt.
+Async<void> Workload(World* world, PartitionExplorerConfig cfg, std::vector<Status>* statuses,
+                     std::vector<bool>* attempted, bool* done) {
+  AppClient app(world->site(0));
+  const CommitOptions options =
+      cfg.non_blocking ? CommitOptions::NonBlocking() : CommitOptions::Optimized();
+  for (int i = 0; i < cfg.transfers; ++i) {
+    const int from = 1 + (i % 2);
+    const int to = 3 - from;
+    Status st = co_await OneTransfer(app, Srv(from), Srv(to), cfg.amount, options);
+    statuses->push_back(st);
+    attempted->push_back(true);
+  }
+  *done = true;
+}
+
+void Violate(PartitionRunResult* out, std::string text) {
+  out->ok = false;
+  out->violations.push_back(std::move(text));
+}
+
+uint64_t Decided(World& world, int site) {
+  const TranManCounters& c = world.site(site).tranman().counters();
+  return c.committed + c.aborted;
+}
+
+}  // namespace
+
+std::string PartitionRunResult::Explain() const {
+  std::string out;
+  for (const auto& v : violations) {
+    out += "  - " + v + "\n";
+  }
+  if (!nemesis_log.empty()) {
+    out += "  nemesis log:\n";
+    for (const auto& line : nemesis_log) {
+      out += "    " + line + "\n";
+    }
+  }
+  return out;
+}
+
+std::string PartitionExplorer::ReplayPrefix() const {
+  return "CAMELOT_SEED=" + std::to_string(config_.seed) + " CAMELOT_PROTOCOL=" +
+         (config_.non_blocking ? "nbc" : "2pc");
+}
+
+PartitionRunResult PartitionExplorer::Run(const NemesisScript& script) {
+  PartitionRunResult out;
+  out.replay = ReplayPrefix() + " CAMELOT_NEMESIS='" + script.ToString() + "'";
+
+  World world(MakeWorldConfig(config_));
+  const int n = config_.site_count;
+  for (int i = 0; i < n; ++i) {
+    world.AddServer(i, Srv(i))->CreateObjectForSetup("vault",
+                                                     EncodeInt64(config_.initial_balance));
+  }
+
+  // In-window decision accounting: between each partition install and the
+  // matching heal, count per-site commit/abort decisions. HealAll() emits a
+  // synthetic heal, so an un-healed script still closes its window.
+  Nemesis nemesis(world.sched(), world.net(), &world.failpoints());
+  bool window_open = false;
+  std::vector<uint64_t> snapshot(static_cast<size_t>(n), 0);
+  std::vector<uint64_t> in_window(static_cast<size_t>(n), 0);
+  nemesis.set_on_apply([&](const NemesisEvent& ev) {
+    if (ev.action == NemesisEvent::Action::kPartition && !window_open) {
+      window_open = true;
+      for (int i = 0; i < n; ++i) {
+        snapshot[static_cast<size_t>(i)] = Decided(world, i);
+      }
+    } else if (ev.action == NemesisEvent::Action::kHeal && window_open) {
+      window_open = false;
+      for (int i = 0; i < n; ++i) {
+        in_window[static_cast<size_t>(i)] += Decided(world, i) - snapshot[static_cast<size_t>(i)];
+      }
+    }
+  });
+  if (Status s = nemesis.Install(script); !s.ok()) {
+    Violate(&out, "nemesis install failed: " + s.message());
+    return out;
+  }
+
+  std::vector<Status> statuses;
+  std::vector<bool> attempted;
+  bool done = false;
+  world.sched().Spawn(Workload(&world, config_, &statuses, &attempted, &done));
+  world.RunFor(config_.workload_window);
+
+  // Force-heal whatever the script left installed, then give the installation
+  // a bounded resolution window. The liveness oracle: after this window, no
+  // site may still hold an undecided family.
+  nemesis.HealAll();
+  world.RunFor(config_.resolve_window);
+
+  out.nemesis_log = nemesis.log();
+  out.unapplied = nemesis.Unapplied();
+  // Unfired trigger arms must not fire on audit traffic (a partition during
+  // the balance audit would be a false positive, not a protocol bug).
+  world.failpoints().DisarmAll();
+
+  if (!done) {
+    Violate(&out, "liveness: workload did not finish (" + std::to_string(statuses.size()) + "/" +
+                      std::to_string(config_.transfers) + " transfers attempted)");
+  }
+  for (int i = 0; i < n; ++i) {
+    const size_t live = world.site(i).tranman().live_family_count();
+    if (live != 0) {
+      Violate(&out, "liveness: site " + std::to_string(i) + " still holds " +
+                        std::to_string(live) + " undecided families " +
+                        std::to_string(config_.resolve_window / 1000000) +
+                        "s after all faults healed");
+    }
+  }
+
+  // Drain: bounded, so a livelocked run fails loudly instead of hanging.
+  bool quiesced = true;
+  constexpr size_t kMaxEvents = 2u * 1000 * 1000;
+  if (world.sched().RunUntilIdle(kMaxEvents) >= kMaxEvents) {
+    quiesced = false;
+    Violate(&out, "world did not quiesce within " + std::to_string(kMaxEvents) + " events");
+  }
+
+  out.sites.resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const TranManCounters& c = world.site(i).tranman().counters();
+    SiteObservation& obs = out.sites[static_cast<size_t>(i)];
+    obs.decided_in_window = in_window[static_cast<size_t>(i)];
+    obs.blocked_periods = c.blocked_periods;
+    obs.blocked_time_us = c.blocked_time_us;
+    obs.stuck_families = c.stuck_families;
+  }
+  out.datagrams_reordered = world.net().counters().datagrams_reordered;
+
+  for (const Status& st : statuses) {
+    if (st.ok()) {
+      ++out.client_ok;
+    }
+  }
+  if (!quiesced || !out.ok) {
+    return out;  // No quiescent installation to audit (RunSync would hang).
+  }
+
+  std::vector<TransferAttempt> attempts;
+  for (size_t i = 0; i < statuses.size(); ++i) {
+    TransferAttempt a;
+    a.status = statuses[i];
+    a.attempted = attempted[i];
+    a.from_vault = 1 + (static_cast<int>(i) % 2);
+    a.to_vault = 3 - a.from_vault;
+    a.amount = config_.amount;
+    attempts.push_back(std::move(a));
+  }
+  std::vector<std::string> violations;
+  AuditBalancesAndSubset(world, n, config_.initial_balance, attempts, &violations);
+  AuditLeaks(world, n, &violations);
+  AuditExactlyOnce(world, n, &violations);
+  for (auto& v : violations) {
+    Violate(&out, std::move(v));
+  }
+  return out;
+}
+
+std::vector<PartitionSweepFailure> PartitionExplorer::ExhaustiveSinglePartitionSweep(int* runs) {
+  // Every 2-way split of the 3-site world plus total isolation. "" means
+  // "partition:" with no groups — every site isolated.
+  const std::vector<std::string> kSplits = {"0|1,2", "1|0,2", "2|0,1", ""};
+  // Phase windows: when the split installs, relative to the commit protocol's
+  // life cycle. Triggers that the workload never reaches leave the run
+  // fault-free, which the oracle accepts (Unapplied records them).
+  struct Phase {
+    const char* name;
+    std::string when;
+  };
+  const std::string decided_point =
+      std::string(config_.non_blocking ? "tm.nbc.commit_force.after" : "tm.2pc.commit_force.after") +
+      "@0#1";
+  const std::vector<Phase> kPhases = {
+      {"active", "@1000000"},          // Mid-workload, between protocol steps.
+      {"prepare", "tm.send.PREPARE@0#1"},  // The instant PREPARE leaves site 0.
+      {"voted", "tm.prepared@1#1"},    // First subordinate vote is durable.
+      {"decided", decided_point},      // Coordinator's decision hits the disk.
+  };
+
+  std::vector<PartitionSweepFailure> failures;
+  int count = 0;
+  for (const std::string& split : kSplits) {
+    for (const Phase& phase : kPhases) {
+      const std::string text = phase.when + "=partition:" + split + ";+4000000=heal";
+      Result<NemesisScript> script = NemesisScript::Parse(text);
+      CAMELOT_CHECK(script.ok());
+      PartitionRunResult result = Run(*script);
+      ++count;
+      if (!result.ok) {
+        PartitionSweepFailure f;
+        f.label = std::string(config_.non_blocking ? "nbc" : "2pc") + "/" + phase.name +
+                  "/split{" + (split.empty() ? "isolate-all" : split) + "}";
+        f.script = std::move(*script);
+        f.result = std::move(result);
+        failures.push_back(std::move(f));
+      }
+    }
+  }
+  if (runs != nullptr) {
+    *runs = count;
+  }
+  return failures;
+}
+
+std::vector<PartitionSweepFailure> PartitionExplorer::RandomNemesisSweep(uint64_t rng_seed,
+                                                                         int rounds, int* runs) {
+  const std::vector<std::string> kSplits = {"0|1,2", "1|0,2", "2|0,1", ""};
+  std::vector<PartitionSweepFailure> failures;
+  Rng rng(rng_seed);
+  int count = 0;
+  for (int round = 0; round < rounds; ++round) {
+    // 1..3 fault episodes, each an install at a random virtual time undone a
+    // random 0.5-4 s later. All episode times land inside the workload
+    // window, so HealAll() at its end is a backstop, not the primary heal.
+    const int episodes = 1 + static_cast<int>(rng.NextBounded(3));
+    std::string text;
+    for (int e = 0; e < episodes; ++e) {
+      const int64_t start = 500000 + static_cast<int64_t>(rng.NextBounded(7500000));
+      const int64_t dur = 500000 + static_cast<int64_t>(rng.NextBounded(3500000));
+      std::string fault;
+      std::string undo;
+      switch (rng.NextBounded(5)) {
+        case 0:
+          fault = "partition:" + kSplits[rng.NextBounded(kSplits.size())];
+          undo = "heal";
+          break;
+        case 1:
+          fault = "loss:" + std::to_string(0.05 + 0.25 * rng.NextDouble());
+          undo = "calm";
+          break;
+        case 2:
+          fault = "dup:" + std::to_string(0.05 + 0.25 * rng.NextDouble());
+          undo = "calm";
+          break;
+        case 3:
+          fault = "reorder:" + std::to_string(0.1 + 0.4 * rng.NextDouble()) + "," +
+                  std::to_string(5000 + rng.NextBounded(60000));
+          undo = "calm";
+          break;
+        default:
+          fault = "congest:" + std::to_string(2000 + rng.NextBounded(20000));
+          undo = "calm";
+          break;
+      }
+      if (!text.empty()) {
+        text += ";";
+      }
+      text += "@" + std::to_string(start) + "=" + fault + ";+" + std::to_string(dur) + "=" + undo;
+    }
+    Result<NemesisScript> script = NemesisScript::Parse(text);
+    CAMELOT_CHECK(script.ok());
+    PartitionRunResult result = Run(*script);
+    ++count;
+    if (!result.ok) {
+      PartitionSweepFailure f;
+      f.label = "random#" + std::to_string(round);
+      f.script = std::move(*script);
+      f.result = std::move(result);
+      failures.push_back(std::move(f));
+    }
+  }
+  if (runs != nullptr) {
+    *runs = count;
+  }
+  return failures;
+}
+
+}  // namespace camelot

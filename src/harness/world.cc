@@ -144,6 +144,22 @@ std::string World::StatsReport() {
   row("blocked periods", [](CamelotSite& s) {
     return s.tranman().counters().blocked_periods;
   });
+  row("blocked time (us)", [](CamelotSite& s) {
+    return s.tranman().counters().blocked_time_us;
+  });
+  row("stuck families", [](CamelotSite& s) {
+    return s.tranman().counters().stuck_families;
+  });
+  row("duplicate effects", [](CamelotSite& s) {
+    return s.tranman().counters().duplicate_effects;
+  });
+  row("lock hold time (us)", [](CamelotSite& s) {
+    uint64_t total = 0;
+    for (auto& [name, server] : s.ServerMap()) {
+      total += server->locks().counters().total_hold_time_us;
+    }
+    return total;
+  });
   row("takeovers", [](CamelotSite& s) {
     return s.tranman().counters().takeovers;
   });
@@ -202,12 +218,15 @@ std::string World::StatsReport() {
     return static_cast<uint64_t>(s.recovery_totals().pages_repaired);
   });
   std::string out = report.Render();
-  char buf[128];
+  char buf[192];
   std::snprintf(buf, sizeof(buf),
-                "network: %llu datagrams sent, %llu delivered, %llu lost, %llu multicasts\n",
+                "network: %llu datagrams sent, %llu delivered, %llu lost, %llu dup'd, "
+                "%llu reordered, %llu multicasts\n",
                 static_cast<unsigned long long>(net_.counters().datagrams_sent),
                 static_cast<unsigned long long>(net_.counters().datagrams_delivered),
                 static_cast<unsigned long long>(net_.counters().datagrams_lost),
+                static_cast<unsigned long long>(net_.counters().datagrams_duplicated),
+                static_cast<unsigned long long>(net_.counters().datagrams_reordered),
                 static_cast<unsigned long long>(net_.counters().multicasts_sent));
   out += buf;
   return out;

@@ -42,7 +42,7 @@ Async<Status> LockManager::Acquire(const Tid& tid, const std::string& object, Lo
 
   // FIFO fairness: do not jump the queue even if currently compatible.
   if (state.waiters.empty() && Compatible(state, tid, mode)) {
-    state.holders.push_back(Holder{tid, mode});
+    state.holders.push_back(Holder{tid, mode, sched_.now()});
     ++counters_.immediate_grants;
     co_return OkStatus();
   }
@@ -128,7 +128,7 @@ void LockManager::GrantWaiters(const std::string& /*object*/, LockState& state) 
       if (!Compatible(state, front->tid, front->mode)) {
         return;
       }
-      state.holders.push_back(Holder{front->tid, front->mode});
+      state.holders.push_back(Holder{front->tid, front->mode, sched_.now()});
     }
     front->granted = true;
     front->wake->Send(OkStatus());
@@ -151,7 +151,14 @@ void LockManager::Release(const Tid& tid, const std::string& object) {
   auto& holders = it->second.holders;
   const size_t before = holders.size();
   holders.erase(std::remove_if(holders.begin(), holders.end(),
-                               [&](const Holder& h) { return h.tid == tid; }),
+                               [&](const Holder& h) {
+                                 if (h.tid != tid) {
+                                   return false;
+                                 }
+                                 counters_.total_hold_time_us +=
+                                     static_cast<uint64_t>(sched_.now() - h.acquired_at);
+                                 return true;
+                               }),
                 holders.end());
   if (holders.size() != before) {
     ++counters_.releases;
@@ -193,7 +200,14 @@ void LockManager::ReleaseFamily(const FamilyId& family) {
     auto& holders = it->second.holders;
     const size_t before = holders.size();
     holders.erase(std::remove_if(holders.begin(), holders.end(),
-                                 [&](const Holder& h) { return h.tid.family == family; }),
+                                 [&](const Holder& h) {
+                                   if (h.tid.family != family) {
+                                     return false;
+                                   }
+                                   counters_.total_hold_time_us +=
+                                       static_cast<uint64_t>(sched_.now() - h.acquired_at);
+                                   return true;
+                                 }),
                   holders.end());
     if (holders.size() != before) {
       ++counters_.releases;

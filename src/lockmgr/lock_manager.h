@@ -46,6 +46,11 @@ struct LockCounters {
   uint64_t waits = 0;
   uint64_t timeouts = 0;
   uint64_t releases = 0;
+  // Total grant-to-release sim-time over all released locks. Locks that
+  // evaporate in a crash (Clear) are not counted — the interesting number is
+  // how long committed/aborted work kept others out, e.g. while a partition
+  // blocked a prepared subordinate.
+  uint64_t total_hold_time_us = 0;
 };
 
 class LockManager {
@@ -85,6 +90,7 @@ class LockManager {
   struct Holder {
     Tid tid;
     LockMode mode;
+    SimTime acquired_at = 0;
   };
   struct Waiter {
     Tid tid;

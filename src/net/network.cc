@@ -34,6 +34,25 @@ SimTime Network::OccupyNic(SiteState& sender, SimDuration occupancy) {
   return sender.nic_free_at;
 }
 
+SimDuration Network::InjectedDelay(const Datagram& dg) {
+  SimDuration extra = 0;
+  if (config_.congestion_delay_mean > 0) {
+    extra += static_cast<SimDuration>(
+        rng_.NextExponential(static_cast<double>(config_.congestion_delay_mean)));
+  }
+  // Reordering holds a datagram back so traffic sent later arrives first. The
+  // RPC transport is exempt: Mach's netmsgserver connections were
+  // FIFO-reliable, and our NetMsgServer already dedups retransmissions, so
+  // only the TranMan datagram protocols should ever see out-of-order delivery.
+  if (config_.reorder_probability > 0 && dg.service != kNetMsgService &&
+      rng_.NextBool(config_.reorder_probability)) {
+    ++counters_.datagrams_reordered;
+    extra += static_cast<SimDuration>(
+        rng_.NextBounded(static_cast<uint64_t>(std::max<SimDuration>(config_.reorder_delay_max, 1))));
+  }
+  return extra;
+}
+
 bool Network::LoseOrDrop(const Datagram& dg) {
   if (!CanCommunicate(dg.src, dg.dst)) {
     ++counters_.datagrams_dropped_partition;
@@ -91,11 +110,12 @@ void Network::Send(Datagram dg) {
   const SimTime serialized_at = OccupyNic(sender, config_.send_cycle + jitter);
   const SimDuration skew =
       static_cast<SimDuration>(rng_.NextExponential(static_cast<double>(config_.receive_skew_mean)));
-  const SimDuration total_delay = (serialized_at - sched_.now()) + config_.propagation + skew;
+  const SimDuration total_delay =
+      (serialized_at - sched_.now()) + config_.propagation + skew + InjectedDelay(dg);
 
   if (config_.duplicate_probability > 0 && rng_.NextBool(config_.duplicate_probability)) {
     ++counters_.datagrams_duplicated;
-    DeliverAfter(total_delay + config_.propagation, dg);
+    DeliverAfter(total_delay + config_.propagation + InjectedDelay(dg), dg);
   }
   DeliverAfter(total_delay, std::move(dg));
 }
@@ -129,7 +149,8 @@ void Network::Multicast(SiteId src, const std::vector<SiteId>& dsts, ServiceId s
     }
     const SimDuration skew = static_cast<SimDuration>(
         rng_.NextExponential(static_cast<double>(config_.receive_skew_mean)));
-    DeliverAfter((serialized_at - sched_.now()) + config_.propagation + skew, std::move(dg));
+    DeliverAfter((serialized_at - sched_.now()) + config_.propagation + skew + InjectedDelay(dg),
+                 std::move(dg));
   }
 }
 
@@ -173,26 +194,54 @@ bool Network::IsUp(SiteId site) const {
   return it != sites_.end() && it->second.up;
 }
 
-void Network::SetPartition(std::vector<std::vector<SiteId>> groups) {
-  for (auto& [id, state] : sites_) {
-    state.partition_group = -1;  // Isolated unless listed.
-  }
+Status Network::SetPartition(std::vector<std::vector<SiteId>> groups) {
+  // Validate fully before touching any state, so a rejected call leaves the
+  // current topology (including any already-installed partition) intact.
+  std::unordered_map<SiteId, int> assignment;
   int group_index = 0;
   for (const auto& group : groups) {
+    if (group.empty()) {
+      return InvalidArgumentError("SetPartition: empty group " + std::to_string(group_index));
+    }
     for (SiteId s : group) {
-      auto it = sites_.find(s);
-      CAMELOT_CHECK(it != sites_.end());
-      it->second.partition_group = group_index;
+      if (!sites_.contains(s)) {
+        return InvalidArgumentError("SetPartition: unknown site " + std::to_string(s.value));
+      }
+      auto [it, inserted] = assignment.emplace(s, group_index);
+      if (!inserted) {
+        return InvalidArgumentError(
+            "SetPartition: site " + std::to_string(s.value) + " listed in group " +
+            std::to_string(it->second) + " and group " + std::to_string(group_index));
+      }
     }
     ++group_index;
   }
+  // Apply: re-installing over an existing partition replaces it atomically;
+  // sites absent from every group (and an entirely empty `groups`) end up
+  // isolated.
+  for (auto& [id, state] : sites_) {
+    auto it = assignment.find(id);
+    state.partition_group = it == assignment.end() ? -1 : it->second;
+  }
   partitioned_ = true;
+  NotifyTopologyChange();
+  return OkStatus();
 }
 
 void Network::ClearPartition() {
+  const bool was_partitioned = partitioned_;
   partitioned_ = false;
   for (auto& [id, state] : sites_) {
     state.partition_group = -1;
+  }
+  if (was_partitioned) {
+    NotifyTopologyChange();
+  }
+}
+
+void Network::NotifyTopologyChange() {
+  for (const auto& fn : topology_listeners_) {
+    fn();
   }
 }
 

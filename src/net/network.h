@@ -11,8 +11,12 @@
 // reduces the variance of the fan-out without materially changing the mean.
 //
 // Failure injection: site crash/restart, network partition, probabilistic
-// message loss and duplication (datagrams only; the NetMsgServer's RPC
-// connections are modeled as reliable, as in Mach).
+// message loss, duplication, reordering, and congestion delay. Loss and
+// duplication apply to every datagram; reordering is confined to the TranMan
+// datagram service — the NetMsgServer's RPC transport stays FIFO-reliable, as
+// Mach's connection-oriented netmsgserver did (its own retransmit/dedup layer
+// already makes it at-most-once end to end, so reordering beneath it would
+// only exercise that layer, not the commit protocols).
 #ifndef SRC_NET_NETWORK_H_
 #define SRC_NET_NETWORK_H_
 
@@ -24,6 +28,7 @@
 
 #include "src/base/codec.h"
 #include "src/base/rng.h"
+#include "src/base/status.h"
 #include "src/base/types.h"
 #include "src/sim/scheduler.h"
 
@@ -64,6 +69,14 @@ struct NetConfig {
   // Probability that a datagram is silently lost / duplicated.
   double loss_probability = 0.0;
   double duplicate_probability = 0.0;
+  // Probability that a non-RPC datagram is reordered behind later traffic: it
+  // is held back by Uniform(0, reorder_delay_max) extra delay. RPC datagrams
+  // (kNetMsgService) are exempt — that transport is FIFO-reliable as in Mach.
+  double reorder_probability = 0.0;
+  SimDuration reorder_delay_max = Usec(40000);
+  // Congestion: mean of an exponential extra delivery delay added to every
+  // datagram while > 0 (a nemesis "delay storm" knob).
+  SimDuration congestion_delay_mean = 0;
 
   // Expected latency of a single uncontended datagram (for static analysis).
   SimDuration ExpectedDatagramLatency() const {
@@ -80,6 +93,7 @@ struct NetCounters {
   uint64_t datagrams_dropped_partition = 0;
   uint64_t datagrams_dropped_dead = 0;
   uint64_t datagrams_duplicated = 0;
+  uint64_t datagrams_reordered = 0;
   uint64_t multicasts_sent = 0;
 };
 
@@ -120,14 +134,30 @@ class Network {
   void RestartSite(SiteId site);
   bool IsUp(SiteId site) const;
 
-  // Splits sites into groups; traffic crosses a group boundary only if no
-  // partition is installed. Sites absent from every group are isolated.
-  void SetPartition(std::vector<std::vector<SiteId>> groups);
+  // Splits sites into groups; traffic crosses a group boundary only while no
+  // partition is installed. Sites absent from every group are isolated. An
+  // empty `groups` isolates every site. Re-installing over an existing
+  // partition replaces it atomically. Rejects (without changing the current
+  // topology) an unknown site, a site listed twice — across groups or within
+  // one — and an empty group list.
+  Status SetPartition(std::vector<std::vector<SiteId>> groups);
   void ClearPartition();
+  bool IsPartitioned() const { return partitioned_; }
   bool CanCommunicate(SiteId a, SiteId b) const;
+
+  // Invoked after every SetPartition / ClearPartition (not on site
+  // crash/restart — recovery beacons cover those). Components use this to
+  // re-probe in-doubt state: a blocked participant parked before a partition
+  // healed would otherwise never learn connectivity came back.
+  void AddTopologyListener(std::function<void()> fn) {
+    topology_listeners_.push_back(std::move(fn));
+  }
 
   void set_loss_probability(double p) { config_.loss_probability = p; }
   void set_duplicate_probability(double p) { config_.duplicate_probability = p; }
+  void set_reorder_probability(double p) { config_.reorder_probability = p; }
+  void set_reorder_delay_max(SimDuration d) { config_.reorder_delay_max = d; }
+  void set_congestion_delay_mean(SimDuration d) { config_.congestion_delay_mean = d; }
 
   const NetConfig& config() const { return config_; }
   const NetCounters& counters() const { return counters_; }
@@ -144,6 +174,9 @@ class Network {
   SimTime OccupyNic(SiteState& sender, SimDuration occupancy);
   void DeliverAfter(SimDuration delay, Datagram dg);
   bool LoseOrDrop(const Datagram& dg);  // Returns true if the datagram dies at send time.
+  // Congestion + reorder extra delay for one datagram (0 when both are off).
+  SimDuration InjectedDelay(const Datagram& dg);
+  void NotifyTopologyChange();
 
   Scheduler& sched_;
   NetConfig config_;
@@ -152,6 +185,7 @@ class Network {
   bool partitioned_ = false;
   std::unordered_map<SiteId, SiteState> sites_;
   std::unordered_map<uint64_t, std::function<void(Datagram)>> bindings_;
+  std::vector<std::function<void()>> topology_listeners_;
   NetCounters counters_;
 };
 

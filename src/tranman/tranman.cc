@@ -27,12 +27,18 @@ TranMan::TranMan(Site& site, Network& net, ComMan& comman, StableLog& log, TranM
       comman_(comman),
       log_(log),
       config_(config),
-      pool_(site.sched(), config.worker_threads) {
+      pool_(site.sched(), config.worker_threads),
+      // Seeded from the site id, NOT forked from the scheduler's stream:
+      // constructing a TranMan must not consume shared draws, or adding a
+      // site would shift every other component's random trajectory.
+      rng_(0x9e3779b97f4a7c15ULL ^
+           (static_cast<uint64_t>(site.id().value) * 0xbf58476d1ce4e5b9ULL)) {
   site_.RegisterService(kTranManServiceName,
                         [this](RpcContext ctx, uint32_t method, Bytes body) {
                           return Handle(ctx, method, std::move(body));
                         });
   net_.Bind(site_.id(), kTranManService, [this](Datagram dg) { OnDatagram(std::move(dg)); });
+  net_.AddTopologyListener([this] { OnTopologyChange(); });
   site_.AddCrashListener([this] {
     // Volatile state evaporates; coroutines mid-protocol notice via closed
     // inboxes and incarnation checks. Family memory moves to the graveyard so
@@ -194,6 +200,102 @@ size_t TranMan::live_family_count() const {
     }
   }
   return n;
+}
+
+// --- Blocked-state and backoff plumbing --------------------------------------------
+
+void TranMan::MarkBlocked(Family* fam) {
+  if (fam->blocked) {
+    return;
+  }
+  fam->blocked = true;
+  fam->blocked_since = site_.sched().now();
+  ++counters_.blocked_periods;
+}
+
+void TranMan::ClearBlocked(Family* fam) {
+  if (!fam->blocked) {
+    return;
+  }
+  fam->blocked = false;
+  counters_.blocked_time_us +=
+      static_cast<uint64_t>(site_.sched().now() - fam->blocked_since);
+}
+
+SimDuration TranMan::Backoff(SimDuration base, SimDuration cap, uint64_t attempt) {
+  double d = static_cast<double>(base);
+  for (uint64_t i = 0; i < attempt && d < static_cast<double>(cap); ++i) {
+    d *= config_.backoff_multiplier;
+  }
+  d = std::min(d, static_cast<double>(cap));
+  if (config_.backoff_jitter > 0) {
+    d *= 1.0 - config_.backoff_jitter + 2.0 * config_.backoff_jitter * rng_.NextDouble();
+  }
+  return std::max<SimDuration>(static_cast<SimDuration>(d), 1);
+}
+
+void TranMan::ArmStuckWatch(Family* fam) {
+  if (fam->watchdog_armed || config_.stuck_family_deadline <= 0) {
+    return;
+  }
+  fam->watchdog_armed = true;
+  site_.sched().Spawn(StuckFamilyWatch(fam->top.family, site_.incarnation()));
+}
+
+Async<void> TranMan::StuckFamilyWatch(FamilyId family_id, uint32_t inc) {
+  co_await site_.sched().Delay(config_.stuck_family_deadline);
+  if (Dead(inc)) {
+    co_return;
+  }
+  Family* fam = FindFamily(family_id);
+  if (fam == nullptr) {
+    co_return;
+  }
+  fam->watchdog_armed = false;
+  if (fam->state != TmTxnState::kCommitted && fam->state != TmTxnState::kAborted) {
+    ++counters_.stuck_families;
+    CTRACE("[%8.1fms] %s STUCK family %s undecided past deadline (state %d, blocked %d)",
+           ToMs(site_.sched().now()), ToString(site_.id()).c_str(),
+           ToString(fam->top).c_str(), static_cast<int>(fam->state),
+           fam->blocked ? 1 : 0);
+  }
+}
+
+void TranMan::OnTopologyChange() {
+  if (!site_.up()) {
+    return;
+  }
+  for (auto& [id, fam] : families_) {
+    if (fam->state == TmTxnState::kPrepared && fam->committing && !fam->passive_acceptor &&
+        !fam->is_coordinator) {
+      // An in-doubt subordinate: restart its resolution clock and ask for
+      // status right away (the response lands in the inbox and wakes even a
+      // parked waiter). Without this, a participant that exhausted its rounds
+      // during a partition would hold locks forever after the heal.
+      fam->takeover_round = 0;
+      ++counters_.status_queries;
+      TmMsg req;
+      req.type = TmMsgType::kStatusReq;
+      req.tid = fam->top;
+      if (fam->protocol == CommitProtocol::kTwoPhase) {
+        SendMsg(fam->coordinator, req);
+      } else {
+        for (SiteId s : fam->sites) {
+          if (s != site_.id()) {
+            SendMsg(s, req);
+          }
+        }
+      }
+    } else if (fam->is_coordinator && fam->inbox && !fam->inbox->closed()) {
+      // A parked phase-2 coordinator: nudge its inbox so it resends the
+      // outcome to laggards (lost acks do not retransmit themselves).
+      TmMsg nudge;
+      nudge.type = TmMsgType::kSiteUp;
+      nudge.tid = fam->top;
+      nudge.from = site_.id();
+      fam->inbox->Send(nudge);
+    }
+  }
 }
 
 // --- Datagram layer ----------------------------------------------------------------
@@ -754,9 +856,11 @@ Async<TranMan::VoteRound> TranMan::GatherVotes(Family* fam, const TmMsg& prepare
   SendMsgToAll(subs, prepare_template);
   const SimTime deadline = site_.sched().now() + config_.vote_timeout;
   bool any_abort = false;
+  uint64_t silent_rounds = 0;
   while (!pending.empty() && !any_abort) {
-    const SimDuration wait =
-        std::min<SimDuration>(config_.retry_interval, deadline - site_.sched().now());
+    const SimDuration wait = std::min<SimDuration>(
+        Backoff(config_.retry_interval, config_.retry_interval_max, silent_rounds),
+        deadline - site_.sched().now());
     if (wait <= 0) {
       break;  // Vote timeout: presume the worst.
     }
@@ -766,9 +870,11 @@ Async<TranMan::VoteRound> TranMan::GatherVotes(Family* fam, const TmMsg& prepare
     }
     if (!msg.has_value()) {
       // Silence: retransmit the prepare to the laggards.
+      ++silent_rounds;
       SendMsgToAll({pending.begin(), pending.end()}, prepare_template);
       continue;
     }
+    silent_rounds = 0;
     if (msg->type != TmMsgType::kVote || !pending.contains(msg->from)) {
       continue;
     }
@@ -867,7 +973,9 @@ Async<void> TranMan::CoordinatorPhase2(FamilyId family, std::vector<SiteId> upda
     }
     std::optional<TmMsg> msg;
     if (silent_rounds < 30) {
-      msg = co_await fam->inbox->ReceiveTimeout(config_.retry_interval);
+      msg = co_await fam->inbox->ReceiveTimeout(Backoff(
+          config_.retry_interval, config_.retry_interval_max,
+          static_cast<uint64_t>(silent_rounds)));
     } else {
       // Park: a subordinate is unreachable. Its recovery will ask us for
       // status and then ack; we stay receptive without flooding the network.
@@ -886,6 +994,8 @@ Async<void> TranMan::CoordinatorPhase2(FamilyId family, std::vector<SiteId> upda
     if (msg->type == TmMsgType::kCommitAck) {
       pending.erase(msg->from);
       silent_rounds = 0;
+    } else if (msg->type == TmMsgType::kSiteUp) {
+      silent_rounds = 0;  // Topology changed: resume resending to laggards.
     }
   }
   // Presumed abort epilogue: now that everyone wrote a commit record, the
@@ -1226,8 +1336,14 @@ Async<void> TranMan::HandleRemotePrepare(TmMsg msg) {
 }
 
 Async<void> TranMan::SubordinateWait(FamilyId family_id, uint32_t inc) {
-  bool counted_blocked = false;
   int status_rounds = 0;
+  uint64_t silent_rounds = 0;
+  {
+    Family* fam = FindFamily(family_id);
+    if (fam != nullptr) {
+      ArmStuckWatch(fam);  // Surfaces this family if it never decides.
+    }
+  }
   while (true) {
     Family* fam = FindFamily(family_id);
     if (fam == nullptr || Dead(inc)) {
@@ -1242,9 +1358,12 @@ Async<void> TranMan::SubordinateWait(FamilyId family_id, uint32_t inc) {
         (fam->protocol == CommitProtocol::kTwoPhase && status_rounds >= config_.max_status_rounds);
     std::optional<TmMsg> msg;
     if (park) {
+      // Still receptive: a SITE-UP beacon or topology-change probe answer
+      // lands here and resumes resolution.
       msg = co_await fam->inbox->Receive();
     } else {
-      msg = co_await fam->inbox->ReceiveTimeout(config_.outcome_timeout);
+      msg = co_await fam->inbox->ReceiveTimeout(
+          Backoff(config_.outcome_timeout, config_.outcome_timeout_max, silent_rounds));
     }
     fam = FindFamily(family_id);
     if (fam == nullptr || Dead(inc)) {
@@ -1254,15 +1373,11 @@ Async<void> TranMan::SubordinateWait(FamilyId family_id, uint32_t inc) {
       if (fam->inbox->closed()) {
         co_return;
       }
+      ++silent_rounds;
       // Silence inside the window of vulnerability.
       if (fam->protocol == CommitProtocol::kTwoPhase) {
         // 2PC: we are blocked; all we can do is ask the coordinator.
-        if (!fam->blocked) {
-          fam->blocked = true;
-          ++counters_.blocked_periods;
-          counted_blocked = true;
-          (void)counted_blocked;
-        }
+        MarkBlocked(fam);
         ++counters_.status_queries;
         ++status_rounds;
         TmMsg req;
@@ -1278,6 +1393,7 @@ Async<void> TranMan::SubordinateWait(FamilyId family_id, uint32_t inc) {
       }
       continue;
     }
+    silent_rounds = 0;
     switch (msg->type) {
       case TmMsgType::kCommit:
         co_await SubordinateCommit(fam);
@@ -1317,7 +1433,13 @@ Async<void> TranMan::SubordinateWait(FamilyId family_id, uint32_t inc) {
 
 Async<void> TranMan::SubordinateCommit(Family* fam) {
   const uint32_t inc = site_.incarnation();
-  fam->blocked = false;
+  if (fam->state == TmTxnState::kCommitted || fam->state == TmTxnState::kAborted) {
+    // Exactly-once sensor: a duplicated or reordered outcome datagram slipped
+    // past the dispatch-layer idempotence checks. Count it and apply nothing.
+    ++counters_.duplicate_effects;
+    co_return;
+  }
+  ClearBlocked(fam);
   if (AtTransition("tm.committed")) {
     co_return;
   }
@@ -1382,7 +1504,11 @@ Async<void> TranMan::DelayedCommitAck(FamilyId family_id, Tid top, SiteId coordi
 
 Async<void> TranMan::SubordinateAbort(Family* fam) {
   const uint32_t inc = site_.incarnation();
-  fam->blocked = false;
+  if (fam->state == TmTxnState::kCommitted || fam->state == TmTxnState::kAborted) {
+    ++counters_.duplicate_effects;  // See SubordinateCommit: exactly-once sensor.
+    co_return;
+  }
+  ClearBlocked(fam);
   const FamilyId family_id = fam->top.family;
   log_.Append(LogRecord::Abort(fam->top));
   co_await CallServersAbort(*fam);
@@ -1560,7 +1686,11 @@ Async<bool> TranMan::Takeover(FamilyId family_id, uint32_t inc) {
   // decision. With Qc + Qa = n + 1 that means max(Qc, Qa) responses incl. us.
   const uint32_t read_set = static_cast<uint32_t>(responses.size()) + 1;
   if (read_set < std::max(qc, qa)) {
-    co_await site_.sched().Delay(config_.takeover_backoff);
+    // No reachable quorum: we are blocked too (NBC's minority side), just
+    // like a 2PC subordinate in the window of vulnerability.
+    MarkBlocked(fam);
+    co_await site_.sched().Delay(
+        Backoff(config_.takeover_backoff, config_.takeover_backoff_max, fam->takeover_round));
     co_return false;  // Not enough of the cohort reachable; stay blocked.
   }
 
@@ -1628,7 +1758,9 @@ Async<bool> TranMan::Takeover(FamilyId family_id, uint32_t inc) {
   }
 
   if (support < needed) {
-    co_await site_.sched().Delay(config_.takeover_backoff);
+    MarkBlocked(fam);
+    co_await site_.sched().Delay(
+        Backoff(config_.takeover_backoff, config_.takeover_backoff_max, fam->takeover_round));
     co_return false;  // Quorum not reached this round.
   }
 
@@ -1642,7 +1774,7 @@ Async<bool> TranMan::Takeover(FamilyId family_id, uint32_t inc) {
     if (fam == nullptr) {
       co_return true;
     }
-    fam->blocked = false;
+    ClearBlocked(fam);
     if (AtTransition("tm.committed")) {
       co_return true;
     }
@@ -1663,7 +1795,7 @@ Async<bool> TranMan::Takeover(FamilyId family_id, uint32_t inc) {
     if (fam == nullptr) {
       co_return true;
     }
-    fam->blocked = false;
+    ClearBlocked(fam);
     if (AtTransition("tm.aborted")) {
       co_return true;
     }

@@ -75,6 +75,19 @@ struct TranManConfig {
   // destination and either ride the next protocol datagram to that site or
   // flush after this delay. 0 disables batching.
   SimDuration piggyback_delay = Usec(20000);
+  // Silence-driven waits (blocked-subordinate status queries, takeover retry
+  // pauses, phase-2 retransmits) grow exponentially by backoff_multiplier per
+  // consecutive silent round, capped at the matching *_max, and jittered by
+  // +/- backoff_jitter so a partitioned cohort does not retry in lockstep.
+  double backoff_multiplier = 2.0;
+  double backoff_jitter = 0.2;
+  SimDuration retry_interval_max = Sec(4.0);
+  SimDuration outcome_timeout_max = Sec(6.0);
+  SimDuration takeover_backoff_max = Sec(6.0);
+  // Stuck-family watchdog: a family still undecided this long after entering
+  // a commit flow is surfaced in counters().stuck_families (observation only;
+  // the protocols keep running).
+  SimDuration stuck_family_deadline = Sec(60.0);
 };
 
 struct TranManCounters {
@@ -87,6 +100,11 @@ struct TranManCounters {
   uint64_t status_queries = 0;
   uint64_t orphans_aborted = 0;
   uint64_t blocked_periods = 0;  // Times a 2PC subordinate entered the blocked state.
+  uint64_t blocked_time_us = 0;  // Total sim-time families spent blocked (lock-holding limbo).
+  uint64_t stuck_families = 0;   // Families undecided past stuck_family_deadline.
+  uint64_t duplicate_effects = 0;  // Commit/abort effects re-driven on an already-final family
+                                   // (a duplicated or reordered datagram got through the
+                                   // idempotence guards; the exactly-once oracle wants 0).
   uint64_t heuristic_resolutions = 0;
   uint64_t heuristic_damage = 0;  // Heuristic outcome contradicted the real one.
   uint64_t messages_piggybacked = 0;  // Off-path messages that rode another datagram.
@@ -153,7 +171,10 @@ class TranMan {
     Tid top;
     TmTxnState state = TmTxnState::kActive;
     bool committing = false;   // A commit/abort decision flow owns this family.
-    bool blocked = false;      // 2PC subordinate stuck in the window of vulnerability.
+    bool blocked = false;      // Subordinate stuck unable to decide (2PC window of
+                               // vulnerability, or NBC without a reachable quorum).
+    SimTime blocked_since = 0;       // When `blocked` was last set (for blocked_time_us).
+    bool watchdog_armed = false;     // A StuckFamilyWatch one-shot is in flight.
     bool is_coordinator = false;
 
     // Local participants (servers on this site that joined).
@@ -241,6 +262,20 @@ class TranMan {
   // Watches an active subordinate family for coordinator death (see
   // TranManConfig::orphan_check_interval).
   Async<void> OrphanWatch(FamilyId family_id, uint32_t inc);
+  // One-shot: fires once at stuck_family_deadline and counts the family into
+  // counters().stuck_families if it is still undecided (observation only).
+  Async<void> StuckFamilyWatch(FamilyId family_id, uint32_t inc);
+  void ArmStuckWatch(Family* fam);
+  // Blocked-state bookkeeping with blocked-time accounting.
+  void MarkBlocked(Family* fam);
+  void ClearBlocked(Family* fam);
+  // Capped, jittered exponential backoff: base * multiplier^attempt, capped,
+  // +/- backoff_jitter. Deterministic per seed (draws from this TranMan's rng).
+  SimDuration Backoff(SimDuration base, SimDuration cap, uint64_t attempt);
+  // Network topology changed (partition installed or healed): re-probe every
+  // in-doubt family so a participant parked during a partition learns
+  // connectivity is back (site crash/restart uses SITE-UP beacons instead).
+  void OnTopologyChange();
 
   // --- Datagram layer -----------------------------------------------------------------
   void OnDatagram(Datagram dg);
@@ -294,6 +329,7 @@ class TranMan {
   TranManConfig config_;
   Failpoints failpoints_;
   WorkerPool pool_;
+  Rng rng_;  // Backoff jitter; forked from the scheduler stream for determinism.
   uint64_t next_family_seq_ = 1;
   std::unordered_map<FamilyId, std::unique_ptr<Family>> families_;
   std::vector<std::unique_ptr<Family>> graveyard_;

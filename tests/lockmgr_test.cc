@@ -282,5 +282,70 @@ TEST(LockManagerTest, RandomTrafficPreservesExclusionInvariant) {
   }
 }
 
+TEST(LockManagerTest, MassWakeupTimeoutCountIsExact) {
+  // Sixteen waiters from distinct families, all with the same timeout, queue
+  // behind one exclusive holder that never releases. Every timer fires at the
+  // same virtual instant; the timeout counter must equal exactly the number
+  // of waiters -- no double-counting a waiter its own wakeup already removed.
+  Rig rig;
+  ASSERT_TRUE(rig.AcquireNow(kA1, "x", LockMode::kExclusive).ok());
+  const uint64_t before = rig.lm.counters().timeouts;
+  constexpr int kWaiters = 16;
+  std::vector<std::optional<Status>> results(kWaiters);
+  for (int i = 0; i < kWaiters; ++i) {
+    rig.AcquireAsync(MakeTid(1, 100 + static_cast<uint64_t>(i)), "x", LockMode::kExclusive,
+                     &results[i], Msec(50));
+  }
+  rig.sched.RunUntilIdle();
+  for (int i = 0; i < kWaiters; ++i) {
+    ASSERT_TRUE(results[i].has_value()) << i;
+    EXPECT_FALSE(results[i]->ok()) << i;
+  }
+  EXPECT_EQ(rig.lm.counters().timeouts - before, static_cast<uint64_t>(kWaiters));
+  EXPECT_EQ(rig.lm.waiter_count(), 0u);
+  EXPECT_EQ(rig.lm.held_lock_count(), 1u);  // Only the original holder.
+}
+
+TEST(LockManagerTest, ReleaseRacingMassTimeoutNeverCountsAWaiterTwice) {
+  // The holder releases at the exact instant every waiter's timer fires. Each
+  // waiter resolves exactly one way -- granted or timed out -- so grants plus
+  // timeouts must account for every waiter exactly once, and nobody lingers.
+  Rig rig;
+  ASSERT_TRUE(rig.AcquireNow(kA1, "x", LockMode::kExclusive).ok());
+  const uint64_t timeouts_before = rig.lm.counters().timeouts;
+  constexpr int kWaiters = 8;
+  std::vector<std::optional<Status>> results(kWaiters);
+  for (int i = 0; i < kWaiters; ++i) {
+    rig.AcquireAsync(MakeTid(1, 200 + static_cast<uint64_t>(i)), "x", LockMode::kExclusive,
+                     &results[i], Msec(50));
+  }
+  rig.sched.Post(Msec(50), [&rig] { rig.lm.Release(kA1, "x"); });
+  rig.sched.RunUntilIdle();
+  int granted = 0;
+  for (int i = 0; i < kWaiters; ++i) {
+    ASSERT_TRUE(results[i].has_value()) << i;
+    granted += results[i]->ok() ? 1 : 0;
+  }
+  const uint64_t timed_out = rig.lm.counters().timeouts - timeouts_before;
+  EXPECT_EQ(granted + static_cast<int>(timed_out), kWaiters);
+  EXPECT_EQ(rig.lm.waiter_count(), 0u);
+}
+
+TEST(LockManagerTest, HoldTimeAccountingSpansGrantToRelease) {
+  Rig rig;
+  ASSERT_TRUE(rig.AcquireNow(kA1, "x", LockMode::kExclusive).ok());
+  rig.sched.Post(Msec(250), [&rig] { rig.lm.Release(kA1, "x"); });
+  rig.sched.RunUntilIdle();
+  EXPECT_EQ(rig.lm.counters().total_hold_time_us, static_cast<uint64_t>(Msec(250)));
+
+  // ReleaseFamily accumulates every lock the family still holds.
+  ASSERT_TRUE(rig.AcquireNow(kB1, "y", LockMode::kShared).ok());
+  ASSERT_TRUE(rig.AcquireNow(kB1, "z", LockMode::kExclusive).ok());
+  rig.sched.Post(Msec(100), [&rig] { rig.lm.ReleaseFamily(kB1.family); });
+  rig.sched.RunUntilIdle();
+  EXPECT_EQ(rig.lm.counters().total_hold_time_us,
+            static_cast<uint64_t>(Msec(250) + 2 * Msec(100)));
+}
+
 }  // namespace
 }  // namespace camelot

@@ -1,0 +1,201 @@
+// Tests for the network nemesis: script parsing / round-tripping, timed and
+// trigger-driven application, relative-event chaining, re-install semantics,
+// and HealAll's synthetic observer events.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/base/failpoint.h"
+#include "src/harness/nemesis.h"
+#include "src/net/network.h"
+#include "src/sim/scheduler.h"
+
+namespace camelot {
+namespace {
+
+NetConfig DeterministicConfig() {
+  NetConfig cfg;
+  cfg.send_jitter_mean = 0;
+  cfg.stall_probability = 0;
+  cfg.receive_skew_mean = 0;
+  return cfg;
+}
+
+struct Rig {
+  Rig() : sched(1), net(sched, DeterministicConfig()) {
+    for (uint32_t i = 0; i < 3; ++i) {
+      net.RegisterSite(SiteId{i});
+    }
+  }
+  Scheduler sched;
+  Network net;
+  FailpointRegistry failpoints;
+};
+
+TEST(NemesisScriptTest, ParsesEveryEventForm) {
+  auto script = NemesisScript::Parse(
+      "@1000=partition:0|1,2;+2000=heal;tm.send.PREPARE@0#3=loss:0.25;+500=calm;"
+      "@9=reorder:0.5,40000;@10=dup:0.1;@11=congest:15000;@12=partition:");
+  ASSERT_TRUE(script.ok());
+  const auto& ev = script->events;
+  ASSERT_EQ(ev.size(), 8u);
+
+  EXPECT_EQ(ev[0].when, NemesisEvent::When::kAbsolute);
+  EXPECT_EQ(ev[0].at, Usec(1000));
+  EXPECT_EQ(ev[0].action, NemesisEvent::Action::kPartition);
+  ASSERT_EQ(ev[0].groups.size(), 2u);
+  EXPECT_EQ(ev[0].groups[0], (std::vector<SiteId>{SiteId{0}}));
+  EXPECT_EQ(ev[0].groups[1], (std::vector<SiteId>{SiteId{1}, SiteId{2}}));
+
+  EXPECT_EQ(ev[1].when, NemesisEvent::When::kRelative);
+  EXPECT_EQ(ev[1].at, Usec(2000));
+  EXPECT_EQ(ev[1].action, NemesisEvent::Action::kHeal);
+
+  EXPECT_EQ(ev[2].when, NemesisEvent::When::kTrigger);
+  EXPECT_EQ(ev[2].point, "tm.send.PREPARE");
+  EXPECT_EQ(ev[2].site, SiteId{0});
+  EXPECT_EQ(ev[2].hit, 3u);
+  EXPECT_EQ(ev[2].action, NemesisEvent::Action::kLoss);
+  EXPECT_DOUBLE_EQ(ev[2].value, 0.25);
+
+  EXPECT_EQ(ev[3].action, NemesisEvent::Action::kCalm);
+  EXPECT_EQ(ev[4].action, NemesisEvent::Action::kReorder);
+  EXPECT_DOUBLE_EQ(ev[4].value, 0.5);
+  EXPECT_EQ(ev[4].duration, Usec(40000));
+  EXPECT_EQ(ev[5].action, NemesisEvent::Action::kDup);
+  EXPECT_EQ(ev[6].action, NemesisEvent::Action::kCongest);
+  EXPECT_EQ(ev[6].duration, Usec(15000));
+  EXPECT_EQ(ev[7].action, NemesisEvent::Action::kPartition);
+  EXPECT_TRUE(ev[7].groups.empty());  // "partition:" isolates every site.
+}
+
+TEST(NemesisScriptTest, ToStringRoundTrips) {
+  const std::string text =
+      "@1000=partition:0|1,2;+2000=heal;tm.prepared@1#1=reorder:0.5,40000;+500=calm";
+  auto script = NemesisScript::Parse(text);
+  ASSERT_TRUE(script.ok());
+  const std::string canonical = script->ToString();
+  auto reparsed = NemesisScript::Parse(canonical);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->ToString(), canonical);
+  ASSERT_EQ(reparsed->events.size(), script->events.size());
+  EXPECT_EQ(reparsed->events[2].point, "tm.prepared");
+  EXPECT_EQ(reparsed->events[2].duration, Usec(40000));
+}
+
+TEST(NemesisScriptTest, RejectsMalformedScripts) {
+  EXPECT_FALSE(NemesisScript::Parse("no-equals").ok());
+  EXPECT_FALSE(NemesisScript::Parse("=heal").ok());
+  EXPECT_FALSE(NemesisScript::Parse("@abc=heal").ok());
+  EXPECT_FALSE(NemesisScript::Parse("point#1=heal").ok());          // No @site.
+  EXPECT_FALSE(NemesisScript::Parse("point@0#0=heal").ok());        // Hit is 1-based.
+  EXPECT_FALSE(NemesisScript::Parse("@1=loss:1.5").ok());           // p > 1.
+  EXPECT_FALSE(NemesisScript::Parse("@1=loss:").ok());
+  EXPECT_FALSE(NemesisScript::Parse("@1=explode").ok());
+  EXPECT_FALSE(NemesisScript::Parse("@1=partition:0|x").ok());
+  EXPECT_FALSE(NemesisScript::Parse("@1=reorder:0.5,-3").ok());
+  EXPECT_FALSE(NemesisScript::Parse("@1=congest:abc").ok());
+}
+
+TEST(NemesisTest, TimedEventsApplyAtTheirInstants) {
+  Rig rig;
+  Nemesis nemesis(rig.sched, rig.net);
+  auto script = NemesisScript::Parse("@1000=partition:0|1,2;+2000=heal");
+  ASSERT_TRUE(script.ok());
+  ASSERT_TRUE(nemesis.Install(*script).ok());
+
+  rig.sched.RunUntil(Usec(1500));
+  EXPECT_TRUE(rig.net.IsPartitioned());
+  EXPECT_FALSE(rig.net.CanCommunicate(SiteId{0}, SiteId{1}));
+  EXPECT_EQ(nemesis.applied_count(), 1);
+
+  // The relative heal chains off the partition's application: 1000 + 2000.
+  rig.sched.RunUntil(Usec(3500));
+  EXPECT_FALSE(rig.net.IsPartitioned());
+  EXPECT_EQ(nemesis.applied_count(), 2);
+  EXPECT_TRUE(nemesis.Unapplied().empty());
+  ASSERT_EQ(nemesis.log().size(), 2u);
+}
+
+TEST(NemesisTest, TriggerEventFiresAtTheArmedHit) {
+  Rig rig;
+  Nemesis nemesis(rig.sched, rig.net, &rig.failpoints);
+  auto script = NemesisScript::Parse("pt.x@1#2=partition:0|1,2;+1000=heal");
+  ASSERT_TRUE(script.ok());
+  ASSERT_TRUE(nemesis.Install(*script).ok());
+
+  rig.failpoints.Eval("pt.x", SiteId{1}, rig.sched.now());
+  EXPECT_EQ(nemesis.applied_count(), 0);  // First hit: not yet.
+  rig.failpoints.Eval("pt.x", SiteId{2}, rig.sched.now());
+  EXPECT_EQ(nemesis.applied_count(), 0);  // Wrong site: not counted for site 1.
+  rig.failpoints.Eval("pt.x", SiteId{1}, rig.sched.now());
+  EXPECT_EQ(nemesis.applied_count(), 1);  // Second hit at site 1: partition.
+  EXPECT_TRUE(rig.net.IsPartitioned());
+
+  // The relative heal chains off the trigger's application.
+  rig.sched.RunUntilIdle();
+  EXPECT_FALSE(rig.net.IsPartitioned());
+  EXPECT_EQ(nemesis.applied_count(), 2);
+}
+
+TEST(NemesisTest, TriggerScriptWithoutRegistryIsRejected) {
+  Rig rig;
+  Nemesis nemesis(rig.sched, rig.net);  // No registry.
+  auto script = NemesisScript::Parse("pt.x@1#1=heal");
+  ASSERT_TRUE(script.ok());
+  EXPECT_FALSE(nemesis.Install(*script).ok());
+}
+
+TEST(NemesisTest, ReinstallReplacesPendingScript) {
+  Rig rig;
+  Nemesis nemesis(rig.sched, rig.net);
+  auto first = NemesisScript::Parse("@1000=partition:0|1,2");
+  auto second = NemesisScript::Parse("@2000=partition:0,1|2");
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(nemesis.Install(*first).ok());
+  ASSERT_TRUE(nemesis.Install(*second).ok());  // Replaces before anything fired.
+
+  rig.sched.RunUntilIdle();
+  // Only the second script applied: 0 and 1 share a group.
+  EXPECT_EQ(nemesis.applied_count(), 1);
+  EXPECT_TRUE(rig.net.IsPartitioned());
+  EXPECT_TRUE(rig.net.CanCommunicate(SiteId{0}, SiteId{1}));
+  EXPECT_FALSE(rig.net.CanCommunicate(SiteId{0}, SiteId{2}));
+}
+
+TEST(NemesisTest, HealAllClearsFaultsAndNotifiesObserver) {
+  Rig rig;
+  Nemesis nemesis(rig.sched, rig.net);
+  std::vector<NemesisEvent::Action> seen;
+  nemesis.set_on_apply([&](const NemesisEvent& ev) { seen.push_back(ev.action); });
+  auto script = NemesisScript::Parse("@1000=partition:0|1,2;@1500=loss:0.5");
+  ASSERT_TRUE(script.ok());
+  ASSERT_TRUE(nemesis.Install(*script).ok());
+  rig.sched.RunUntilIdle();
+  ASSERT_TRUE(rig.net.IsPartitioned());
+
+  nemesis.HealAll();
+  EXPECT_FALSE(rig.net.IsPartitioned());
+  // Observer saw: partition, loss, then HealAll's synthetic heal + calm.
+  ASSERT_EQ(seen.size(), 4u);
+  EXPECT_EQ(seen[2], NemesisEvent::Action::kHeal);
+  EXPECT_EQ(seen[3], NemesisEvent::Action::kCalm);
+}
+
+TEST(NemesisTest, UnappliedReportsUnfiredTriggers) {
+  Rig rig;
+  Nemesis nemesis(rig.sched, rig.net, &rig.failpoints);
+  auto script = NemesisScript::Parse("pt.never@0#1=partition:0|1,2;+1000=heal");
+  ASSERT_TRUE(script.ok());
+  ASSERT_TRUE(nemesis.Install(*script).ok());
+  rig.sched.RunUntilIdle();
+  EXPECT_EQ(nemesis.applied_count(), 0);
+  const auto unapplied = nemesis.Unapplied();
+  ASSERT_EQ(unapplied.size(), 2u);  // The trigger and the heal chained behind it.
+  EXPECT_EQ(unapplied[0], "pt.never@0#1=partition:0|1,2");
+}
+
+}  // namespace
+}  // namespace camelot

@@ -243,5 +243,155 @@ TEST(NetworkTest, ExpectedDatagramLatencyMatchesPaperTable2) {
   EXPECT_EQ(cfg.ExpectedDatagramLatency(), Usec(10000));
 }
 
+TEST(NetworkTest, ReorderAddsBoundedExtraDelayAndCounts) {
+  NetConfig cfg = DeterministicConfig();
+  cfg.reorder_probability = 1.0;
+  cfg.reorder_delay_max = Usec(20000);
+  Rig rig(cfg, 3);
+  std::optional<SimTime> delivered_at;
+  rig.net.Bind(SiteId{1}, kTranManService, [&](Datagram) { delivered_at = rig.sched.now(); });
+  rig.net.Send(Datagram{SiteId{0}, SiteId{1}, kTranManService, 0, {}});
+  rig.sched.RunUntilIdle();
+  ASSERT_TRUE(delivered_at.has_value());
+  const SimTime base = Usec(1700) + Usec(5540);  // cycle + propagation, no jitter.
+  EXPECT_GE(*delivered_at, base);
+  EXPECT_LT(*delivered_at, base + Usec(20000));
+  EXPECT_EQ(rig.net.counters().datagrams_reordered, 1u);
+}
+
+TEST(NetworkTest, ReorderInvertsDeliveryOrderOfBackToBackSends) {
+  NetConfig cfg = DeterministicConfig();
+  cfg.reorder_probability = 1.0;  // Default reorder_delay_max (40ms) >> NIC cycle.
+  Rig rig(cfg, 5);
+  std::vector<uint8_t> order;
+  rig.net.Bind(SiteId{1}, kTranManService, [&](Datagram dg) { order.push_back(dg.body[0]); });
+  for (uint8_t i = 0; i < 20; ++i) {
+    rig.net.Send(Datagram{SiteId{0}, SiteId{1}, kTranManService, 0, {i}});
+  }
+  rig.sched.RunUntilIdle();
+  ASSERT_EQ(order.size(), 20u);
+  std::vector<uint8_t> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_NE(order, sorted);  // At least one inversion: datagrams overtook each other.
+  EXPECT_EQ(rig.net.counters().datagrams_reordered, 20u);
+}
+
+TEST(NetworkTest, RpcTransportStaysFifoUnderReorder) {
+  // The Mach netmsgserver connection is FIFO-reliable; reorder injection is
+  // confined to TranMan datagrams and must never touch the RPC service.
+  NetConfig cfg = DeterministicConfig();
+  cfg.reorder_probability = 1.0;
+  Rig rig(cfg, 5);
+  std::vector<uint8_t> order;
+  rig.net.Bind(SiteId{1}, kNetMsgService, [&](Datagram dg) { order.push_back(dg.body[0]); });
+  for (uint8_t i = 0; i < 20; ++i) {
+    rig.net.Send(Datagram{SiteId{0}, SiteId{1}, kNetMsgService, 0, {i}});
+  }
+  rig.sched.RunUntilIdle();
+  ASSERT_EQ(order.size(), 20u);
+  std::vector<uint8_t> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(order, sorted);
+  EXPECT_EQ(rig.net.counters().datagrams_reordered, 0u);
+}
+
+TEST(NetworkTest, CongestionDelayShiftsMeanLatency) {
+  NetConfig cfg = DeterministicConfig();
+  cfg.congestion_delay_mean = Usec(5000);
+  Rig rig(cfg, 11);
+  const SimTime base = Usec(1700) + Usec(5540);
+  Summary extra;
+  SimTime sent_at = 0;
+  rig.net.Bind(SiteId{1}, kTranManService,
+               [&](Datagram) { extra.Add(static_cast<double>(rig.sched.now() - sent_at - base)); });
+  for (int i = 0; i < 300; ++i) {
+    sent_at = rig.sched.now();
+    rig.net.Send(Datagram{SiteId{0}, SiteId{1}, kTranManService, 0, {}});
+    rig.sched.RunUntilIdle();
+  }
+  ASSERT_EQ(extra.count(), 300u);
+  EXPECT_GT(extra.mean(), 3500.0);  // Exponential with mean 5000us.
+  EXPECT_LT(extra.mean(), 6500.0);
+  EXPECT_EQ(rig.net.counters().datagrams_reordered, 0u);  // Congestion is not reorder.
+}
+
+TEST(NetworkTest, SetPartitionRejectsBadGroupsWithoutChangingTopology) {
+  Rig rig;
+  ASSERT_TRUE(rig.net.SetPartition({{SiteId{0}}, {SiteId{1}, SiteId{2}}}).ok());
+  ASSERT_FALSE(rig.net.CanCommunicate(SiteId{0}, SiteId{1}));
+
+  // Unknown site.
+  EXPECT_FALSE(rig.net.SetPartition({{SiteId{0}, SiteId{9}}, {SiteId{1}}}).ok());
+  // Same site in two groups.
+  EXPECT_FALSE(rig.net.SetPartition({{SiteId{0}, SiteId{1}}, {SiteId{1}}}).ok());
+  // Same site twice in one group.
+  EXPECT_FALSE(rig.net.SetPartition({{SiteId{0}, SiteId{0}}, {SiteId{1}}}).ok());
+  // Empty group list.
+  EXPECT_FALSE(rig.net.SetPartition({{SiteId{0}}, {}}).ok());
+
+  // Every rejection left the existing partition in force.
+  EXPECT_TRUE(rig.net.IsPartitioned());
+  EXPECT_FALSE(rig.net.CanCommunicate(SiteId{0}, SiteId{1}));
+  EXPECT_TRUE(rig.net.CanCommunicate(SiteId{1}, SiteId{2}));
+}
+
+TEST(NetworkTest, EmptyGroupsVectorIsolatesEverySite) {
+  Rig rig;
+  int delivered = 0;
+  rig.net.Bind(SiteId{1}, kTranManService, [&](Datagram) { ++delivered; });
+  ASSERT_TRUE(rig.net.SetPartition({}).ok());
+  EXPECT_TRUE(rig.net.IsPartitioned());
+  for (uint32_t a = 0; a < 4; ++a) {
+    for (uint32_t b = a + 1; b < 4; ++b) {
+      EXPECT_FALSE(rig.net.CanCommunicate(SiteId{a}, SiteId{b})) << a << "-" << b;
+    }
+    EXPECT_TRUE(rig.net.CanCommunicate(SiteId{a}, SiteId{a}));  // Loopback survives.
+  }
+  rig.net.Send(Datagram{SiteId{0}, SiteId{1}, kTranManService, 0, {}});
+  rig.sched.RunUntilIdle();
+  EXPECT_EQ(delivered, 0);
+}
+
+TEST(NetworkTest, SiteInNoGroupIsIsolated) {
+  Rig rig;
+  ASSERT_TRUE(rig.net.SetPartition({{SiteId{0}, SiteId{1}}}).ok());  // 2 and 3 unlisted.
+  EXPECT_TRUE(rig.net.CanCommunicate(SiteId{0}, SiteId{1}));
+  EXPECT_FALSE(rig.net.CanCommunicate(SiteId{0}, SiteId{2}));
+  EXPECT_FALSE(rig.net.CanCommunicate(SiteId{2}, SiteId{3}));  // Both isolated: no pair.
+}
+
+TEST(NetworkTest, ReinstallReplacesPartitionAtomically) {
+  Rig rig;
+  ASSERT_TRUE(rig.net.SetPartition({{SiteId{0}}, {SiteId{1}, SiteId{2}}}).ok());
+  ASSERT_TRUE(rig.net.SetPartition({{SiteId{0}, SiteId{1}}, {SiteId{2}}}).ok());
+  // Only the second install is in force.
+  EXPECT_TRUE(rig.net.CanCommunicate(SiteId{0}, SiteId{1}));
+  EXPECT_FALSE(rig.net.CanCommunicate(SiteId{1}, SiteId{2}));
+  rig.net.ClearPartition();
+  EXPECT_FALSE(rig.net.IsPartitioned());
+  EXPECT_TRUE(rig.net.CanCommunicate(SiteId{1}, SiteId{2}));
+}
+
+TEST(NetworkTest, TopologyListenerFiresOnPartitionChangesOnly) {
+  Rig rig;
+  int notified = 0;
+  rig.net.AddTopologyListener([&] { ++notified; });
+
+  ASSERT_TRUE(rig.net.SetPartition({{SiteId{0}}, {SiteId{1}, SiteId{2}}}).ok());
+  EXPECT_EQ(notified, 1);
+  ASSERT_TRUE(rig.net.SetPartition({{SiteId{0}, SiteId{1}}, {SiteId{2}}}).ok());
+  EXPECT_EQ(notified, 2);  // Re-install is a topology change.
+  EXPECT_FALSE(rig.net.SetPartition({{SiteId{9}}}).ok());
+  EXPECT_EQ(notified, 2);  // Rejected installs are not.
+  rig.net.ClearPartition();
+  EXPECT_EQ(notified, 3);
+  rig.net.ClearPartition();
+  EXPECT_EQ(notified, 3);  // Clearing an unpartitioned net is a no-op.
+
+  rig.net.CrashSite(SiteId{1});
+  rig.net.RestartSite(SiteId{1});
+  EXPECT_EQ(notified, 3);  // Crash/restart have their own (SITE-UP) signal path.
+}
+
 }  // namespace
 }  // namespace camelot

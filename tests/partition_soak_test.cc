@@ -1,0 +1,78 @@
+// Partition-schedule soak (ctest label: soak): multi-seed exhaustive
+// single-partition sweeps plus seeded random multi-fault nemesis scripts
+// (partition churn, loss/dup/reorder bursts, congestion storms) under both
+// commit protocols. Failing scripts are appended to
+// partition_soak_failures.txt (override the directory with
+// CAMELOT_ARTIFACT_DIR) so CI can upload them as an artifact; each line is a
+// ready-to-run replay recipe for partition_schedule_test's
+// ReplaysNemesisFromEnvironment.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/harness/partition_explorer.h"
+
+namespace camelot {
+namespace {
+
+std::string ArtifactPath() {
+  const char* dir = std::getenv("CAMELOT_ARTIFACT_DIR");
+  return (dir != nullptr ? std::string(dir) + "/" : std::string()) + "partition_soak_failures.txt";
+}
+
+void ReportFailures(const std::vector<PartitionSweepFailure>& failures) {
+  if (failures.empty()) {
+    return;
+  }
+  std::FILE* artifact = std::fopen(ArtifactPath().c_str(), "a");
+  for (const PartitionSweepFailure& f : failures) {
+    ADD_FAILURE() << f.label << " (" << f.script.ToString() << ") violated the oracle:\n"
+                  << f.result.Explain() << "  replay: " << f.result.replay;
+    if (artifact != nullptr) {
+      std::fprintf(artifact, "%s\n", f.result.replay.c_str());
+    }
+  }
+  if (artifact != nullptr) {
+    std::fclose(artifact);
+  }
+}
+
+TEST(PartitionSoak, ExhaustiveSweepAcrossSeeds) {
+  int total_runs = 0;
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    for (const bool non_blocking : {false, true}) {
+      PartitionExplorerConfig cfg;
+      cfg.seed = seed;
+      cfg.non_blocking = non_blocking;
+      cfg.transfers = 6;
+      int runs = 0;
+      ReportFailures(PartitionExplorer(cfg).ExhaustiveSinglePartitionSweep(&runs));
+      total_runs += runs;
+    }
+  }
+  std::printf("partition soak: %d exhaustive single-partition runs\n", total_runs);
+  EXPECT_GE(total_runs, 128);
+}
+
+TEST(PartitionSoak, RandomMultiFaultNemesisScripts) {
+  int total_runs = 0;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    for (const bool non_blocking : {false, true}) {
+      PartitionExplorerConfig cfg;
+      cfg.seed = seed;
+      cfg.non_blocking = non_blocking;
+      int runs = 0;
+      ReportFailures(
+          PartitionExplorer(cfg).RandomNemesisSweep(/*rng_seed=*/seed * 6271, /*rounds=*/40, &runs));
+      total_runs += runs;
+    }
+  }
+  std::printf("partition soak: %d random nemesis runs\n", total_runs);
+  EXPECT_GE(total_runs, 400);
+}
+
+}  // namespace
+}  // namespace camelot

@@ -2,6 +2,7 @@
 // Async task composition, channels, timeouts, mutexes, and fork/join.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -221,6 +222,64 @@ TEST(ChannelTest, TimedOutWaiterDoesNotStealLaterMessage) {
   EXPECT_FALSE(first.has_value());
   ASSERT_TRUE(second.has_value());
   EXPECT_EQ(*second, 5);
+}
+
+TEST(ChannelTest, ReceiveTimeoutRacingCloseResumesExactlyOnce) {
+  // Close lands at the same virtual instant as the timeout. Whichever event
+  // runs first claims the waiter; the other must see it non-pending and back
+  // off -- the receiver resumes exactly once, with nullopt.
+  Scheduler sched;
+  Channel<int> ch(sched);
+  int resumes = 0;
+  bool got_value = false;
+  sched.Spawn([](Channel<int>& c, int* n, bool* got) -> Async<void> {
+    auto v = co_await c.ReceiveTimeout(Msec(50));
+    ++*n;
+    *got = v.has_value();
+  }(ch, &resumes, &got_value));
+  sched.Post(Msec(50), [&] { ch.Close(); });
+  sched.RunUntilIdle();
+  EXPECT_EQ(resumes, 1);
+  EXPECT_FALSE(got_value);
+}
+
+TEST(ChannelTest, DestructionWithPendingTimedReceiverIsSafe) {
+  // The timer thunk holds a raw back-pointer to the channel. Destroying the
+  // channel before the timer fires must (a) wake the receiver with nullopt
+  // via the destructor's Close, and (b) neutralize the thunk so its later
+  // firing never touches the dead channel.
+  Scheduler sched;
+  int resumes = 0;
+  bool got_value = false;
+  auto ch = std::make_unique<Channel<int>>(sched);
+  sched.Spawn([](Channel<int>& c, int* n, bool* got) -> Async<void> {
+    auto v = co_await c.ReceiveTimeout(Msec(100));
+    ++*n;
+    *got = v.has_value();
+  }(*ch, &resumes, &got_value));
+  sched.RunUntil(Msec(10));
+  ch.reset();  // Close + free while the 100ms timer is still queued.
+  sched.RunUntilIdle();  // Timer fires at 100ms against the dead channel.
+  EXPECT_EQ(resumes, 1);
+  EXPECT_FALSE(got_value);
+  EXPECT_EQ(sched.now(), Msec(100));
+}
+
+TEST(ChannelTest, FilledTimedReceiverSurvivesChannelDestructionBeforeTimerFires) {
+  // A message arrives in time, the channel dies, and only then does the stale
+  // timer thunk run: it must see the waiter kFilled and return untouched.
+  Scheduler sched;
+  std::optional<int> result;
+  auto ch = std::make_unique<Channel<int>>(sched);
+  sched.Spawn([](Channel<int>& c, std::optional<int>* out) -> Async<void> {
+    *out = co_await c.ReceiveTimeout(Msec(100));
+  }(*ch, &result));
+  sched.Post(Msec(10), [&] { ch->Send(7); });
+  sched.RunUntil(Msec(20));
+  ch.reset();
+  sched.RunUntilIdle();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, 7);
 }
 
 Async<void> CriticalSection(Scheduler& sched, SimMutex& mu, int id, std::vector<int>* order) {
