@@ -8,7 +8,9 @@
 // UNDERESTIMATE, worse in relative terms for smaller transactions, because CPU
 // time inside processes is ignored.
 #include <cstdio>
+#include <string>
 
+#include "src/harness/conformance.h"
 #include "src/harness/experiments.h"
 #include "src/stats/table.h"
 
@@ -78,6 +80,83 @@ int main() {
                   c.paper_static, c.paper_measured});
   }
   table.Print();
+
+  // --- Primitive-count conformance: predicted vs measured, from the ledger.
+  //
+  // The ms comparison above is stochastic; this one is exact. Each cell runs
+  // one fault-free minimal transaction in a deterministic Table-2-calibrated
+  // world and diffs the cost ledger against the static analysis's expected
+  // primitive-count vector. Every delta must be zero and every measured ms
+  // must be at or above the prediction (the analysis ignores CPU).
+  struct ConformanceCase {
+    const char* name;
+    TxnKind kind;
+    CommitOptions options;
+  };
+  const ConformanceCase conformance_cases[] = {
+      {"2pc_write", TxnKind::kWrite, CommitOptions::Optimized()},
+      {"2pc_read", TxnKind::kRead, CommitOptions::Optimized()},
+      {"nbc_write", TxnKind::kWrite, CommitOptions::NonBlocking()},
+      {"nbc_read", TxnKind::kRead, CommitOptions::NonBlocking()},
+  };
+
+  std::printf("\n--- Primitive counts: predicted vs measured (1 subordinate) ---\n");
+  Table count_table({"TRANSACTION", "PRIMITIVE", "PREDICTED", "MEASURED", "DELTA"});
+  std::string json = "{\n  \"subordinates\": 1,\n  \"cases\": [\n";
+  bool first_case = true;
+  for (const auto& c : conformance_cases) {
+    ConformanceScenario scenario;
+    scenario.options = c.options;
+    scenario.kind = c.kind;
+    scenario.subordinates = 1;
+    const ConformanceReport report = RunConformanceScenario(scenario);
+
+    CountVector keys = report.predicted;
+    AddCounts(keys, report.measured);  // Union of keys; values unused below.
+    for (const auto& [key, unused] : keys) {
+      const int64_t predicted_n =
+          report.predicted.count(key) ? report.predicted.at(key) : 0;
+      const int64_t measured_n = report.measured.count(key) ? report.measured.at(key) : 0;
+      count_table.AddRow({c.name, key, std::to_string(predicted_n),
+                          std::to_string(measured_n),
+                          std::to_string(measured_n - predicted_n)});
+    }
+
+    if (!first_case) {
+      json += ",\n";
+    }
+    first_case = false;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"%s\", \"txn_ok\": %s, \"counts_match\": %s, "
+                  "\"predicted_ms\": %.1f, \"measured_ms\": %.1f, \"latency_ok\": %s,\n"
+                  "     \"counts\": {",
+                  c.name, report.txn_status.ok() ? "true" : "false",
+                  report.counts_match ? "true" : "false", report.predicted_ms,
+                  report.measured_ms, report.latency_ok ? "true" : "false");
+    json += buf;
+    bool first_key = true;
+    for (const auto& [key, unused] : keys) {
+      const int64_t predicted_n =
+          report.predicted.count(key) ? report.predicted.at(key) : 0;
+      const int64_t measured_n = report.measured.count(key) ? report.measured.at(key) : 0;
+      std::snprintf(buf, sizeof(buf), "%s\n       \"%s\": {\"predicted\": %lld, "
+                    "\"measured\": %lld, \"delta\": %lld}",
+                    first_key ? "" : ",", key.c_str(),
+                    static_cast<long long>(predicted_n),
+                    static_cast<long long>(measured_n),
+                    static_cast<long long>(measured_n - predicted_n));
+      first_key = false;
+      json += buf;
+    }
+    json += "}}";
+    if (!report.ok()) {
+      std::printf("CONFORMANCE VIOLATION (%s):\n%s", c.name, report.Explain().c_str());
+    }
+  }
+  json += "\n  ]\n}\n";
+  count_table.Print();
+  std::printf("\n--- Conformance report (JSON) ---\n%s", json.c_str());
 
   std::printf("\n--- Off the critical path (must still happen) ---\n");
   std::printf("  subordinate commit record append (lazy, optimized variant)\n");

@@ -104,6 +104,120 @@ PathAnalysis CompletionPath(CommitProtocol protocol, TxnKind kind, int subordina
   return path;
 }
 
+CountVector ExpectedProtocolCounts(const CommitOptions& options, int update_subs,
+                                   int readonly_subs, bool local_updates, TxnOutcome outcome) {
+  CountVector counts;
+  const int64_t u = update_subs;
+  const int64_t r = readonly_subs;
+  const int64_t s = u + r;
+  auto add = [&counts](const char* key, int64_t n) {
+    if (n > 0) {
+      counts[key] += n;
+    }
+  };
+
+  if (outcome == TxnOutcome::kAbort) {
+    // Client abort before any prepare: one unforced abort record per
+    // participant, one ABORT datagram per subordinate, no acks (presumed
+    // abort), no forwards (each subordinate only knows the coordinator).
+    add("coord/abort/spool", 1);
+    add("coord/ABORT/dgram", s);
+    add("sub/abort/spool", s);
+    return counts;
+  }
+
+  if (s == 0) {
+    // Local-only commit: one force iff anything was written.
+    add("coord/local.commit/force", local_updates ? 1 : 0);
+    return counts;
+  }
+
+  // Phase 1 is shared: prepare fan-out, one vote each, a prepare force at
+  // every update subordinate (read-only voters write nothing).
+  add("coord/PREPARE/dgram", s);
+  add("sub/VOTE/dgram", s);
+  add("sub/prepare/force", u);
+
+  if (options.protocol == CommitProtocol::kTwoPhase) {
+    if (u == 0 && !local_updates) {
+      return counts;  // Entirely read-only: no commit record, no phase 2.
+    }
+    add("coord/2pc.commit/force", 1);
+    add("coord/end/spool", 1);
+    add("coord/COMMIT/dgram", u);
+    add("sub/COMMIT-ACK/dgram", u);
+    if (options.force_subordinate_commit) {
+      add("sub/commit/force", u);
+      // The intermediate variant forces AND delays the ack behind an ack
+      // force; the unoptimized baseline acks immediately after its force.
+      add("sub/ack/force", options.piggyback_commit_ack ? u : 0);
+    } else {
+      // Section 3.2: the subordinate spools its commit record and forces
+      // only before the (delayed, piggybacked) ack.
+      add("sub/commit/spool", u);
+      add("sub/ack/force", u);
+    }
+    return counts;
+  }
+
+  // Non-blocking commitment.
+  if (u == 0) {
+    // Every subordinate read-only: the local commit record alone decides;
+    // passive acceptors are told the outcome and ack their tombstones.
+    add("coord/local.commit/force", local_updates ? 1 : 0);
+    add("coord/COMMIT/dgram", s);
+    add("sub/COMMIT-ACK/dgram", s);
+    return counts;
+  }
+  add("coord/nbc.prepare/force", local_updates ? 1 : 0);
+  add("coord/nbc.replicate/force", 1);
+  // Replication targets: the update subordinates, widened to the read-only
+  // pool when the update sites (plus the coordinator) cannot form the quorum.
+  const int64_t n = s + 1;
+  const int64_t commit_quorum = n / 2 + 1;
+  const int64_t targets = (u + 1 >= commit_quorum) ? u : s;
+  add("coord/REPLICATE/dgram", targets);
+  add("sub/accept.replicate/force", targets);
+  add("sub/REPLICATE-ACK/dgram", targets);
+  add("coord/nbc.commit/force", 1);
+  // Notify phase covers every subordinate: update subs spool + ack-force,
+  // passive acceptors ack immediately.
+  add("coord/COMMIT/dgram", s);
+  add("sub/COMMIT-ACK/dgram", s);
+  add("sub/commit/spool", u);
+  add("sub/ack/force", u);
+  add("coord/end/spool", 1);
+  return counts;
+}
+
+CountVector ExpectedMinimalTxnCounts(const CommitOptions& options, TxnKind kind,
+                                     int subordinates, TxnOutcome outcome) {
+  const int64_t s = subordinates;
+  const bool write = kind == TxnKind::kWrite;
+  CountVector counts = ExpectedProtocolCounts(options, write ? subordinates : 0,
+                                              write ? 0 : subordinates, write, outcome);
+  auto add = [&counts](const char* key, int64_t n) {
+    if (n > 0) {
+      counts[key] += n;
+    }
+  };
+  // Begin + one join per participating site + the commit (or abort) call.
+  add("ipc/tranman/call", s + 3);
+  // The coordinator's own operation is a local data-server IPC; each
+  // subordinate operation is one ComMan-mediated remote RPC.
+  add("ipc/server/server_call", 1);
+  add("ipc/comman/rpc", s);
+  if (outcome == TxnOutcome::kCommit) {
+    // One local vote upcall per site, one drop-locks one-way per site.
+    add("ipc/server/call", s + 1);
+    add("ipc/server/oneway", s + 1);
+  } else {
+    // Abort: no votes; each site's abort-family call undoes and drops locks.
+    add("ipc/server/call", s + 1);
+  }
+  return counts;
+}
+
 PathAnalysis CriticalPath(CommitProtocol protocol, TxnKind kind, int subordinates,
                           const PrimitiveCosts& c) {
   PathAnalysis path = CompletionPath(protocol, kind, subordinates, c);

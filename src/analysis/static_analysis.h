@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "src/stats/cost_ledger.h"
+#include "src/tranman/local_api.h"
 #include "src/wal/log_record.h"
 
 namespace camelot {
@@ -60,6 +62,38 @@ PathAnalysis CriticalPath(CommitProtocol protocol, TxnKind kind, int subordinate
 // processing: 3.5 ms for the local operation plus 29 ms per (serial) remote
 // operation.
 double OperationProcessingMs(int subordinates, const PrimitiveCosts& costs = {});
+
+// --- Expected primitive-count vectors -----------------------------------------
+//
+// Where the path analyses above predict milliseconds, these predict the exact
+// primitives a fault-free run performs, keyed like the CostLedger
+// ("role/phase/primitive"). The ConformanceOracle (src/harness) asserts
+// measured == predicted after every fault-free protocol run.
+
+enum class TxnOutcome { kCommit, kAbort };
+
+// Protocol-only counts (log forces, unforced protocol appends, datagrams) for
+// one transaction family under `options`:
+//   update_subs   subordinate sites whose servers voted kUpdate (U)
+//   readonly_subs subordinate sites whose servers voted kReadOnly (R)
+//   local_updates whether the coordinator's own site wrote (L)
+// TxnOutcome::kAbort models a client-driven abort issued after the operations
+// (before any prepare), the abort path the harness exercises.
+//
+// Captures the Section 3.2 optimization exactly: with
+// force_subordinate_commit = false an update subordinate spools (never
+// forces) its commit record and forces only before the delayed ack; the
+// unoptimized protocol forces the commit record and acks immediately.
+CountVector ExpectedProtocolCounts(const CommitOptions& options, int update_subs,
+                                   int readonly_subs, bool local_updates, TxnOutcome outcome);
+
+// Full conformance-domain counts (protocol counts plus the local/remote IPC
+// layer) for the harness's minimal transaction: begin, one operation on the
+// coordinator's server and one per subordinate site, then commit or abort.
+// kWrite updates every site (U = subordinates, L = true); kRead reads
+// everywhere (R = subordinates, L = false).
+CountVector ExpectedMinimalTxnCounts(const CommitOptions& options, TxnKind kind,
+                                     int subordinates, TxnOutcome outcome);
 
 }  // namespace camelot
 

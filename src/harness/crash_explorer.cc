@@ -6,7 +6,9 @@
 #include <utility>
 #include <vector>
 
+#include "src/analysis/static_analysis.h"
 #include "src/harness/oracle.h"
+#include "src/harness/replay.h"
 
 namespace camelot {
 namespace {
@@ -98,8 +100,7 @@ std::string RunResult::Explain() const {
 }
 
 std::string CrashExplorer::ReplayPrefix() const {
-  return "CAMELOT_SEED=" + std::to_string(config_.seed) + " CAMELOT_PROTOCOL=" +
-         (config_.non_blocking ? "nbc" : "2pc");
+  return ReplayRecipePrefix(config_.seed, config_.non_blocking);
 }
 
 std::vector<DiscoveredPoint> CrashExplorer::Discover() {
@@ -108,7 +109,8 @@ std::vector<DiscoveredPoint> CrashExplorer::Discover() {
 
 RunResult CrashExplorer::Run(const CrashSchedule& schedule, bool record) {
   RunResult out;
-  out.replay = ReplayPrefix() + " CAMELOT_SCHEDULE='" + schedule.ToString() + "'";
+  out.replay =
+      ReplayRecipe(config_.seed, config_.non_blocking, "CAMELOT_SCHEDULE", schedule.ToString());
 
   World world(MakeWorldConfig(config_));
   const int n = config_.site_count;
@@ -191,6 +193,41 @@ RunResult CrashExplorer::Run(const CrashSchedule& schedule, bool record) {
     return out;  // No quiescent installation to audit (RunSync would hang).
   }
 
+  // Primitive-cost conformance gate (fault-free runs only, before the audit
+  // transactions add their own protocol traffic): the ledger's protocol
+  // counts must equal the static analysis's prediction for the transfer
+  // workload, exactly — an extra force or duplicate datagram is a bug even
+  // when atomicity holds.
+  if (schedule.entries.empty() && done) {
+    bool all_ok = true;
+    for (const Status& st : statuses) {
+      all_ok = all_ok && st.ok();
+    }
+    if (all_ok) {
+      const CommitOptions options =
+          config_.non_blocking ? CommitOptions::NonBlocking() : CommitOptions::Optimized();
+      CountVector predicted;
+      for (int i = 0; i < config_.transfers; ++i) {
+        int update_subs = 0;
+        bool local_updates = false;
+        for (const int vault : {i % n, (i + 1) % n}) {
+          if (vault == 0) {
+            local_updates = true;
+          } else {
+            ++update_subs;
+          }
+        }
+        AddCounts(predicted, ExpectedProtocolCounts(options, update_subs, /*readonly_subs=*/0,
+                                                    local_updates, TxnOutcome::kCommit));
+      }
+      const CountVector measured = world.cost_ledger().ProtocolCounts();
+      std::string diff = CostLedger::Diff(predicted, measured);
+      if (!diff.empty()) {
+        Violate(&out, "fault-free run violated primitive-cost conformance:\n" + diff);
+      }
+    }
+  }
+
   // Audits (shared with the partition explorer; see harness/oracle.h):
   // observer agreement + money conservation + commit-subset match, then leak
   // and recovery checks.
@@ -218,7 +255,13 @@ std::vector<SweepFailure> CrashExplorer::ExhaustiveSingleCrashSweep(uint64_t max
                                                                     int* runs) {
   std::vector<SweepFailure> failures;
   int count = 0;
-  for (const DiscoveredPoint& dp : Discover()) {
+  // The fault-free discovery run is itself gated (conformance + oracle); a
+  // violation there means every sweep result would be noise.
+  RunResult discovery = Run(CrashSchedule{}, /*record=*/true);
+  if (!discovery.ok) {
+    failures.push_back({CrashSchedule{}, discovery});
+  }
+  for (const DiscoveredPoint& dp : discovery.discovered) {
     const uint64_t cap =
         max_hits_per_point == 0 ? dp.hits : std::min(dp.hits, max_hits_per_point);
     for (uint64_t hit = 1; hit <= cap; ++hit) {
@@ -268,7 +311,11 @@ std::vector<SweepFailure> CrashExplorer::RecoverySweep(const ScheduleEntry& base
 std::vector<SweepFailure> CrashExplorer::RandomSweep(uint64_t rng_seed, int rounds,
                                                      int max_faults, int* runs) {
   std::vector<SweepFailure> failures;
-  const std::vector<DiscoveredPoint> discovered = Discover();
+  RunResult discovery = Run(CrashSchedule{}, /*record=*/true);
+  if (!discovery.ok) {
+    failures.push_back({CrashSchedule{}, discovery});
+  }
+  const std::vector<DiscoveredPoint> discovered = std::move(discovery.discovered);
   if (discovered.empty()) {
     if (runs != nullptr) {
       *runs = 0;

@@ -8,10 +8,10 @@ namespace {
 
 std::string ServerName(int site) { return "server:" + std::to_string(site); }
 
-// One small operation at a single server at each site (the paper's minimal
-// transaction), then commit.
+}  // namespace
+
 Async<Status> MinimalTransaction(AppClient& app, int subordinates, TxnKind kind,
-                                 CommitOptions options, int64_t value) {
+                                 CommitOptions options, int64_t value, TxnOutcome outcome) {
   auto begin = co_await app.Begin();
   if (!begin.ok()) {
     co_return begin.status();
@@ -32,9 +32,14 @@ Async<Status> MinimalTransaction(AppClient& app, int subordinates, TxnKind kind,
       }
     }
   }
+  if (outcome == TxnOutcome::kAbort) {
+    co_return co_await app.Abort(tid);
+  }
   Status st = co_await app.Commit(tid, options);
   co_return st;
 }
+
+namespace {
 
 Async<void> DriveLatency(World& world, const LatencyConfig& config, LatencyResult* out) {
   AppClient app(world.site(0));

@@ -21,6 +21,16 @@
 
 namespace camelot {
 
+// The paper's minimal distributed transaction: one small operation at a
+// single server at each of `subordinates + 1` sites, then commit under
+// `options` — or, with TxnOutcome::kAbort, a client abort after the
+// operations (the abort path the conformance oracle audits). Servers must be
+// named "server:<site>" holding an int64 object "obj" (see
+// RunLatencyExperiment for the canonical setup).
+Async<Status> MinimalTransaction(AppClient& app, int subordinates, TxnKind kind,
+                                 CommitOptions options, int64_t value,
+                                 TxnOutcome outcome = TxnOutcome::kCommit);
+
 // --- Latency ------------------------------------------------------------------
 
 struct LatencyConfig {

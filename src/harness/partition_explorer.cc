@@ -4,8 +4,10 @@
 #include <utility>
 #include <vector>
 
+#include "src/analysis/static_analysis.h"
 #include "src/base/logging.h"
 #include "src/harness/oracle.h"
+#include "src/harness/replay.h"
 
 namespace camelot {
 namespace {
@@ -101,13 +103,13 @@ std::string PartitionRunResult::Explain() const {
 }
 
 std::string PartitionExplorer::ReplayPrefix() const {
-  return "CAMELOT_SEED=" + std::to_string(config_.seed) + " CAMELOT_PROTOCOL=" +
-         (config_.non_blocking ? "nbc" : "2pc");
+  return ReplayRecipePrefix(config_.seed, config_.non_blocking);
 }
 
 PartitionRunResult PartitionExplorer::Run(const NemesisScript& script) {
   PartitionRunResult out;
-  out.replay = ReplayPrefix() + " CAMELOT_NEMESIS='" + script.ToString() + "'";
+  out.replay =
+      ReplayRecipe(config_.seed, config_.non_blocking, "CAMELOT_NEMESIS", script.ToString());
 
   World world(MakeWorldConfig(config_));
   const int n = config_.site_count;
@@ -201,6 +203,33 @@ PartitionRunResult PartitionExplorer::Run(const NemesisScript& script) {
     return out;  // No quiescent installation to audit (RunSync would hang).
   }
 
+  // Primitive-cost conformance gate for the fault-free baseline (before the
+  // audit transactions add their own traffic): every ping-pong transfer is a
+  // 2-update-subordinate commit with no coordinator-site writes, so the
+  // whole run's protocol counts are exactly `transfers` times that vector.
+  if (script.empty() && done) {
+    bool all_ok = true;
+    for (const Status& st : statuses) {
+      all_ok = all_ok && st.ok();
+    }
+    if (all_ok) {
+      const CommitOptions options =
+          config_.non_blocking ? CommitOptions::NonBlocking() : CommitOptions::Optimized();
+      CountVector predicted;
+      for (int i = 0; i < config_.transfers; ++i) {
+        AddCounts(predicted, ExpectedProtocolCounts(options, /*update_subs=*/2,
+                                                    /*readonly_subs=*/0,
+                                                    /*local_updates=*/false,
+                                                    TxnOutcome::kCommit));
+      }
+      const std::string diff =
+          CostLedger::Diff(predicted, world.cost_ledger().ProtocolCounts());
+      if (!diff.empty()) {
+        Violate(&out, "fault-free run violated primitive-cost conformance:\n" + diff);
+      }
+    }
+  }
+
   std::vector<TransferAttempt> attempts;
   for (size_t i = 0; i < statuses.size(); ++i) {
     TransferAttempt a;
@@ -244,6 +273,19 @@ std::vector<PartitionSweepFailure> PartitionExplorer::ExhaustiveSinglePartitionS
 
   std::vector<PartitionSweepFailure> failures;
   int count = 0;
+  // Fault-free baseline first: it runs the conformance gate (exact
+  // predicted-vs-measured primitive counts), so instrumentation or protocol
+  // drift fails the sweep even when every faulted run still looks atomic.
+  {
+    PartitionRunResult baseline = Run(NemesisScript{});
+    ++count;
+    if (!baseline.ok) {
+      PartitionSweepFailure f;
+      f.label = std::string(config_.non_blocking ? "nbc" : "2pc") + "/baseline";
+      f.result = std::move(baseline);
+      failures.push_back(std::move(f));
+    }
+  }
   for (const std::string& split : kSplits) {
     for (const Phase& phase : kPhases) {
       const std::string text = phase.when + "=partition:" + split + ";+4000000=heal";

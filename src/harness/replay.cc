@@ -1,0 +1,15 @@
+#include "src/harness/replay.h"
+
+namespace camelot {
+
+std::string ReplayRecipePrefix(uint64_t seed, bool non_blocking) {
+  return "CAMELOT_SEED=" + std::to_string(seed) +
+         " CAMELOT_PROTOCOL=" + (non_blocking ? "nbc" : "2pc");
+}
+
+std::string ReplayRecipe(uint64_t seed, bool non_blocking, const std::string& variable,
+                         const std::string& schedule) {
+  return ReplayRecipePrefix(seed, non_blocking) + " " + variable + "='" + schedule + "'";
+}
+
+}  // namespace camelot

@@ -1,0 +1,21 @@
+// Replay-recipe formatting shared by the crash and partition explorers: every
+// oracle failure prints a one-line environment-variable recipe that rebuilds
+// the exact run. Both explorers share the seed/protocol prefix; each appends
+// its own schedule variable (CAMELOT_SCHEDULE / CAMELOT_NEMESIS).
+#ifndef SRC_HARNESS_REPLAY_H_
+#define SRC_HARNESS_REPLAY_H_
+
+#include <string>
+
+namespace camelot {
+
+// "CAMELOT_SEED=<seed> CAMELOT_PROTOCOL=<2pc|nbc>"
+std::string ReplayRecipePrefix(uint64_t seed, bool non_blocking);
+
+// The full recipe: prefix + " <variable>='<schedule>'".
+std::string ReplayRecipe(uint64_t seed, bool non_blocking, const std::string& variable,
+                         const std::string& schedule);
+
+}  // namespace camelot
+
+#endif  // SRC_HARNESS_REPLAY_H_

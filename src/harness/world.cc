@@ -6,7 +6,8 @@
 namespace camelot {
 
 CamelotSite::CamelotSite(Scheduler& sched, Network& net, NameService& names, SiteId id,
-                         const WorldConfig& config, FailpointRegistry& failpoints)
+                         const WorldConfig& config, FailpointRegistry& failpoints,
+                         CostLedger& cost_ledger)
     : site_(sched, net, id, config.ipc),
       netmsg_(site_, net),
       names_(names),
@@ -33,6 +34,11 @@ CamelotSite::CamelotSite(Scheduler& sched, Network& net, NameService& names, Sit
   diskmgr_.set_failpoints(handle);
   tranman_.set_failpoints(handle);
   recovery_.set_failpoints(handle);
+  // Likewise one per-site recorder into the world's cost ledger: the IPC
+  // layer and the stable log tag their primitives with this site's id.
+  const CostRecorder recorder(&cost_ledger, id);
+  site_.set_cost_recorder(recorder);
+  log_.set_cost_recorder(recorder);
   // Media recovery: a CRC-failing data page (foreground read or background
   // scrub) is rebuilt by redoing its history from the log.
   diskmgr_.set_media_repair([this](std::string segment, std::string object) {
@@ -74,9 +80,11 @@ std::map<std::string, DataServer*> CamelotSite::ServerMap() {
 
 World::World(WorldConfig config)
     : config_(config), sched_(config.seed), net_(sched_, config.net) {
+  net_.set_cost_ledger(&cost_ledger_);
   for (int i = 0; i < config.site_count; ++i) {
-    sites_.push_back(std::make_unique<CamelotSite>(
-        sched_, net_, names_, SiteId{static_cast<uint32_t>(i)}, config_, failpoints_));
+    sites_.push_back(std::make_unique<CamelotSite>(sched_, net_, names_,
+                                                   SiteId{static_cast<uint32_t>(i)}, config_,
+                                                   failpoints_, cost_ledger_));
   }
 }
 

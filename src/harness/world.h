@@ -24,6 +24,7 @@
 #include "src/recovery/recovery.h"
 #include "src/server/data_server.h"
 #include "src/sim/scheduler.h"
+#include "src/stats/cost_ledger.h"
 #include "src/tranman/tranman.h"
 #include "src/wal/stable_log.h"
 
@@ -44,7 +45,8 @@ struct WorldConfig {
 class CamelotSite {
  public:
   CamelotSite(Scheduler& sched, Network& net, NameService& names, SiteId id,
-              const WorldConfig& config, FailpointRegistry& failpoints);
+              const WorldConfig& config, FailpointRegistry& failpoints,
+              CostLedger& cost_ledger);
 
   Site& site() { return site_; }
   NetMsgServer& netmsg() { return netmsg_; }
@@ -107,6 +109,11 @@ class World {
   // (arm points / record discovery here; see base/failpoint.h).
   FailpointRegistry& failpoints() { return failpoints_; }
 
+  // The world-wide primitive-cost ledger: every protocol log force/spool,
+  // datagram, and local IPC lands here tagged {family, site, role, phase}.
+  // The ConformanceOracle compares it against the static analysis.
+  CostLedger& cost_ledger() { return cost_ledger_; }
+
   // Drives the simulation.
   size_t RunUntilIdle() { return sched_.RunUntilIdle(); }
   size_t RunFor(SimDuration d) { return sched_.RunUntil(sched_.now() + d); }
@@ -153,6 +160,7 @@ class World {
   Network net_;
   NameService names_;
   FailpointRegistry failpoints_;  // Declared before sites_: handles point here.
+  CostLedger cost_ledger_;        // Likewise: per-site recorders point here.
   std::vector<std::unique_ptr<CamelotSite>> sites_;
 };
 

@@ -4,6 +4,17 @@
 
 namespace camelot {
 
+namespace {
+
+// "server:3" and "server:7" are the same kind of IPC target; the ledger keys
+// by the service family, not the instance.
+std::string ServicePhase(const std::string& service) {
+  const size_t colon = service.find(':');
+  return colon == std::string::npos ? service : service.substr(0, colon);
+}
+
+}  // namespace
+
 Site::Site(Scheduler& sched, Network& net, SiteId id, IpcConfig ipc_config)
     : sched_(sched), net_(net), id_(id), ipc_config_(ipc_config), kernel_(sched) {
   net_.RegisterSite(id_);
@@ -46,9 +57,13 @@ Async<RpcResult> Site::CallLocal(const std::string& service, uint32_t method, By
     co_return RpcResult{UnavailableError("site down"), {}};
   }
   SimDuration cost = to_data_server ? ipc_config_.local_rpc_server : ipc_config_.local_rpc;
+  CostPrimitive primitive =
+      to_data_server ? CostPrimitive::kLocalIpcServer : CostPrimitive::kLocalIpc;
   if (body.size() >= ipc_config_.out_of_line_threshold) {
     cost = ipc_config_.local_out_of_line;
+    primitive = CostPrimitive::kLocalOutOfLine;
   }
+  cost_recorder_.Record(ctx.tid.family, "ipc", ServicePhase(service), primitive);
   const uint32_t inc = incarnation_;
   co_await sched_.Delay(cost / 2);  // Request transfer.
   if (!up_ || incarnation_ != inc) {
@@ -79,6 +94,8 @@ void Site::NotifyLocal(const std::string& service, uint32_t method, Bytes body, 
   if (!up_) {
     return;
   }
+  cost_recorder_.Record(ctx.tid.family, "ipc", ServicePhase(service),
+                        CostPrimitive::kLocalOneway);
   sched_.Spawn(RunOneWay(this, service, method, std::move(body), ctx, ipc_config_.local_oneway,
                          incarnation_));
 }

@@ -21,6 +21,7 @@
 #include "src/sim/scheduler.h"
 #include "src/sim/sync.h"
 #include "src/sim/task.h"
+#include "src/stats/cost_ledger.h"
 
 namespace camelot {
 
@@ -37,6 +38,11 @@ class Site {
   const IpcConfig& ipc() const { return ipc_config_; }
   // Experiments tune IPC costs between runs (never mid-call).
   IpcConfig& mutable_ipc() { return ipc_config_; }
+
+  // Install the per-site cost recorder (inert by default). Every local IPC
+  // records one ledger event keyed by the target service family.
+  void set_cost_recorder(CostRecorder recorder) { cost_recorder_ = recorder; }
+  const CostRecorder& cost_recorder() const { return cost_recorder_; }
 
   // --- Liveness ---------------------------------------------------------------
   bool up() const { return up_; }
@@ -81,6 +87,7 @@ class Site {
   SiteId id_;
   IpcConfig ipc_config_;
   SimMutex kernel_;  // The single master-processor run queue (see IpcConfig).
+  CostRecorder cost_recorder_;
   bool up_ = true;
   uint32_t incarnation_ = 0;
   std::unordered_map<std::string, Handler> services_;

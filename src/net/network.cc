@@ -94,6 +94,10 @@ void Network::Send(Datagram dg) {
     return;  // A crashed site sends nothing.
   }
   ++counters_.datagrams_sent;
+  if (cost_ledger_ != nullptr) {
+    cost_ledger_->Record(
+        CostEvent{FamilyId{kInvalidSite, 0}, dg.src, "net", "send", CostPrimitive::kDatagram});
+  }
   if (LoseOrDrop(dg)) {
     return;
   }
@@ -144,6 +148,10 @@ void Network::Multicast(SiteId src, const std::vector<SiteId>& dsts, ServiceId s
   for (SiteId dst : dsts) {
     Datagram dg{src, dst, service, type, body};
     ++counters_.datagrams_sent;
+    if (cost_ledger_ != nullptr) {
+      cost_ledger_->Record(
+          CostEvent{FamilyId{kInvalidSite, 0}, src, "net", "multicast", CostPrimitive::kDatagram});
+    }
     if (LoseOrDrop(dg)) {
       continue;
     }

@@ -31,6 +31,7 @@
 #include "src/base/status.h"
 #include "src/base/types.h"
 #include "src/sim/scheduler.h"
+#include "src/stats/cost_ledger.h"
 
 namespace camelot {
 
@@ -163,6 +164,11 @@ class Network {
   const NetCounters& counters() const { return counters_; }
   void ResetCounters() { counters_ = NetCounters{}; }
 
+  // Site-level cost shadow: every attempted send records net/send/dgram (or
+  // net/multicast/dgram per destination) against the sending site. Family
+  // attribution happens higher up, in TranMan's ledger events.
+  void set_cost_ledger(CostLedger* ledger) { cost_ledger_ = ledger; }
+
  private:
   struct SiteState {
     bool up = true;
@@ -181,6 +187,7 @@ class Network {
   Scheduler& sched_;
   NetConfig config_;
   Rng rng_;
+  CostLedger* cost_ledger_ = nullptr;
   bool use_multicast_ = false;
   bool partitioned_ = false;
   std::unordered_map<SiteId, SiteState> sites_;

@@ -205,6 +205,11 @@ Async<RpcResult> DataServer::HandleWrite(const Tid& tid, const std::string& obje
   }
   if (existing.ok()) {
     old_value = *existing;
+  } else if (existing.status().code() != StatusCode::kNotFound) {
+    // Only "does not exist yet" legitimately means an empty before-image. A
+    // transient read failure must fail the write: logging old_value = {} here
+    // would make a later undo ERASE the page's real contents.
+    co_return RpcResult{existing.status(), {}};
   }
   // Figure 1, event 5: report old and new value to the disk manager; the
   // update record is appended now but forced as late as possible.

@@ -1,6 +1,7 @@
 #include "src/tranman/tranman.h"
 
 #include <algorithm>
+#include <string_view>
 
 #include "src/base/logging.h"
 #include "src/sim/sync.h"
@@ -106,7 +107,34 @@ Async<bool> TranMan::AtForcePoint(std::string point, uint32_t inc) {
   co_return !Dead(inc) && hit.action != FailpointAction::kError;
 }
 
-Async<bool> TranMan::ForceAt(const char* point, Lsn lsn) {
+namespace {
+
+// Maps a force failpoint name to the {role, phase} the static analysis
+// predicts under. Every protocol force flows through ForceAt/DirectForceAt,
+// so this table is the single attribution point.
+struct ForceAttribution {
+  const char* role;
+  const char* phase;
+};
+
+ForceAttribution AttributeForce(std::string_view point) {
+  if (point == "tm.local.commit_force") return {"coord", "local.commit"};
+  if (point == "tm.2pc.commit_force") return {"coord", "2pc.commit"};
+  if (point == "tm.sub.prepare_force") return {"sub", "prepare"};
+  if (point == "tm.sub.commit_force") return {"sub", "commit"};
+  if (point == "tm.sub.ack_force") return {"sub", "ack"};
+  if (point == "tm.nbc.prepare_force") return {"coord", "nbc.prepare"};
+  if (point == "tm.nbc.replicate_force") return {"coord", "nbc.replicate"};
+  if (point == "tm.nbc.commit_force") return {"coord", "nbc.commit"};
+  if (point == "tm.takeover.replicate_force") return {"takeover", "replicate"};
+  if (point == "tm.takeover.commit_force") return {"takeover", "commit"};
+  if (point == "tm.accept.replicate_force") return {"sub", "accept.replicate"};
+  return {"tm", "other"};
+}
+
+}  // namespace
+
+Async<bool> TranMan::ForceAt(const char* point, const FamilyId& family, Lsn lsn) {
   const uint32_t inc = site_.incarnation();
   if (!co_await AtForcePoint(std::string(point) + ".before", inc)) {
     co_return false;
@@ -117,10 +145,15 @@ Async<bool> TranMan::ForceAt(const char* point, Lsn lsn) {
   if (!co_await AtForcePoint(std::string(point) + ".after", inc)) {
     co_return false;
   }
-  co_return !Dead(inc);
+  if (!Dead(inc)) {
+    const ForceAttribution attr = AttributeForce(point);
+    site_.cost_recorder().Record(family, attr.role, attr.phase, CostPrimitive::kLogForce);
+    co_return true;
+  }
+  co_return false;
 }
 
-Async<bool> TranMan::DirectForceAt(const char* point, Lsn lsn) {
+Async<bool> TranMan::DirectForceAt(const char* point, const FamilyId& family, Lsn lsn) {
   const uint32_t inc = site_.incarnation();
   if (!co_await AtForcePoint(std::string(point) + ".before", inc)) {
     co_return false;
@@ -131,7 +164,47 @@ Async<bool> TranMan::DirectForceAt(const char* point, Lsn lsn) {
   if (!co_await AtForcePoint(std::string(point) + ".after", inc)) {
     co_return false;
   }
-  co_return !Dead(inc);
+  if (!Dead(inc)) {
+    const ForceAttribution attr = AttributeForce(point);
+    site_.cost_recorder().Record(family, attr.role, attr.phase, CostPrimitive::kLogForce);
+    co_return true;
+  }
+  co_return false;
+}
+
+void TranMan::RecordSpool(const FamilyId& family, const char* role, const char* phase) {
+  site_.cost_recorder().Record(family, role, phase, CostPrimitive::kLogSpool);
+}
+
+void TranMan::RecordDatagram(const TmMsg& msg) {
+  const CostRecorder& recorder = site_.cost_recorder();
+  if (!recorder.active()) {
+    return;
+  }
+  const char* role = "peer";
+  switch (msg.type) {
+    case TmMsgType::kPrepare:
+    case TmMsgType::kCommit:
+    case TmMsgType::kReplicate:
+      role = "coord";
+      break;
+    case TmMsgType::kVote:
+    case TmMsgType::kCommitAck:
+    case TmMsgType::kReplicateAck:
+    case TmMsgType::kStatusReq:
+      role = "sub";
+      break;
+    case TmMsgType::kAbort:
+      // Abort diffusion from the family's origin is the coordinator-side
+      // abort (a client abort never marks the family as coordinator, and
+      // presumed abort may have forgotten the family entirely by send time).
+      role = msg.tid.family.origin == site_.id() ? "coord" : "sub";
+      break;
+    case TmMsgType::kStatusResp:
+    case TmMsgType::kSiteUp:
+      break;
+  }
+  recorder.Record(msg.tid.family, role, TmMsgTypeName(msg.type), CostPrimitive::kDatagram);
 }
 
 bool TranMan::AtTransition(const char* transition) {
@@ -342,6 +415,11 @@ void TranMan::SendMsg(SiteId dst, TmMsg msg) {
     }
     offpath_queue_.erase(it);
   }
+  // Each logical message in the batch is its own ledger datagram, so the
+  // measured counts do not depend on how piggybacking packed the wire.
+  for (const TmMsg& m : batch) {
+    RecordDatagram(m);
+  }
   net_.Send(Datagram{site_.id(), dst, kTranManService,
                      static_cast<uint32_t>(batch.front().type), EncodeBatch(batch)});
 }
@@ -382,6 +460,9 @@ void TranMan::SendMsgToAll(const std::vector<SiteId>& dsts, TmMsg msg) {
                          });
       return;
     }
+  }
+  for (size_t i = 0; i < dsts.size(); ++i) {
+    RecordDatagram(msg);  // One logical datagram per destination.
   }
   net_.SendToAll(site_.id(), dsts, kTranManService, static_cast<uint32_t>(msg.type),
                  EncodeBatch({msg}));
@@ -437,6 +518,9 @@ void TranMan::FlushOffPath(SiteId dst) {
   }
   std::vector<TmMsg> batch = std::move(it->second);
   offpath_queue_.erase(it);
+  for (const TmMsg& m : batch) {
+    RecordDatagram(m);
+  }
   net_.Send(Datagram{site_.id(), dst, kTranManService,
                      static_cast<uint32_t>(batch.front().type), EncodeBatch(batch)});
 }
@@ -790,7 +874,7 @@ Async<Status> TranMan::CommitLocalOnly(Family* fam, bool has_updates) {
   if (has_updates) {
     // Figure 1, event 9: the single log force that commits the transaction.
     const Lsn lsn = log_.Append(LogRecord::Commit(fam->top, {}));
-    if (!co_await ForceAt("tm.local.commit_force", lsn)) {
+    if (!co_await ForceAt("tm.local.commit_force", fam->top.family, lsn)) {
       co_return UnavailableError("crashed during commit force");
     }
   }
@@ -822,6 +906,7 @@ Async<void> TranMan::AbortDistributed(Family* fam, const std::vector<SiteId>& no
   const uint32_t inc = site_.incarnation();
   // Presumed abort: the abort record is never forced.
   log_.Append(LogRecord::Abort(fam->top));
+  RecordSpool(fam->top.family, "coord", "abort");
   co_await CallServersAbort(*fam);
   if (Dead(inc)) {
     co_return;
@@ -938,7 +1023,7 @@ Async<Status> TranMan::CoordinateTwoPhase(Family* fam, const CommitOptions& opti
 
   // Commit point: force the commit record listing subordinates needing acks.
   const Lsn lsn = log_.Append(LogRecord::Commit(fam->top, votes.update_subs));
-  if (!co_await ForceAt("tm.2pc.commit_force", lsn)) {
+  if (!co_await ForceAt("tm.2pc.commit_force", fam->top.family, lsn)) {
     co_return UnavailableError("crashed during commit force");
   }
   if (AtTransition("tm.committed")) {
@@ -963,13 +1048,15 @@ Async<void> TranMan::CoordinatorPhase2(FamilyId family, std::vector<SiteId> upda
   commit.type = TmMsgType::kCommit;
   commit.tid = fam->top;
 
+  // Send COMMIT once up front; retransmit to the remaining laggards only on
+  // silence (a receive timeout) or a topology change — each ack used to reset
+  // the loop into another full resend, which made the fault-free datagram
+  // count quadratic in the subordinate count.
   int silent_rounds = 0;
+  SendMsgToAll({pending.begin(), pending.end()}, commit);
   while (!pending.empty()) {
     if (Dead(inc) || fam->inbox->closed()) {
       co_return;
-    }
-    if (silent_rounds < 30) {
-      SendMsgToAll({pending.begin(), pending.end()}, commit);
     }
     std::optional<TmMsg> msg;
     if (silent_rounds < 30) {
@@ -989,6 +1076,9 @@ Async<void> TranMan::CoordinatorPhase2(FamilyId family, std::vector<SiteId> upda
         co_return;
       }
       ++silent_rounds;
+      if (silent_rounds < 30) {
+        SendMsgToAll({pending.begin(), pending.end()}, commit);
+      }
       continue;
     }
     if (msg->type == TmMsgType::kCommitAck) {
@@ -996,11 +1086,13 @@ Async<void> TranMan::CoordinatorPhase2(FamilyId family, std::vector<SiteId> upda
       silent_rounds = 0;
     } else if (msg->type == TmMsgType::kSiteUp) {
       silent_rounds = 0;  // Topology changed: resume resending to laggards.
+      SendMsgToAll({pending.begin(), pending.end()}, commit);
     }
   }
   // Presumed abort epilogue: now that everyone wrote a commit record, the
   // coordinator may forget (End is never forced).
   log_.Append(LogRecord::End(fam->top));
+  RecordSpool(fam->top.family, "coord", "end");
   if (fam->protocol == CommitProtocol::kNonBlocking) {
     comman_.Forget(fam->top.family);  // Keep the tombstone itself (change 4).
   } else {
@@ -1034,7 +1126,7 @@ Async<Status> TranMan::CoordinateNonBlocking(Family* fam, const CommitOptions& /
     const Lsn prep_lsn = log_.Append(LogRecord::Prepare(fam->top, site_.id(), fam->sites,
                                                         CommitProtocol::kNonBlocking,
                                                         fam->commit_quorum, fam->abort_quorum));
-    if (!co_await ForceAt("tm.nbc.prepare_force", prep_lsn)) {
+    if (!co_await ForceAt("tm.nbc.prepare_force", fam->top.family, prep_lsn)) {
       co_return UnavailableError("crashed during prepare force");
     }
   }
@@ -1089,7 +1181,7 @@ Async<Status> TranMan::CoordinateNonBlocking(Family* fam, const CommitOptions& /
   const Lsn rep_lsn = log_.Append(LogRecord::Replication(
       fam->top, site_.id(), fam->replicated_epoch, static_cast<uint8_t>(TmDecision::kCommit),
       fam->sites));
-  if (!co_await ForceAt("tm.nbc.replicate_force", rep_lsn)) {
+  if (!co_await ForceAt("tm.nbc.replicate_force", fam->top.family, rep_lsn)) {
     co_return UnavailableError("crashed during replication force");
   }
 
@@ -1162,7 +1254,7 @@ Async<Status> TranMan::CoordinateNonBlocking(Family* fam, const CommitOptions& /
 
   // Commit point: the log write that completes a commit quorum.
   const Lsn commit_lsn = log_.Append(LogRecord::Commit(fam->top, votes.update_subs));
-  if (!co_await ForceAt("tm.nbc.commit_force", commit_lsn)) {
+  if (!co_await ForceAt("tm.nbc.commit_force", fam->top.family, commit_lsn)) {
     co_return UnavailableError("crashed during commit force");
   }
   if (AtTransition("tm.committed")) {
@@ -1182,7 +1274,7 @@ Async<Status> TranMan::CommitLocalOnlyNbc(Family* fam, bool local_updates,
                                           const std::vector<SiteId>& subs) {
   if (local_updates) {
     const Lsn lsn = log_.Append(LogRecord::Commit(fam->top, {}));
-    if (!co_await ForceAt("tm.local.commit_force", lsn)) {
+    if (!co_await ForceAt("tm.local.commit_force", fam->top.family, lsn)) {
       co_return UnavailableError("crashed during commit force");
     }
   }
@@ -1273,6 +1365,7 @@ Async<void> TranMan::HandleRemotePrepare(TmMsg msg) {
 
   if (local_vote == ServerVote::kNo) {
     log_.Append(LogRecord::Abort(fam->top));
+    RecordSpool(fam->top.family, "sub", "abort");
     co_await CallServersAbort(*fam);
     if (Dead(inc)) {
       co_return;
@@ -1314,7 +1407,7 @@ Async<void> TranMan::HandleRemotePrepare(TmMsg msg) {
   const Lsn prep_lsn = log_.Append(LogRecord::Prepare(fam->top, msg.from, msg.sites,
                                                       msg.protocol, msg.commit_quorum,
                                                       msg.abort_quorum));
-  if (!co_await ForceAt("tm.sub.prepare_force", prep_lsn)) {
+  if (!co_await ForceAt("tm.sub.prepare_force", fam->top.family, prep_lsn)) {
     co_return;
   }
   fam = FindFamily(msg.tid.family);
@@ -1450,7 +1543,7 @@ Async<void> TranMan::SubordinateCommit(Family* fam) {
   if (fam->force_sub_commit) {
     // Unoptimized: force the commit record, then drop locks, then ack.
     const Lsn lsn = log_.Append(LogRecord::Commit(fam->top, {}));
-    if (!co_await ForceAt("tm.sub.commit_force", lsn)) {
+    if (!co_await ForceAt("tm.sub.commit_force", fam->top.family, lsn)) {
       co_return;
     }
     fam = FindFamily(family_id);
@@ -1477,6 +1570,7 @@ Async<void> TranMan::SubordinateCommit(Family* fam) {
   // commit record meanwhile guarantees the outcome.
   NotifyServersDropLocks(*fam);
   const Lsn lsn = log_.Append(LogRecord::Commit(fam->top, {}));
+  RecordSpool(fam->top.family, "sub", "commit");
   site_.sched().Spawn(DelayedCommitAck(family_id, fam->top, fam->coordinator, lsn, inc));
   co_return;
 }
@@ -1488,7 +1582,7 @@ Async<void> TranMan::DelayedCommitAck(FamilyId family_id, Tid top, SiteId coordi
     co_return;
   }
   // Usually free: a group-commit batch or later traffic already hardened it.
-  if (!co_await DirectForceAt("tm.sub.ack_force", commit_lsn)) {
+  if (!co_await DirectForceAt("tm.sub.ack_force", family_id, commit_lsn)) {
     co_return;
   }
   TmMsg ack;
@@ -1511,6 +1605,7 @@ Async<void> TranMan::SubordinateAbort(Family* fam) {
   ClearBlocked(fam);
   const FamilyId family_id = fam->top.family;
   log_.Append(LogRecord::Abort(fam->top));
+  RecordSpool(family_id, "sub", "abort");
   co_await CallServersAbort(*fam);
   if (Dead(inc)) {
     co_return;
@@ -1568,6 +1663,7 @@ Async<void> TranMan::OrphanWatch(FamilyId family_id, uint32_t inc) {
       // Safe: we never prepared, so the transaction cannot have committed.
       fam->committing = true;
       log_.Append(LogRecord::Abort(fam->top));
+      RecordSpool(fam->top.family, "sub", "abort");
       co_await CallServersAbort(*fam);
       if (Dead(inc)) {
         co_return;
@@ -1704,7 +1800,7 @@ Async<bool> TranMan::Takeover(FamilyId family_id, uint32_t inc) {
   const Lsn rep_lsn = log_.Append(LogRecord::Replication(fam->top, site_.id(), epoch,
                                                          static_cast<uint8_t>(proposal),
                                                          fam->sites));
-  if (!co_await DirectForceAt("tm.takeover.replicate_force", rep_lsn)) {
+  if (!co_await DirectForceAt("tm.takeover.replicate_force", fam->top.family, rep_lsn)) {
     co_return true;
   }
   fam = FindFamily(family_id);
@@ -1767,7 +1863,7 @@ Async<bool> TranMan::Takeover(FamilyId family_id, uint32_t inc) {
   // Decision point.
   if (proposal == TmDecision::kCommit) {
     const Lsn commit_lsn = log_.Append(LogRecord::Commit(fam->top, {}));
-    if (!co_await DirectForceAt("tm.takeover.commit_force", commit_lsn)) {
+    if (!co_await DirectForceAt("tm.takeover.commit_force", fam->top.family, commit_lsn)) {
       co_return true;
     }
     fam = FindFamily(family_id);
@@ -1787,6 +1883,7 @@ Async<bool> TranMan::Takeover(FamilyId family_id, uint32_t inc) {
     SendMsgToAll(others, commit);
   } else {
     log_.Append(LogRecord::Abort(fam->top));
+    RecordSpool(fam->top.family, "takeover", "abort");
     co_await CallServersAbort(*fam);
     if (Dead(inc)) {
       co_return true;
@@ -1830,7 +1927,7 @@ Async<void> TranMan::HandleReplicate(TmMsg msg) {
   const Lsn lsn = log_.Append(LogRecord::Replication(fam->top, msg.from, msg.epoch,
                                                      static_cast<uint8_t>(msg.decision),
                                                      fam->sites));
-  if (!co_await DirectForceAt("tm.accept.replicate_force", lsn)) {
+  if (!co_await DirectForceAt("tm.accept.replicate_force", fam->top.family, lsn)) {
     co_return;
   }
   TmMsg ack;
@@ -1900,6 +1997,7 @@ Async<void> TranMan::HandleAbortMsg(TmMsg msg) {
   const uint32_t inc = site_.incarnation();
   fam->committing = true;
   log_.Append(LogRecord::Abort(fam->top));
+  RecordSpool(fam->top.family, "sub", "abort");
   co_await CallServersAbort(*fam);
   if (Dead(inc)) {
     co_return;

@@ -314,9 +314,17 @@ class TranMan {
   Async<bool> AtForcePoint(std::string point, uint32_t inc);
   // ForceHoldingWorker bracketed by "<point>.before" / "<point>.after"
   // failpoints; returns false (not durable) if a crash fired at either point.
-  Async<bool> ForceAt(const char* point, Lsn lsn);
+  // A successful force records one {family, role, phase, force} cost-ledger
+  // event, with role/phase derived from the point name.
+  Async<bool> ForceAt(const char* point, const FamilyId& family, Lsn lsn);
   // Same bracketing around a direct (worker-less) log force.
-  Async<bool> DirectForceAt(const char* point, Lsn lsn);
+  Async<bool> DirectForceAt(const char* point, const FamilyId& family, Lsn lsn);
+  // Cost-ledger events for the primitives the static analysis predicts: an
+  // unforced protocol log append, and one datagram per (message, destination)
+  // — piggybacked off-path messages count as their own logical datagram, so
+  // the measured counts are independent of batching.
+  void RecordSpool(const FamilyId& family, const char* role, const char* phase);
+  void RecordDatagram(const TmMsg& msg);
   // Evaluates "tm.<transition>" just before a family state change; true means
   // a crash fired and the caller must stop.
   bool AtTransition(const char* transition);

@@ -29,6 +29,7 @@
 #include "src/base/failpoint.h"
 #include "src/base/storage_faults.h"
 #include "src/sim/channel.h"
+#include "src/stats/cost_ledger.h"
 #include "src/sim/scheduler.h"
 #include "src/sim/sync.h"
 #include "src/sim/task.h"
@@ -147,6 +148,11 @@ class StableLog {
   // "wal.force.before_write" / "wal.force.after_write" (see base/failpoint.h).
   void set_failpoints(Failpoints failpoints) { failpoints_ = std::move(failpoints); }
 
+  // Site-level cost shadow: every Append records wal/append/spool and every
+  // Force request records wal/force/force (protocol-level attribution happens
+  // in TranMan, which knows the family and role).
+  void set_cost_recorder(CostRecorder recorder) { cost_recorder_ = recorder; }
+
   void set_group_commit(bool on) { config_.group_commit = on; }
   bool group_commit() const { return config_.group_commit; }
   // Enables/changes media faults mid-run (e.g. after a clean loading phase).
@@ -183,6 +189,7 @@ class StableLog {
   Scheduler& sched_;
   LogConfig config_;
   Failpoints failpoints_;
+  CostRecorder cost_recorder_;
   Bytes mirror_[2];          // Disk image(s), starting at base_offset_.
                              // mirror_[1] is live only when duplexing.
   uint64_t base_offset_ = 0; // Bytes reclaimed from the front (checkpointing).

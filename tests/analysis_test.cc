@@ -142,5 +142,124 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(0, 1, 2, 3, 5, 8)),
     CellName);
 
+// --- Expected primitive-count vectors: edge cases ----------------------------
+
+TEST(ExpectedCountsTest, ZeroSubordinates) {
+  // Local update: exactly one commit force, nothing else on the protocol side.
+  const CountVector write = ExpectedProtocolCounts(
+      CommitOptions::Optimized(), /*update_subs=*/0, /*readonly_subs=*/0,
+      /*local_updates=*/true, TxnOutcome::kCommit);
+  EXPECT_EQ(write, (CountVector{{"coord/local.commit/force", 1}}));
+  // Local read: no log activity, no messages at all.
+  const CountVector read = ExpectedProtocolCounts(
+      CommitOptions::Optimized(), 0, 0, /*local_updates=*/false, TxnOutcome::kCommit);
+  EXPECT_TRUE(read.empty());
+}
+
+TEST(ExpectedCountsTest, ReadOnlySubordinateVoteHasNoPrepareForce) {
+  // A read-only voter writes nothing: phase 1 messages only, zero forces, and
+  // (presumed abort) no phase 2 when nobody updated.
+  const CountVector counts = ExpectedProtocolCounts(
+      CommitOptions::Optimized(), /*update_subs=*/0, /*readonly_subs=*/2,
+      /*local_updates=*/false, TxnOutcome::kCommit);
+  EXPECT_EQ(counts, (CountVector{{"coord/PREPARE/dgram", 2}, {"sub/VOTE/dgram", 2}}));
+  // A read-only voter alongside update subordinates still forces nothing.
+  const CountVector mixed = ExpectedProtocolCounts(
+      CommitOptions::Optimized(), /*update_subs=*/1, /*readonly_subs=*/1,
+      /*local_updates=*/false, TxnOutcome::kCommit);
+  EXPECT_EQ(mixed.at("sub/prepare/force"), 1);
+  EXPECT_EQ(mixed.at("coord/PREPARE/dgram"), 2);
+  EXPECT_EQ(mixed.at("coord/COMMIT/dgram"), 1);  // Read-only voter is done.
+}
+
+TEST(ExpectedCountsTest, Section32RemovedSubordinateCommitForce) {
+  auto counts = [](const CommitOptions& options) {
+    return ExpectedProtocolCounts(options, /*update_subs=*/2, /*readonly_subs=*/0,
+                                  /*local_updates=*/true, TxnOutcome::kCommit);
+  };
+  const CountVector optimized = counts(CommitOptions::Optimized());
+  const CountVector unoptimized = counts(CommitOptions::Unoptimized());
+  const CountVector intermediate = counts(CommitOptions::Intermediate());
+  // Optimized (Section 3.2): commit record spooled, force deferred to the ack.
+  EXPECT_EQ(optimized.count("sub/commit/force"), 0u);
+  EXPECT_EQ(optimized.at("sub/commit/spool"), 2);
+  EXPECT_EQ(optimized.at("sub/ack/force"), 2);
+  // Unoptimized baseline: the commit record itself is forced, ack immediate.
+  EXPECT_EQ(unoptimized.at("sub/commit/force"), 2);
+  EXPECT_EQ(unoptimized.count("sub/commit/spool"), 0u);
+  EXPECT_EQ(unoptimized.count("sub/ack/force"), 0u);
+  // Intermediate: forces the commit record AND delays the ack behind an ack
+  // force — strictly more forces than either endpoint of the comparison.
+  EXPECT_EQ(intermediate.at("sub/commit/force"), 2);
+  EXPECT_EQ(intermediate.at("sub/ack/force"), 2);
+  // Either way the datagram counts are identical: the optimization moves log
+  // work, not messages.
+  for (const char* key : {"coord/PREPARE/dgram", "sub/VOTE/dgram", "coord/COMMIT/dgram",
+                          "sub/COMMIT-ACK/dgram"}) {
+    EXPECT_EQ(optimized.at(key), unoptimized.at(key)) << key;
+  }
+}
+
+TEST(ExpectedCountsTest, AbortPath) {
+  // Client abort before prepare: unforced abort records and one-way ABORTs,
+  // no acks (presumed abort lets the coordinator forget immediately).
+  const CountVector counts = ExpectedProtocolCounts(
+      CommitOptions::Optimized(), /*update_subs=*/2, /*readonly_subs=*/1,
+      /*local_updates=*/true, TxnOutcome::kAbort);
+  EXPECT_EQ(counts, (CountVector{{"coord/ABORT/dgram", 3},
+                                 {"coord/abort/spool", 1},
+                                 {"sub/abort/spool", 3}}));
+  // The abort path is variant-independent: no prepare happened, so the
+  // commit-force options never come into play.
+  for (const auto& options :
+       {CommitOptions::Unoptimized(), CommitOptions::Intermediate(),
+        CommitOptions::NonBlocking()}) {
+    EXPECT_EQ(ExpectedProtocolCounts(options, 2, 1, true, TxnOutcome::kAbort), counts);
+  }
+}
+
+TEST(ExpectedCountsTest, NonBlockingQuorumWidensReplicationTargets) {
+  // u=2, r=1: n=4, quorum=3, coordinator + update subs reach it — replicate
+  // only to the update subordinates.
+  const CountVector narrow = ExpectedProtocolCounts(
+      CommitOptions::NonBlocking(), /*update_subs=*/2, /*readonly_subs=*/1,
+      /*local_updates=*/true, TxnOutcome::kCommit);
+  EXPECT_EQ(narrow.at("coord/REPLICATE/dgram"), 2);
+  EXPECT_EQ(narrow.at("sub/accept.replicate/force"), 2);
+  // u=1, r=2: n=4, quorum=3, update sites alone cannot form it — widen to all.
+  const CountVector wide = ExpectedProtocolCounts(
+      CommitOptions::NonBlocking(), /*update_subs=*/1, /*readonly_subs=*/2,
+      /*local_updates=*/true, TxnOutcome::kCommit);
+  EXPECT_EQ(wide.at("coord/REPLICATE/dgram"), 3);
+  EXPECT_EQ(wide.at("sub/accept.replicate/force"), 3);
+  // The notify phase always covers every subordinate.
+  EXPECT_EQ(narrow.at("coord/COMMIT/dgram"), 3);
+  EXPECT_EQ(wide.at("coord/COMMIT/dgram"), 3);
+}
+
+TEST(ExpectedCountsTest, MinimalTxnAddsIpcLayer) {
+  // Local-only read: begin + join + commit calls, one server operation, a
+  // vote upcall and a drop-locks one-way. No protocol primitives at all.
+  const CountVector read = ExpectedMinimalTxnCounts(
+      CommitOptions::Optimized(), TxnKind::kRead, /*subordinates=*/0,
+      TxnOutcome::kCommit);
+  EXPECT_EQ(read, (CountVector{{"ipc/server/call", 1},
+                               {"ipc/server/oneway", 1},
+                               {"ipc/server/server_call", 1},
+                               {"ipc/tranman/call", 3}}));
+  // Aborting skips the vote/drop-locks one-ways: undo happens inside the
+  // abort-family call.
+  const CountVector abort = ExpectedMinimalTxnCounts(
+      CommitOptions::Optimized(), TxnKind::kRead, /*subordinates=*/0,
+      TxnOutcome::kAbort);
+  EXPECT_EQ(abort.count("ipc/server/oneway"), 0u);
+  // Each subordinate adds one join call and one remote RPC.
+  const CountVector remote = ExpectedMinimalTxnCounts(
+      CommitOptions::Optimized(), TxnKind::kRead, /*subordinates=*/2,
+      TxnOutcome::kCommit);
+  EXPECT_EQ(remote.at("ipc/tranman/call"), 5);
+  EXPECT_EQ(remote.at("ipc/comman/rpc"), 2);
+}
+
 }  // namespace
 }  // namespace camelot

@@ -1,0 +1,125 @@
+// Primitive-cost conformance: every cell of the {variant, txn kind,
+// subordinate count, outcome} matrix must execute EXACTLY the primitives the
+// static analysis predicts, and take at least as long as the analysis's
+// (deliberately underestimating) latency prediction. The mutation tests prove
+// the oracle has teeth: an extra protocol log force — armed through the
+// failpoint subsystem — is rejected with a per-primitive diff naming it.
+#include "src/harness/conformance.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/static_analysis.h"
+#include "src/base/failpoint.h"
+#include "src/harness/world.h"
+#include "src/stats/cost_ledger.h"
+
+namespace camelot {
+namespace {
+
+std::string CellLabel(const std::string& variant, TxnKind kind, int subordinates,
+                      TxnOutcome outcome) {
+  return variant + "/" + (kind == TxnKind::kWrite ? "write" : "read") + "/subs=" +
+         std::to_string(subordinates) + "/" +
+         (outcome == TxnOutcome::kCommit ? "commit" : "abort");
+}
+
+// Drives every {kind, subs, outcome} cell for one commit variant and asserts
+// exact count conformance plus the latency underestimate bias.
+void RunVariantMatrix(const std::string& variant, const CommitOptions& options) {
+  uint64_t seed = 1;
+  for (const TxnKind kind : {TxnKind::kRead, TxnKind::kWrite}) {
+    for (int subordinates = 0; subordinates <= 3; ++subordinates) {
+      for (const TxnOutcome outcome : {TxnOutcome::kCommit, TxnOutcome::kAbort}) {
+        ConformanceScenario scenario;
+        scenario.options = options;
+        scenario.kind = kind;
+        scenario.subordinates = subordinates;
+        scenario.outcome = outcome;
+        scenario.seed = seed++;
+        const ConformanceReport report = RunConformanceScenario(scenario);
+        EXPECT_TRUE(report.ok())
+            << CellLabel(variant, kind, subordinates, outcome) << "\n"
+            << report.Explain();
+      }
+    }
+  }
+}
+
+TEST(ConformanceMatrix, Optimized) {
+  RunVariantMatrix("optimized", CommitOptions::Optimized());
+}
+
+TEST(ConformanceMatrix, Unoptimized) {
+  RunVariantMatrix("unoptimized", CommitOptions::Unoptimized());
+}
+
+TEST(ConformanceMatrix, Intermediate) {
+  RunVariantMatrix("intermediate", CommitOptions::Intermediate());
+}
+
+TEST(ConformanceMatrix, NonBlocking) {
+  RunVariantMatrix("non_blocking", CommitOptions::NonBlocking());
+}
+
+// The acceptance-criterion mutation: arm one extra protocol log force through
+// the failpoint subsystem and assert the oracle rejects the run with a diff
+// naming the extra force. The callback fires when the subordinate passes its
+// prepare-force point during the measured transaction and charges one more
+// sub-side commit force to the ledger — exactly what a regression that
+// re-introduced the Section 3.2 subordinate commit force would record.
+TEST(ConformanceMutation, ExtraSubordinateForceIsRejected) {
+  ConformanceScenario scenario;  // Optimized write, 1 subordinate, commit.
+  const ConformanceReport report = RunConformanceScenario(
+      scenario, [](World& world) {
+        World* w = &world;
+        world.failpoints().Arm(
+            "tm.sub.prepare_force.after", SiteId{1},
+            FailpointArm::Callback(1, [w] {
+              w->cost_ledger().Record(CostEvent{FamilyId{}, SiteId{1}, "sub",
+                                                "commit", CostPrimitive::kLogForce});
+            }));
+      });
+  EXPECT_TRUE(report.txn_status.ok()) << report.txn_status.message();
+  EXPECT_FALSE(report.counts_match);
+  EXPECT_FALSE(report.ok());
+  // The diff must name the extra primitive, with direction and magnitude.
+  EXPECT_NE(report.diff.find("sub/commit/force"), std::string::npos) << report.diff;
+  EXPECT_NE(report.diff.find("(+1)"), std::string::npos) << report.diff;
+  EXPECT_NE(report.Explain().find("sub/commit/force"), std::string::npos);
+}
+
+// Cross-variant mutation: the Intermediate prediction (subordinate commit
+// force kept, ack still delayed) must NOT match an Optimized run — the whole
+// point of the Section 3.2 comparison is that the variants are separable by
+// their primitive counts alone.
+TEST(ConformanceMutation, IntermediatePredictionRejectsOptimizedRun) {
+  ConformanceScenario scenario;  // Optimized write, 1 subordinate, commit.
+  const ConformanceReport report = RunConformanceScenario(scenario);
+  ASSERT_TRUE(report.ok()) << report.Explain();
+  const CountVector wrong_prediction = ExpectedMinimalTxnCounts(
+      CommitOptions::Intermediate(), TxnKind::kWrite, /*subordinates=*/1,
+      TxnOutcome::kCommit);
+  const std::string diff = CostLedger::Diff(wrong_prediction, report.measured);
+  EXPECT_FALSE(diff.empty());
+  EXPECT_NE(diff.find("sub/commit/force"), std::string::npos) << diff;
+}
+
+// A failed (aborted-by-fault) run is reported as such rather than silently
+// compared: arm a drop that never fires during the measured window to check
+// the prepare hook itself does not perturb counts.
+TEST(ConformanceMutation, UnfiredArmDoesNotPerturbCounts) {
+  ConformanceScenario scenario;
+  const ConformanceReport report = RunConformanceScenario(
+      scenario, [](World& world) {
+        world.failpoints().Arm("tm.sub.prepare_force.after", SiteId{1},
+                               FailpointArm::Drop(/*hit_number=*/1000));
+      });
+  EXPECT_TRUE(report.ok()) << report.Explain();
+}
+
+}  // namespace
+}  // namespace camelot

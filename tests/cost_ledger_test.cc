@@ -1,0 +1,128 @@
+#include "src/stats/cost_ledger.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/base/types.h"
+
+namespace camelot {
+namespace {
+
+CostEvent Event(uint32_t site, const std::string& role, const std::string& phase,
+                CostPrimitive primitive, uint64_t family_seq = 1) {
+  return CostEvent{FamilyId{SiteId{0}, family_seq}, SiteId{site}, role, phase, primitive};
+}
+
+TEST(CostLedgerTest, KeyUsesRolePhaseAndPrimitiveSuffix) {
+  EXPECT_EQ(CostLedger::Key(Event(0, "coord", "2pc.commit", CostPrimitive::kLogForce)),
+            "coord/2pc.commit/force");
+  EXPECT_EQ(CostLedger::Key(Event(1, "sub", "COMMIT-ACK", CostPrimitive::kDatagram)),
+            "sub/COMMIT-ACK/dgram");
+  EXPECT_EQ(CostLedger::Key(Event(0, "ipc", "tranman", CostPrimitive::kLocalIpc)),
+            "ipc/tranman/call");
+  EXPECT_EQ(CostLedger::Key(Event(0, "ipc", "server", CostPrimitive::kLocalIpcServer)),
+            "ipc/server/server_call");
+  EXPECT_EQ(CostLedger::Key(Event(0, "ipc", "server", CostPrimitive::kLocalOutOfLine)),
+            "ipc/server/oob");
+  EXPECT_EQ(CostLedger::Key(Event(0, "ipc", "server", CostPrimitive::kLocalOneway)),
+            "ipc/server/oneway");
+  EXPECT_EQ(CostLedger::Key(Event(0, "ipc", "comman", CostPrimitive::kRemoteRpc)),
+            "ipc/comman/rpc");
+  EXPECT_EQ(CostLedger::Key(Event(0, "sub", "commit", CostPrimitive::kLogSpool)),
+            "sub/commit/spool");
+}
+
+TEST(CostLedgerTest, CountsAggregateByKey) {
+  CostLedger ledger;
+  ledger.Record(Event(0, "coord", "2pc.commit", CostPrimitive::kLogForce));
+  ledger.Record(Event(0, "coord", "2pc.commit", CostPrimitive::kLogForce));
+  ledger.Record(Event(1, "sub", "prepare", CostPrimitive::kLogForce));
+  const CountVector counts = ledger.Counts();
+  EXPECT_EQ(counts.at("coord/2pc.commit/force"), 2);
+  EXPECT_EQ(counts.at("sub/prepare/force"), 1);
+  EXPECT_EQ(counts.size(), 2u);
+}
+
+TEST(CostLedgerTest, CountsForFamilyFilters) {
+  CostLedger ledger;
+  ledger.Record(Event(0, "coord", "2pc.commit", CostPrimitive::kLogForce, /*family_seq=*/1));
+  ledger.Record(Event(0, "coord", "2pc.commit", CostPrimitive::kLogForce, /*family_seq=*/2));
+  const CountVector counts = ledger.CountsForFamily(FamilyId{SiteId{0}, 1});
+  EXPECT_EQ(counts.at("coord/2pc.commit/force"), 1);
+}
+
+TEST(CostLedgerTest, ConformanceCountsExcludeNetAndWalShadows) {
+  CostLedger ledger;
+  ledger.Record(Event(0, "coord", "COMMIT", CostPrimitive::kDatagram));
+  ledger.Record(Event(0, "net", "COMMIT", CostPrimitive::kDatagram));
+  ledger.Record(Event(0, "wal", "force", CostPrimitive::kLogForce));
+  ledger.Record(Event(0, "ipc", "tranman", CostPrimitive::kLocalIpc));
+  const CountVector conformance = ledger.ConformanceCounts();
+  EXPECT_EQ(conformance.count("net/COMMIT/dgram"), 0u);
+  EXPECT_EQ(conformance.count("wal/force/force"), 0u);
+  EXPECT_EQ(conformance.at("coord/COMMIT/dgram"), 1);
+  EXPECT_EQ(conformance.at("ipc/tranman/call"), 1);
+  // Protocol view additionally drops the IPC layer.
+  const CountVector protocol = ledger.ProtocolCounts();
+  EXPECT_EQ(protocol.count("ipc/tranman/call"), 0u);
+  EXPECT_EQ(protocol.at("coord/COMMIT/dgram"), 1);
+}
+
+TEST(CostLedgerTest, UnexpectedRolesStayInConformanceDomain) {
+  // Takeover activity during a "fault-free" run must surface in a diff, not
+  // vanish into an exclusion list.
+  CostLedger ledger;
+  ledger.Record(Event(2, "takeover", "replicate", CostPrimitive::kLogForce));
+  EXPECT_EQ(ledger.ConformanceCounts().at("takeover/replicate/force"), 1);
+}
+
+TEST(CostLedgerTest, DiffEmptyIffEqual) {
+  CountVector a{{"coord/commit/force", 1}, {"sub/prepare/force", 2}};
+  CountVector b = a;
+  EXPECT_EQ(CostLedger::Diff(a, b), "");
+  b["sub/prepare/force"] = 3;
+  const std::string diff = CostLedger::Diff(a, b);
+  EXPECT_NE(diff.find("sub/prepare/force"), std::string::npos);
+  EXPECT_NE(diff.find("predicted 2"), std::string::npos);
+  EXPECT_NE(diff.find("measured 3"), std::string::npos);
+  EXPECT_NE(diff.find("(+1)"), std::string::npos);
+  // Keys only on one side appear too, with a signed delta.
+  CountVector missing{{"coord/commit/force", 1}};
+  const std::string missing_diff = CostLedger::Diff(a, missing);
+  EXPECT_NE(missing_diff.find("sub/prepare/force"), std::string::npos);
+  EXPECT_NE(missing_diff.find("(-2)"), std::string::npos);
+}
+
+TEST(CostLedgerTest, AddCountsMerges) {
+  CountVector into{{"a/b/force", 1}};
+  AddCounts(into, CountVector{{"a/b/force", 2}, {"c/d/dgram", 1}});
+  EXPECT_EQ(into.at("a/b/force"), 3);
+  EXPECT_EQ(into.at("c/d/dgram"), 1);
+}
+
+TEST(CostLedgerTest, RenderListsEveryEntry) {
+  const std::string rendered =
+      CostLedger::Render(CountVector{{"a/b/force", 1}, {"c/d/dgram", 2}});
+  EXPECT_NE(rendered.find("a/b/force"), std::string::npos);
+  EXPECT_NE(rendered.find("c/d/dgram"), std::string::npos);
+}
+
+TEST(CostLedgerTest, DefaultRecorderIsInert) {
+  const CostRecorder recorder;
+  EXPECT_FALSE(recorder.active());
+  // Must not crash.
+  recorder.Record(FamilyId{}, "coord", "commit", CostPrimitive::kLogForce);
+}
+
+TEST(CostLedgerTest, RecorderTagsSite) {
+  CostLedger ledger;
+  const CostRecorder recorder(&ledger, SiteId{7});
+  EXPECT_TRUE(recorder.active());
+  recorder.Record(FamilyId{}, "coord", "commit", CostPrimitive::kLogForce);
+  ASSERT_EQ(ledger.size(), 1u);
+  EXPECT_EQ(ledger.events()[0].site, SiteId{7});
+}
+
+}  // namespace
+}  // namespace camelot

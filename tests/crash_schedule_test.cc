@@ -96,6 +96,16 @@ TEST(CrashScheduleDiscovery, FindsTheNonBlockingInstrumentation) {
 // and the atomicity oracle must hold — money conserved, observers agree,
 // client-visible OK commits durable, nothing leaked, recovery idempotent.
 
+// The fault-free run is also the explorers' conformance gate: with no faults
+// injected, the workload's summed primitive counts must equal the static
+// analysis's prediction exactly (see DESIGN.md, "Primitive-cost conformance").
+TEST(CrashScheduleSweep, FaultFreeRunPassesConformanceGate) {
+  for (const bool non_blocking : {false, true}) {
+    const RunResult result = CrashExplorer(Config(non_blocking)).Run(CrashSchedule{});
+    EXPECT_TRUE(result.ok) << (non_blocking ? "nbc" : "2pc") << ": " << result.Explain();
+  }
+}
+
 TEST(CrashScheduleSweep, ExhaustiveSingleCrashSweepPassesOracle_TwoPhase) {
   int runs = 0;
   ReportFailures(CrashExplorer(Config(/*non_blocking=*/false))

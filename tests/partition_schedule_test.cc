@@ -97,13 +97,13 @@ TEST(PartitionSchedule, NbcQuorumSideDecidesDuringPartition) {
 TEST(PartitionSchedule, ExhaustiveSinglePartitionSweepTwoPhase) {
   int runs = 0;
   ReportFailures(PartitionExplorer(Config(false)).ExhaustiveSinglePartitionSweep(&runs));
-  EXPECT_EQ(runs, 16);  // 4 splits x 4 phase windows.
+  EXPECT_EQ(runs, 17);  // Fault-free conformance baseline + 4 splits x 4 windows.
 }
 
 TEST(PartitionSchedule, ExhaustiveSinglePartitionSweepNonBlocking) {
   int runs = 0;
   ReportFailures(PartitionExplorer(Config(true)).ExhaustiveSinglePartitionSweep(&runs));
-  EXPECT_EQ(runs, 16);
+  EXPECT_EQ(runs, 17);
 }
 
 TEST(PartitionSchedule, RandomNemesisSmoke) {

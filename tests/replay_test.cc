@@ -1,0 +1,23 @@
+#include "src/harness/replay.h"
+
+#include <gtest/gtest.h>
+
+namespace camelot {
+namespace {
+
+TEST(ReplayRecipeTest, PrefixNamesSeedAndProtocol) {
+  EXPECT_EQ(ReplayRecipePrefix(42, /*non_blocking=*/false),
+            "CAMELOT_SEED=42 CAMELOT_PROTOCOL=2pc");
+  EXPECT_EQ(ReplayRecipePrefix(7, /*non_blocking=*/true),
+            "CAMELOT_SEED=7 CAMELOT_PROTOCOL=nbc");
+}
+
+TEST(ReplayRecipeTest, FullRecipeQuotesSchedule) {
+  EXPECT_EQ(ReplayRecipe(3, false, "CAMELOT_SCHEDULE", "disk.read@2#1=error"),
+            "CAMELOT_SEED=3 CAMELOT_PROTOCOL=2pc CAMELOT_SCHEDULE='disk.read@2#1=error'");
+  EXPECT_EQ(ReplayRecipe(9, true, "CAMELOT_NEMESIS", "partition@1000:0|1,2"),
+            "CAMELOT_SEED=9 CAMELOT_PROTOCOL=nbc CAMELOT_NEMESIS='partition@1000:0|1,2'");
+}
+
+}  // namespace
+}  // namespace camelot
