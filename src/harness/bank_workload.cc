@@ -1,0 +1,162 @@
+#include "src/harness/bank_workload.h"
+
+#include <utility>
+
+#include "src/base/rng.h"
+
+namespace camelot {
+namespace {
+
+struct Account {
+  int site;
+  int index;
+};
+
+Account PickAccount(Rng& rng, int sites, int per_site) {
+  return Account{static_cast<int>(rng.NextBounded(static_cast<uint64_t>(sites))),
+                 static_cast<int>(rng.NextBounded(static_cast<uint64_t>(per_site)))};
+}
+
+Async<void> BankClient(World* world, BankWorkloadConfig cfg, int id, BankWorkloadStats* stats) {
+  const int sites = world->site_count();
+  const int home = id % sites;
+  AppClient app(world->site(home));
+  Rng rng(cfg.rng_seed * 1000003 + static_cast<uint64_t>(id) * 7919 + 17);
+  for (int t = 0; t < cfg.transfers_per_client; ++t) {
+    // A chaos schedule may have the home site down; wait out the outage,
+    // bounded so the run always quiesces even if healing fails.
+    for (int wait = 0; wait < 8 && !world->site(home).site().up(); ++wait) {
+      co_await world->sched().Delay(Sec(1));
+    }
+    if (!world->site(home).site().up()) {
+      ++stats->aborted;
+      continue;
+    }
+    Account from = PickAccount(rng, sites, cfg.accounts_per_site);
+    Account to = PickAccount(rng, sites, cfg.accounts_per_site);
+    if (from.site == to.site && from.index == to.index) {
+      to.index = (to.index + 1) % cfg.accounts_per_site;
+      if (cfg.accounts_per_site == 1) {
+        to.site = (to.site + 1) % sites;
+      }
+    }
+    const int64_t amount = 1 + static_cast<int64_t>(
+                                   rng.NextBounded(static_cast<uint64_t>(cfg.max_amount)));
+    auto begin = co_await app.Begin();
+    if (!begin.ok()) {
+      ++stats->aborted;
+      continue;
+    }
+    const Tid tid = *begin;
+    auto a = co_await app.ReadInt(tid, BankServerName(from.site), BankAccountName(from.index));
+    auto b = co_await app.ReadInt(tid, BankServerName(to.site), BankAccountName(to.index));
+    bool staged = a.ok() && b.ok();
+    if (staged) {
+      Status w1 = co_await app.WriteInt(tid, BankServerName(from.site),
+                                        BankAccountName(from.index), *a - amount);
+      Status w2 = co_await app.WriteInt(tid, BankServerName(to.site),
+                                        BankAccountName(to.index), *b + amount);
+      staged = w1.ok() && w2.ok();
+    }
+    if (!staged) {
+      co_await app.Abort(tid);
+      ++stats->aborted;
+      continue;
+    }
+    const SimTime before = world->sched().now();
+    Status st = co_await app.Commit(tid, cfg.options);
+    if (st.ok()) {
+      ++stats->committed;
+      stats->commit_latency_total += world->sched().now() - before;
+    } else {
+      ++stats->aborted;
+    }
+  }
+  ++stats->finished_clients;
+}
+
+}  // namespace
+
+std::string BankServerName(int site) { return "bank:" + std::to_string(site); }
+
+std::string BankAccountName(int index) { return "acct" + std::to_string(index); }
+
+void SetupBank(World& world, const BankWorkloadConfig& cfg) {
+  for (int i = 0; i < world.site_count(); ++i) {
+    DataServer* server = world.AddServer(i, BankServerName(i));
+    for (int k = 0; k < cfg.accounts_per_site; ++k) {
+      server->CreateObjectForSetup(BankAccountName(k), EncodeInt64(cfg.initial_balance));
+    }
+  }
+}
+
+void SpawnBankClients(World& world, const BankWorkloadConfig& cfg, BankWorkloadStats* stats) {
+  for (int c = 0; c < cfg.clients; ++c) {
+    world.sched().Spawn(BankClient(&world, cfg, c, stats));
+  }
+}
+
+namespace {
+
+// One read-only transaction per account; balances can legitimately be
+// negative (no overdraft check), so success is reported out of band.
+struct AuditRead {
+  bool ok = false;
+  int64_t balance = 0;
+};
+
+Async<AuditRead> ReadAccount(AppClient& app, std::string server, std::string object) {
+  auto begin = co_await app.Begin();
+  if (!begin.ok()) {
+    co_return AuditRead{};
+  }
+  auto value = co_await app.ReadInt(*begin, server, object);
+  co_await app.Commit(*begin);
+  if (!value.ok()) {
+    co_return AuditRead{};
+  }
+  co_return AuditRead{true, *value};
+}
+
+}  // namespace
+
+std::vector<std::string> AuditBankInvariant(World& world, const BankWorkloadConfig& cfg,
+                                            IsolationReport* report) {
+  std::vector<std::string> violations;
+  const int n = world.site_count();
+  AppClient first(world.site(0));
+  AppClient second(world.site(n - 1));
+  int64_t total = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int k = 0; k < cfg.accounts_per_site; ++k) {
+      const std::string server = BankServerName(i);
+      const std::string object = BankAccountName(k);
+      const AuditRead a = world.RunSync(ReadAccount(first, server, object)).value_or(AuditRead{});
+      const AuditRead b = world.RunSync(ReadAccount(second, server, object)).value_or(AuditRead{});
+      if (!a.ok || !b.ok) {
+        violations.push_back("audit read of " + server + "/" + object + " failed");
+        continue;
+      }
+      if (a.balance != b.balance) {
+        // assertDataSync: two sites' views of one account must agree.
+        violations.push_back("observers disagree about " + server + "/" + object + ": " +
+                             std::to_string(a.balance) + " vs " + std::to_string(b.balance));
+      }
+      total += a.balance;
+      if (report != nullptr &&
+          !report->CheckFinalValue(server, object, EncodeInt64(a.balance))) {
+        violations.push_back("final " + server + "/" + object +
+                             " diverges from the serial replay");
+      }
+    }
+  }
+  const int64_t funded =
+      static_cast<int64_t>(n) * cfg.accounts_per_site * cfg.initial_balance;
+  if (violations.empty() && total != funded) {
+    violations.push_back("bank money not conserved: total " + std::to_string(total) +
+                         " != " + std::to_string(funded));
+  }
+  return violations;
+}
+
+}  // namespace camelot

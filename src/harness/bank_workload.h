@@ -1,0 +1,70 @@
+// Bank workload: a balance-conserving random-transfer workload for chaos
+// runs, the history-generating counterpart of the explorers' fixed transfer
+// scripts (and the closest thing Camelot has to a Jepsen bank test).
+//
+// Setup shards an account table across every site (server "bank:<i>" with
+// accounts "acct<k>"), all funded equally. Clients — one per site, round
+// robin — issue random transfers between random accounts, most of them
+// cross-site so every commit exercises the distributed protocol. A transfer
+// moves money but never creates or destroys it, so whatever subset of
+// transfers commits, the total balance is invariant.
+//
+// AuditBankInvariant is the per-round gate: two observers at different sites
+// read every account (the mmts-style assertDataSync — replicas must agree
+// after a heal), the total must equal the initial funding, and, when an
+// IsolationReport is supplied, every observed balance must equal the commit-
+// order serial replay's final value.
+#ifndef SRC_HARNESS_BANK_WORKLOAD_H_
+#define SRC_HARNESS_BANK_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "src/harness/isolation_oracle.h"
+#include "src/harness/world.h"
+
+namespace camelot {
+
+struct BankWorkloadConfig {
+  int accounts_per_site = 2;
+  int64_t initial_balance = 100;
+  int clients = 3;
+  int transfers_per_client = 6;
+  int64_t max_amount = 20;  // Transfer amounts are 1..max_amount.
+  CommitOptions options = CommitOptions::Optimized();
+  uint64_t rng_seed = 1;  // Client choices only; the world has its own seed.
+};
+
+struct BankWorkloadStats {
+  int committed = 0;
+  int aborted = 0;   // Any attempt whose commit did not return OK.
+  int finished_clients = 0;
+  // Virtual time spent inside Commit() across committed transfers — the
+  // client-observed commit latency the overhead bench reports.
+  SimDuration commit_latency_total = 0;
+};
+
+std::string BankServerName(int site);
+std::string BankAccountName(int index);
+
+// Installs the account table (call before running anything): server
+// "bank:<i>" on every site, accounts "acct<0..accounts_per_site)" each funded
+// with initial_balance.
+void SetupBank(World& world, const BankWorkloadConfig& cfg);
+
+// Spawns cfg.clients transfer clients (homes round-robin across sites). Each
+// issues transfers_per_client random transfers, aborting cleanly on any
+// failed step and waiting out (bounded) windows where its home site is down.
+void SpawnBankClients(World& world, const BankWorkloadConfig& cfg, BankWorkloadStats* stats);
+
+// Post-quiesce gate; returns human-readable violations (empty = pass):
+//   - every account readable, two observers agree (assertDataSync);
+//   - total balance equals the initial funding (conservation);
+//   - with `report`, each balance matches the serial replay's final state
+//     (appends kDivergentFinalState anomalies to the report on mismatch).
+std::vector<std::string> AuditBankInvariant(World& world, const BankWorkloadConfig& cfg,
+                                            IsolationReport* report = nullptr);
+
+}  // namespace camelot
+
+#endif  // SRC_HARNESS_BANK_WORKLOAD_H_

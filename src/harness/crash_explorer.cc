@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/analysis/static_analysis.h"
+#include "src/harness/isolation_oracle.h"
 #include "src/harness/oracle.h"
 #include "src/harness/replay.h"
 
@@ -64,8 +65,7 @@ Async<void> Workload(World* world, ExplorerConfig cfg, std::vector<Status>* stat
                      std::vector<bool>* attempted, bool* done) {
   AppClient app(world->site(0));
   const int n = cfg.site_count;
-  const CommitOptions options =
-      cfg.non_blocking ? CommitOptions::NonBlocking() : CommitOptions::Optimized();
+  const CommitOptions options = cfg.Options();
   for (int i = 0; i < cfg.transfers; ++i) {
     // If the home site is down (a schedule crashed it), wait out the outage —
     // bounded, so the run always quiesces even if healing fails.
@@ -100,7 +100,7 @@ std::string RunResult::Explain() const {
 }
 
 std::string CrashExplorer::ReplayPrefix() const {
-  return ReplayRecipePrefix(config_.seed, config_.non_blocking);
+  return ReplayRecipePrefix(config_.seed, config_.Options());
 }
 
 std::vector<DiscoveredPoint> CrashExplorer::Discover() {
@@ -110,9 +110,10 @@ std::vector<DiscoveredPoint> CrashExplorer::Discover() {
 RunResult CrashExplorer::Run(const CrashSchedule& schedule, bool record) {
   RunResult out;
   out.replay =
-      ReplayRecipe(config_.seed, config_.non_blocking, "CAMELOT_SCHEDULE", schedule.ToString());
+      ReplayRecipe(config_.seed, config_.Options(), "CAMELOT_SCHEDULE", schedule.ToString());
 
   World world(MakeWorldConfig(config_));
+  world.history().set_enabled(true);  // Record from the first setup install on.
   const int n = config_.site_count;
   for (int i = 0; i < n; ++i) {
     world.AddServer(i, Srv(i))->CreateObjectForSetup("vault",
@@ -204,8 +205,7 @@ RunResult CrashExplorer::Run(const CrashSchedule& schedule, bool record) {
       all_ok = all_ok && st.ok();
     }
     if (all_ok) {
-      const CommitOptions options =
-          config_.non_blocking ? CommitOptions::NonBlocking() : CommitOptions::Optimized();
+      const CommitOptions options = config_.Options();
       CountVector predicted;
       for (int i = 0; i < config_.transfers; ++i) {
         int update_subs = 0;
@@ -247,6 +247,24 @@ RunResult CrashExplorer::Run(const CrashSchedule& schedule, bool record) {
   AuditExactlyOnce(world, n, &violations);
   for (auto& v : violations) {
     Violate(&out, std::move(v));
+  }
+
+  // Isolation gate: the whole run's history — workload, healing, and the
+  // audit transactions above — must replay serializably. A failure dumps the
+  // history and extends the recipe so the verdict reproduces offline.
+  IsolationReport isolation = IsolationOracle::Check(world.history().events());
+  if (!isolation.ok()) {
+    for (const IsolationAnomaly& a : isolation.anomalies) {
+      Violate(&out, "isolation: " + a.ToString());
+    }
+    auto dumped = DumpHistoryArtifact(
+        world.history(),
+        "crash-" + std::to_string(config_.seed) + "-" + ProtocolName(config_.Options()) + "-" +
+            std::to_string(std::hash<std::string>{}(out.replay)));
+    if (dumped.ok()) {
+      out.history_path = *dumped;
+      out.replay = WithHistory(out.replay, *dumped);
+    }
   }
   return out;
 }

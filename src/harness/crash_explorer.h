@@ -13,7 +13,10 @@
 //     (client-visible OK implies durably committed);
 //   - agreement: two independent observer sites read identical balances;
 //   - nothing leaked: zero held locks and zero live transaction families at
-//     every site, and no recovery pass reported failure.
+//     every site, and no recovery pass reported failure;
+//   - isolation: the run's recorded operation history replays serializably
+//     (src/harness/isolation_oracle.h); a failure names the anomaly, dumps
+//     the history file, and appends CAMELOT_HISTORY=<file> to the recipe.
 //
 // Exploration modes:
 //   Discover()                — fault-free recording run; returns every
@@ -34,11 +37,13 @@
 #ifndef SRC_HARNESS_CRASH_EXPLORER_H_
 #define SRC_HARNESS_CRASH_EXPLORER_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "src/base/failpoint.h"
 #include "src/harness/world.h"
+#include "src/tranman/local_api.h"
 
 namespace camelot {
 
@@ -46,6 +51,15 @@ struct ExplorerConfig {
   int site_count = 3;
   uint64_t seed = 1;
   bool non_blocking = false;  // Commit protocol for the workload's transfers.
+  // Full four-variant selection (Optimized / Unoptimized / Intermediate /
+  // NonBlocking); when set it overrides non_blocking. Everything — workload,
+  // conformance prediction, replay recipe — goes through Options().
+  std::optional<CommitOptions> variant;
+
+  CommitOptions Options() const {
+    return variant.value_or(non_blocking ? CommitOptions::NonBlocking()
+                                         : CommitOptions::Optimized());
+  }
   int transfers = 3;          // Serial transfers; transfer i moves amount from
                               // vault i%N to vault (i+1)%N, coordinated by 0.
   int64_t initial_balance = 1000;
@@ -64,6 +78,7 @@ struct RunResult {
   std::vector<std::string> trace;       // Registry trace (recording runs only).
   std::vector<DiscoveredPoint> discovered;  // Recording runs only.
   std::string replay;                   // One-line replay recipe for this run.
+  std::string history_path;             // Dumped history (isolation failures only).
 
   std::string Explain() const;  // Violations joined, one per line.
 };

@@ -1,0 +1,266 @@
+#include "src/harness/isolation_oracle.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace camelot {
+namespace {
+
+using ObjectKey = std::pair<std::string, std::string>;  // (server, object).
+
+// Values are int64 in every gated workload; fall back to hex for odd sizes.
+std::string ValueStr(const Bytes& v) {
+  if (v.empty()) {
+    return "(empty)";
+  }
+  if (v.size() == 8) {
+    int64_t x = 0;
+    std::memcpy(&x, v.data(), 8);
+    return std::to_string(x);
+  }
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out = "0x";
+  for (uint8_t byte : v) {
+    out.push_back(kDigits[byte >> 4]);
+    out.push_back(kDigits[byte & 0xf]);
+  }
+  return out;
+}
+
+struct FamilyHistory {
+  std::vector<const HistoryEvent*> ops;  // kRead/kWrite, in recorded order.
+  bool has_commit = false;
+  bool has_abort = false;
+  SimTime commit_ts = 0;  // Earliest commit transition — the serialization point.
+
+  bool WroteObject(const ObjectKey& key) const {
+    for (const HistoryEvent* e : ops) {
+      if (e->op == HistoryOp::kWrite && e->server == key.first && e->object == key.second) {
+        return true;
+      }
+    }
+    return false;
+  }
+  bool WroteAnything() const {
+    return std::any_of(ops.begin(), ops.end(),
+                       [](const HistoryEvent* e) { return e->op == HistoryOp::kWrite; });
+  }
+};
+
+// One write (or setup install) of a value, for provenance lookups.
+struct VersionSource {
+  FamilyId family;  // Invalid for kInit.
+  SimTime ts = 0;
+};
+
+}  // namespace
+
+const char* AnomalyName(AnomalyType type) {
+  switch (type) {
+    case AnomalyType::kDivergentOutcome:
+      return "divergent-outcome";
+    case AnomalyType::kReadOfAborted:
+      return "read-of-aborted";
+    case AnomalyType::kDirtyRead:
+      return "dirty-read";
+    case AnomalyType::kLostUpdate:
+      return "lost-update";
+    case AnomalyType::kWriteSkew:
+      return "write-skew";
+    case AnomalyType::kNonSerializableRead:
+      return "non-serializable-read";
+    case AnomalyType::kDivergentFinalState:
+      return "divergent-final-state";
+  }
+  return "?";
+}
+
+std::string IsolationAnomaly::ToString() const {
+  std::string out = AnomalyName(type);
+  if (family.IsValid()) {
+    out += " family=" + camelot::ToString(family.origin) + ":" +
+           std::to_string(family.sequence);
+  }
+  if (!object.empty()) {
+    out += " at " + server + "/" + object;
+  }
+  if (!detail.empty()) {
+    out += ": " + detail;
+  }
+  return out;
+}
+
+std::string IsolationReport::Explain() const {
+  std::string out = "isolation: " + std::to_string(committed) + " committed, " +
+                    std::to_string(aborted) + " aborted, " + std::to_string(undecided) +
+                    " undecided, " + std::to_string(reads_checked) + " reads checked, " +
+                    std::to_string(anomalies.size()) + " anomalies\n";
+  for (const IsolationAnomaly& a : anomalies) {
+    out += "  " + a.ToString() + "\n";
+  }
+  return out;
+}
+
+bool IsolationReport::CheckFinalValue(const std::string& server, const std::string& object,
+                                      const Bytes& actual) {
+  auto it = final_state.find({server, object});
+  if (it == final_state.end()) {
+    return true;  // Object unknown to the history; nothing to compare against.
+  }
+  if (it->second == actual) {
+    return true;
+  }
+  anomalies.push_back(IsolationAnomaly{
+      AnomalyType::kDivergentFinalState, FamilyId{kInvalidSite, 0}, server, object,
+      "observed " + ValueStr(actual) + ", serial replay has " + ValueStr(it->second)});
+  return false;
+}
+
+IsolationReport IsolationOracle::Check(const std::vector<HistoryEvent>& events) {
+  IsolationReport report;
+
+  // Pass 1: group per family, find outcomes, and index every written value's
+  // provenance (aborted and undecided writers included — that is how leaked
+  // writes get named).
+  std::map<FamilyId, FamilyHistory> families;
+  std::map<ObjectKey, std::vector<std::pair<Bytes, VersionSource>>> provenance;
+  std::map<ObjectKey, Bytes> model;  // Seeded by kInit, advanced by the replay.
+  for (const HistoryEvent& e : events) {
+    switch (e.op) {
+      case HistoryOp::kInit:
+        model[{e.server, e.object}] = e.value;
+        provenance[{e.server, e.object}].push_back(
+            {e.value, VersionSource{FamilyId{kInvalidSite, 0}, e.ts}});
+        break;
+      case HistoryOp::kRead:
+      case HistoryOp::kWrite: {
+        families[e.tid.family].ops.push_back(&e);
+        if (e.op == HistoryOp::kWrite) {
+          provenance[{e.server, e.object}].push_back(
+              {e.value, VersionSource{e.tid.family, e.ts}});
+        }
+        break;
+      }
+      case HistoryOp::kCommit: {
+        FamilyHistory& fam = families[e.tid.family];
+        if (!fam.has_commit || e.ts < fam.commit_ts) {
+          fam.commit_ts = e.ts;
+        }
+        fam.has_commit = true;
+        break;
+      }
+      case HistoryOp::kAbort:
+        families[e.tid.family].has_abort = true;
+        break;
+    }
+  }
+
+  std::vector<std::pair<FamilyId, const FamilyHistory*>> committed;
+  for (const auto& [id, fam] : families) {
+    if (fam.has_commit && fam.has_abort) {
+      report.anomalies.push_back(
+          IsolationAnomaly{AnomalyType::kDivergentOutcome, id, "", "",
+                           "family committed at one site and aborted at another"});
+    }
+    if (fam.has_commit) {
+      ++report.committed;
+      committed.push_back({id, &fam});
+    } else if (fam.has_abort) {
+      ++report.aborted;
+    } else if (!fam.ops.empty()) {
+      ++report.undecided;
+    }
+  }
+
+  // Serial order: earliest commit transition, family id as the deterministic
+  // tie-break (two families can commit at the same virtual microsecond).
+  std::sort(committed.begin(), committed.end(), [](const auto& a, const auto& b) {
+    if (a.second->commit_ts != b.second->commit_ts) {
+      return a.second->commit_ts < b.second->commit_ts;
+    }
+    return a.first < b.first;
+  });
+
+  // Classifies a committed read that disagrees with the model by the observed
+  // value's provenance. Lower rank = stronger (more specific) classification.
+  auto classify = [&](const FamilyId& reader, const FamilyHistory& fam,
+                      const HistoryEvent& read) {
+    const ObjectKey key{read.server, read.object};
+    int best_rank = 99;
+    AnomalyType best = AnomalyType::kNonSerializableRead;
+    std::string evidence = "value of unknown provenance";
+    auto consider = [&](int rank, AnomalyType type, std::string why) {
+      if (rank < best_rank) {
+        best_rank = rank;
+        best = type;
+        evidence = std::move(why);
+      }
+    };
+    auto prov = provenance.find(key);
+    if (prov != provenance.end()) {
+      for (const auto& [value, source] : prov->second) {
+        if (value != read.value || source.family == reader) {
+          continue;
+        }
+        if (!source.family.IsValid()) {
+          // Initial version, superseded by the time of this serialization point.
+          consider(4, fam.WroteObject(key) ? AnomalyType::kLostUpdate
+                   : fam.WroteAnything()  ? AnomalyType::kWriteSkew
+                                          : AnomalyType::kNonSerializableRead,
+                   "stale initial version");
+          continue;
+        }
+        auto wit = families.find(source.family);
+        if (wit == families.end()) {
+          continue;
+        }
+        const FamilyHistory& writer = wit->second;
+        if (!writer.has_commit) {
+          if (writer.has_abort) {
+            consider(1, AnomalyType::kReadOfAborted,
+                     "written by aborted family " + std::to_string(source.family.sequence));
+          } else {
+            consider(2, AnomalyType::kDirtyRead,
+                     "written by undecided family " + std::to_string(source.family.sequence));
+          }
+        } else if (read.ts < writer.commit_ts) {
+          consider(2, AnomalyType::kDirtyRead,
+                   "read before writer family " + std::to_string(source.family.sequence) +
+                       " committed");
+        } else {
+          consider(3, fam.WroteObject(key) ? AnomalyType::kLostUpdate
+                   : fam.WroteAnything()  ? AnomalyType::kWriteSkew
+                                          : AnomalyType::kNonSerializableRead,
+                   "stale committed version from family " +
+                       std::to_string(source.family.sequence));
+        }
+      }
+    }
+    report.anomalies.push_back(IsolationAnomaly{
+        best, reader, read.server, read.object,
+        "read " + ValueStr(read.value) + ", serial replay has " +
+            ValueStr(model[key]) + " (" + evidence + ")"});
+  };
+
+  // Pass 2: the serial replay. Each committed family's ops run in recorded
+  // order at its serialization point; reads must match the model exactly.
+  for (const auto& [id, fam] : committed) {
+    for (const HistoryEvent* e : fam->ops) {
+      const ObjectKey key{e->server, e->object};
+      if (e->op == HistoryOp::kRead) {
+        ++report.reads_checked;
+        auto it = model.find(key);
+        if (it == model.end() || it->second != e->value) {
+          classify(id, *fam, *e);
+        }
+      } else {
+        model[key] = e->value;
+      }
+    }
+  }
+
+  report.final_state = std::move(model);
+  return report;
+}
+
+}  // namespace camelot

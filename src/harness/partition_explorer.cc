@@ -6,6 +6,7 @@
 
 #include "src/analysis/static_analysis.h"
 #include "src/base/logging.h"
+#include "src/harness/isolation_oracle.h"
 #include "src/harness/oracle.h"
 #include "src/harness/replay.h"
 
@@ -64,8 +65,7 @@ Async<Status> OneTransfer(AppClient& app, std::string from_srv, std::string to_s
 Async<void> Workload(World* world, PartitionExplorerConfig cfg, std::vector<Status>* statuses,
                      std::vector<bool>* attempted, bool* done) {
   AppClient app(world->site(0));
-  const CommitOptions options =
-      cfg.non_blocking ? CommitOptions::NonBlocking() : CommitOptions::Optimized();
+  const CommitOptions options = cfg.Options();
   for (int i = 0; i < cfg.transfers; ++i) {
     const int from = 1 + (i % 2);
     const int to = 3 - from;
@@ -103,15 +103,16 @@ std::string PartitionRunResult::Explain() const {
 }
 
 std::string PartitionExplorer::ReplayPrefix() const {
-  return ReplayRecipePrefix(config_.seed, config_.non_blocking);
+  return ReplayRecipePrefix(config_.seed, config_.Options());
 }
 
 PartitionRunResult PartitionExplorer::Run(const NemesisScript& script) {
   PartitionRunResult out;
   out.replay =
-      ReplayRecipe(config_.seed, config_.non_blocking, "CAMELOT_NEMESIS", script.ToString());
+      ReplayRecipe(config_.seed, config_.Options(), "CAMELOT_NEMESIS", script.ToString());
 
   World world(MakeWorldConfig(config_));
+  world.history().set_enabled(true);  // Record from the first setup install on.
   const int n = config_.site_count;
   for (int i = 0; i < n; ++i) {
     world.AddServer(i, Srv(i))->CreateObjectForSetup("vault",
@@ -213,8 +214,7 @@ PartitionRunResult PartitionExplorer::Run(const NemesisScript& script) {
       all_ok = all_ok && st.ok();
     }
     if (all_ok) {
-      const CommitOptions options =
-          config_.non_blocking ? CommitOptions::NonBlocking() : CommitOptions::Optimized();
+      const CommitOptions options = config_.Options();
       CountVector predicted;
       for (int i = 0; i < config_.transfers; ++i) {
         AddCounts(predicted, ExpectedProtocolCounts(options, /*update_subs=*/2,
@@ -247,6 +247,24 @@ PartitionRunResult PartitionExplorer::Run(const NemesisScript& script) {
   for (auto& v : violations) {
     Violate(&out, std::move(v));
   }
+
+  // Isolation gate: the whole run's history — workload, partitions, and the
+  // audit transactions above — must replay serializably. A failure dumps the
+  // history and extends the recipe so the verdict reproduces offline.
+  IsolationReport isolation = IsolationOracle::Check(world.history().events());
+  if (!isolation.ok()) {
+    for (const IsolationAnomaly& a : isolation.anomalies) {
+      Violate(&out, "isolation: " + a.ToString());
+    }
+    auto dumped = DumpHistoryArtifact(
+        world.history(),
+        "partition-" + std::to_string(config_.seed) + "-" + ProtocolName(config_.Options()) +
+            "-" + std::to_string(std::hash<std::string>{}(out.replay)));
+    if (dumped.ok()) {
+      out.history_path = *dumped;
+      out.replay = WithHistory(out.replay, *dumped);
+    }
+  }
   return out;
 }
 
@@ -261,9 +279,9 @@ std::vector<PartitionSweepFailure> PartitionExplorer::ExhaustiveSinglePartitionS
     const char* name;
     std::string when;
   };
+  const bool nbc = config_.Options().protocol == CommitProtocol::kNonBlocking;
   const std::string decided_point =
-      std::string(config_.non_blocking ? "tm.nbc.commit_force.after" : "tm.2pc.commit_force.after") +
-      "@0#1";
+      std::string(nbc ? "tm.nbc.commit_force.after" : "tm.2pc.commit_force.after") + "@0#1";
   const std::vector<Phase> kPhases = {
       {"active", "@1000000"},          // Mid-workload, between protocol steps.
       {"prepare", "tm.send.PREPARE@0#1"},  // The instant PREPARE leaves site 0.
@@ -281,7 +299,7 @@ std::vector<PartitionSweepFailure> PartitionExplorer::ExhaustiveSinglePartitionS
     ++count;
     if (!baseline.ok) {
       PartitionSweepFailure f;
-      f.label = std::string(config_.non_blocking ? "nbc" : "2pc") + "/baseline";
+      f.label = ProtocolName(config_.Options()) + "/baseline";
       f.result = std::move(baseline);
       failures.push_back(std::move(f));
     }
@@ -295,8 +313,8 @@ std::vector<PartitionSweepFailure> PartitionExplorer::ExhaustiveSinglePartitionS
       ++count;
       if (!result.ok) {
         PartitionSweepFailure f;
-        f.label = std::string(config_.non_blocking ? "nbc" : "2pc") + "/" + phase.name +
-                  "/split{" + (split.empty() ? "isolate-all" : split) + "}";
+        f.label = ProtocolName(config_.Options()) + "/" + phase.name + "/split{" +
+                  (split.empty() ? "isolate-all" : split) + "}";
         f.script = std::move(*script);
         f.result = std::move(result);
         failures.push_back(std::move(f));

@@ -14,6 +14,9 @@
 //   - safety: the shared crash-explorer oracle — observer agreement, money
 //     conservation, commit-subset match, zero leaked locks/families, and
 //     exactly-once effects under datagram duplication and reordering;
+//   - isolation: the run's recorded operation history replays serializably
+//     (src/harness/isolation_oracle.h); a failure names the anomaly, dumps
+//     the history file, and appends CAMELOT_HISTORY=<file> to the recipe;
 //   - availability evidence: per-site decisions *inside* the fault window
 //     (counted between each partition install and the matching heal) plus
 //     blocked-period/blocked-time counters, so tests can assert the paper's
@@ -26,11 +29,13 @@
 #ifndef SRC_HARNESS_PARTITION_EXPLORER_H_
 #define SRC_HARNESS_PARTITION_EXPLORER_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "src/harness/nemesis.h"
 #include "src/harness/world.h"
+#include "src/tranman/local_api.h"
 
 namespace camelot {
 
@@ -38,6 +43,14 @@ struct PartitionExplorerConfig {
   int site_count = 3;
   uint64_t seed = 1;
   bool non_blocking = false;  // Commit protocol for the workload's transfers.
+  // Full four-variant selection; when set it overrides non_blocking (see
+  // ExplorerConfig::variant — same contract).
+  std::optional<CommitOptions> variant;
+
+  CommitOptions Options() const {
+    return variant.value_or(non_blocking ? CommitOptions::NonBlocking()
+                                         : CommitOptions::Optimized());
+  }
   int transfers = 4;          // Serial; transfer i moves amount between vaults
                               // 1 and 2 (direction alternates), coordinated
                               // from site 0.
@@ -67,6 +80,7 @@ struct PartitionRunResult {
   std::vector<std::string> nemesis_log;  // Applied events, timestamped.
   std::vector<std::string> unapplied;    // Events whose condition never fired.
   std::string replay;                    // One-line replay recipe for this run.
+  std::string history_path;              // Dumped history (isolation failures only).
 
   std::string Explain() const;  // Violations joined, one per line.
 };

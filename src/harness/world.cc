@@ -7,7 +7,7 @@ namespace camelot {
 
 CamelotSite::CamelotSite(Scheduler& sched, Network& net, NameService& names, SiteId id,
                          const WorldConfig& config, FailpointRegistry& failpoints,
-                         CostLedger& cost_ledger)
+                         CostLedger& cost_ledger, HistoryRecorder& history)
     : site_(sched, net, id, config.ipc),
       netmsg_(site_, net),
       names_(names),
@@ -15,7 +15,8 @@ CamelotSite::CamelotSite(Scheduler& sched, Network& net, NameService& names, Sit
       log_(sched, config.log),
       diskmgr_(sched, log_, config.disk),
       tranman_(site_, net, comman_, log_, config.tranman),
-      recovery_(site_, diskmgr_, log_, tranman_) {
+      recovery_(site_, diskmgr_, log_, tranman_),
+      history_(&history) {
   site_.AddCrashListener([this] {
     log_.OnCrash();
     diskmgr_.OnCrash();
@@ -34,6 +35,14 @@ CamelotSite::CamelotSite(Scheduler& sched, Network& net, NameService& names, Sit
   diskmgr_.set_failpoints(handle);
   tranman_.set_failpoints(handle);
   recovery_.set_failpoints(handle);
+  failpoint_handle_ = handle;
+  // Every top-level outcome transition this site applies lands in the
+  // world-wide history (a no-op while the recorder is disabled).
+  tranman_.set_outcome_hook([this](const FamilyId& family, bool committed) {
+    history_->Record(HistoryEvent{
+        committed ? HistoryOp::kCommit : HistoryOp::kAbort, site_.sched().now(),
+        site_.id(), Tid{family, 0, 0}, std::string(), std::string(), Bytes()});
+  });
   // Likewise one per-site recorder into the world's cost ledger: the IPC
   // layer and the stable log tag their primitives with this site's id.
   const CostRecorder recorder(&cost_ledger, id);
@@ -61,6 +70,18 @@ void CamelotSite::RecordRecovery(const RecoveryReport& report) {
 DataServer* CamelotSite::AddServer(const std::string& name, ServerConfig config) {
   auto server = std::make_unique<DataServer>(site_, name, diskmgr_, names_, config);
   DataServer* raw = server.get();
+  raw->set_failpoints(failpoint_handle_);
+  raw->set_history_hook([this, raw](const Tid& tid, const std::string& object,
+                                    const Bytes& value, ServerHistoryOp op) {
+    HistoryOp hop = HistoryOp::kRead;
+    if (op == ServerHistoryOp::kWrite) {
+      hop = HistoryOp::kWrite;
+    } else if (op == ServerHistoryOp::kInit) {
+      hop = HistoryOp::kInit;
+    }
+    history_->Record(HistoryEvent{hop, site_.sched().now(), site_.id(), tid, raw->name(),
+                                  object, value});
+  });
   servers_.emplace(name, std::move(server));
   return raw;
 }
@@ -84,7 +105,7 @@ World::World(WorldConfig config)
   for (int i = 0; i < config.site_count; ++i) {
     sites_.push_back(std::make_unique<CamelotSite>(sched_, net_, names_,
                                                    SiteId{static_cast<uint32_t>(i)}, config_,
-                                                   failpoints_, cost_ledger_));
+                                                   failpoints_, cost_ledger_, history_));
   }
 }
 

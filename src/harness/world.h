@@ -16,6 +16,7 @@
 
 #include "src/base/failpoint.h"
 #include "src/comman/comman.h"
+#include "src/harness/history.h"
 #include "src/diskmgr/disk_manager.h"
 #include "src/ipc/name_service.h"
 #include "src/ipc/netmsg.h"
@@ -46,7 +47,7 @@ class CamelotSite {
  public:
   CamelotSite(Scheduler& sched, Network& net, NameService& names, SiteId id,
               const WorldConfig& config, FailpointRegistry& failpoints,
-              CostLedger& cost_ledger);
+              CostLedger& cost_ledger, HistoryRecorder& history);
 
   Site& site() { return site_; }
   NetMsgServer& netmsg() { return netmsg_; }
@@ -84,6 +85,8 @@ class CamelotSite {
   TranMan tranman_;
   RecoveryManager recovery_;
   std::map<std::string, std::unique_ptr<DataServer>> servers_;
+  HistoryRecorder* history_;       // World-wide; hooks installed per component.
+  Failpoints failpoint_handle_;    // Shared by late-added servers (AddServer).
   RecoveryReport last_recovery_;
   RecoveryTotals recovery_totals_;
 };
@@ -113,6 +116,11 @@ class World {
   // datagram, and local IPC lands here tagged {family, site, role, phase}.
   // The ConformanceOracle compares it against the static analysis.
   CostLedger& cost_ledger() { return cost_ledger_; }
+
+  // The world-wide operation history (off until history().set_enabled(true)):
+  // every served read/write and top-level outcome transition, the input the
+  // IsolationOracle checks. See src/harness/history.h.
+  HistoryRecorder& history() { return history_; }
 
   // Drives the simulation.
   size_t RunUntilIdle() { return sched_.RunUntilIdle(); }
@@ -161,6 +169,7 @@ class World {
   NameService names_;
   FailpointRegistry failpoints_;  // Declared before sites_: handles point here.
   CostLedger cost_ledger_;        // Likewise: per-site recorders point here.
+  HistoryRecorder history_;       // Likewise: per-site hooks point here.
   std::vector<std::unique_ptr<CamelotSite>> sites_;
 };
 

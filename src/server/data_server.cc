@@ -27,6 +27,9 @@ DataServer::DataServer(Site& site, std::string name, DiskManager& diskmgr, NameS
 }
 
 void DataServer::CreateObjectForSetup(const std::string& object, Bytes value) {
+  if (history_hook_) {
+    history_hook_(kInvalidTid, object, value, ServerHistoryOp::kInit);
+  }
   diskmgr_.RecoveryWrite(name_, object, std::move(value));
 }
 
@@ -168,6 +171,9 @@ Async<RpcResult> DataServer::HandleRead(const Tid& tid, const std::string& objec
   if (!value.ok()) {
     co_return RpcResult{value.status(), {}};
   }
+  if (history_hook_) {
+    history_hook_(tid, object, *value, ServerHistoryOp::kRead);
+  }
   ++counters_.reads;
   ByteWriter w;
   w.Blob(*value);
@@ -219,6 +225,9 @@ Async<RpcResult> DataServer::HandleWrite(const Tid& tid, const std::string& obje
   if (!written.ok()) {
     co_return RpcResult{std::move(written), {}};
   }
+  if (history_hook_) {
+    history_hook_(tid, object, value, ServerHistoryOp::kWrite);
+  }
   families_[tid.family].updates.push_back(UpdateEntry{tid, object, std::move(old_value),
                                                       std::move(value), lsn});
   ++counters_.writes;
@@ -260,6 +269,18 @@ Async<void> DataServer::UndoUpdates(std::vector<UpdateEntry> updates) {
   for (auto it = updates.rbegin(); it != updates.rend(); ++it) {
     if (!site_.up() || site_.incarnation() != inc) {
       co_return;  // Crashed mid-undo; restart recovery finishes the job.
+    }
+    if (failpoints_.active()) {
+      const FailpointHit hit = failpoints_.Eval("server.undo");
+      if (hit.action == FailpointAction::kDrop) {
+        continue;  // Injected bug: leak the forward image by skipping compensation.
+      }
+      if (hit.action == FailpointAction::kDelay) {
+        co_await site_.sched().Delay(hit.delay);
+      }
+      if (!site_.up() || site_.incarnation() != inc) {
+        co_return;
+      }
     }
     const Lsn lsn = diskmgr_.log().Append(
         LogRecord::UndoUpdate(it->tid, name_, it->object, it->new_value, it->old_value));

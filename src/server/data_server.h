@@ -14,11 +14,13 @@
 #define SRC_SERVER_DATA_SERVER_H_
 
 #include <deque>
+#include <functional>
 #include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "src/base/failpoint.h"
 #include "src/diskmgr/disk_manager.h"
 #include "src/ipc/name_service.h"
 #include "src/ipc/site.h"
@@ -47,6 +49,14 @@ struct ServerCounters {
   uint64_t aborts = 0;
 };
 
+// What a history hook observes: the setup install, or a transactional
+// read/write this server served. The harness's HistoryRecorder subscribes via
+// set_history_hook; the hook is a plain std::function so this layer stays
+// independent of the harness.
+enum class ServerHistoryOp : uint8_t { kInit, kRead, kWrite };
+using ServerHistoryHook = std::function<void(const Tid& tid, const std::string& object,
+                                             const Bytes& value, ServerHistoryOp op)>;
+
 class DataServer {
  public:
   DataServer(Site& site, std::string name, DiskManager& diskmgr, NameService& names,
@@ -55,6 +65,16 @@ class DataServer {
   const std::string& name() const { return name_; }
   LockManager& locks() { return locks_; }
   const ServerCounters& counters() const { return counters_; }
+
+  // Observes served reads/writes (and setup installs). Recovery replays and
+  // abort compensation are NOT reported — they reconstruct or cancel writes
+  // the hook already saw, and re-reporting would corrupt a serial replay.
+  void set_history_hook(ServerHistoryHook hook) { history_hook_ = std::move(hook); }
+
+  // Failpoint handle for the abort/undo path (point "server.undo": a kDrop
+  // arm skips one compensation write — the injected-anomaly lever the
+  // isolation oracle's mutation tests pull).
+  void set_failpoints(Failpoints failpoints) { failpoints_ = std::move(failpoints); }
 
   // Non-transactional setup: installs an object directly on the data disk.
   void CreateObjectForSetup(const std::string& object, Bytes value);
@@ -115,6 +135,8 @@ class DataServer {
   std::set<FamilyId> concluded_;
   std::deque<FamilyId> concluded_order_;
   ServerCounters counters_;
+  ServerHistoryHook history_hook_;
+  Failpoints failpoints_;
   int inject_vote_no_ = 0;
 };
 

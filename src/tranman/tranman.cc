@@ -76,6 +76,17 @@ TranMan::Family* TranMan::CreateFamily(const Tid& top) {
   return raw;
 }
 
+void TranMan::RecordOutcome(const FamilyId& family, bool committed) {
+  if (committed) {
+    ++counters_.committed;
+  } else {
+    ++counters_.aborted;
+  }
+  if (outcome_hook_) {
+    outcome_hook_(family, committed);
+  }
+}
+
 void TranMan::RetireFamily(const FamilyId& id) {
   auto it = families_.find(id);
   if (it == families_.end()) {
@@ -882,7 +893,7 @@ Async<Status> TranMan::CommitLocalOnly(Family* fam, bool has_updates) {
     co_return UnavailableError("site crashed");
   }
   fam->state = TmTxnState::kCommitted;
-  ++counters_.committed;
+  RecordOutcome(fam->top.family, /*committed=*/true);
   NotifyServersDropLocks(*fam);  // Event 11, off the completion path.
   RetireFamily(fam->top.family);
   co_return OkStatus();
@@ -919,7 +930,7 @@ Async<void> TranMan::AbortDistributed(Family* fam, const std::vector<SiteId>& no
     co_return;
   }
   fam->state = TmTxnState::kAborted;
-  ++counters_.aborted;
+  RecordOutcome(fam->top.family, /*committed=*/false);
   if (fam->protocol == CommitProtocol::kNonBlocking && fam->committing && fam->is_coordinator) {
     // Change 4: NBC participants keep a tombstone so late status queries see
     // the outcome instead of inferring the wrong one.
@@ -1015,7 +1026,7 @@ Async<Status> TranMan::CoordinateTwoPhase(Family* fam, const CommitOptions& opti
       co_return UnavailableError("site crashed");
     }
     fam->state = TmTxnState::kCommitted;
-    ++counters_.committed;
+    RecordOutcome(fam->top.family, /*committed=*/true);
     NotifyServersDropLocks(*fam);
     RetireFamily(fam->top.family);
     co_return OkStatus();
@@ -1030,7 +1041,7 @@ Async<Status> TranMan::CoordinateTwoPhase(Family* fam, const CommitOptions& opti
     co_return UnavailableError("site crashed");
   }
   fam->state = TmTxnState::kCommitted;
-  ++counters_.committed;
+  RecordOutcome(fam->top.family, /*committed=*/true);
   NotifyServersDropLocks(*fam);
   // Phase 2 is off the completion path: the application's call returns now.
   site_.sched().Spawn(CoordinatorPhase2(fam->top.family, std::move(votes.update_subs)));
@@ -1261,7 +1272,7 @@ Async<Status> TranMan::CoordinateNonBlocking(Family* fam, const CommitOptions& /
     co_return UnavailableError("site crashed");
   }
   fam->state = TmTxnState::kCommitted;
-  ++counters_.committed;
+  RecordOutcome(fam->top.family, /*committed=*/true);
   NotifyServersDropLocks(*fam);
   // Notify phase covers EVERY subordinate still holding state: update subs
   // write their commit records; read-only passive acceptors tombstone the
@@ -1282,7 +1293,7 @@ Async<Status> TranMan::CommitLocalOnlyNbc(Family* fam, bool local_updates,
     co_return UnavailableError("site crashed");
   }
   fam->state = TmTxnState::kCommitted;
-  ++counters_.committed;
+  RecordOutcome(fam->top.family, /*committed=*/true);
   NotifyServersDropLocks(*fam);
   // Tell read-only subordinates (passive acceptors) the outcome so their
   // tombstones are right; no acks matter.
@@ -1376,7 +1387,7 @@ Async<void> TranMan::HandleRemotePrepare(TmMsg msg) {
     vote.vote = TmVote::kAbort;
     SendMsg(msg.from, vote);
     fam->state = TmTxnState::kAborted;
-    ++counters_.aborted;
+    RecordOutcome(msg.tid.family, /*committed=*/false);
     RetireFamily(msg.tid.family);
     co_return;
   }
@@ -1537,7 +1548,7 @@ Async<void> TranMan::SubordinateCommit(Family* fam) {
     co_return;
   }
   fam->state = TmTxnState::kCommitted;
-  ++counters_.committed;
+  RecordOutcome(fam->top.family, /*committed=*/true);
   const FamilyId family_id = fam->top.family;
 
   if (fam->force_sub_commit) {
@@ -1618,7 +1629,7 @@ Async<void> TranMan::SubordinateAbort(Family* fam) {
     co_return;
   }
   fam->state = TmTxnState::kAborted;
-  ++counters_.aborted;
+  RecordOutcome(fam->top.family, /*committed=*/false);
   if (fam->protocol == CommitProtocol::kTwoPhase && !fam->heuristic) {
     RetireFamily(family_id);
   }
@@ -1671,7 +1682,7 @@ Async<void> TranMan::OrphanWatch(FamilyId family_id, uint32_t inc) {
       fam = FindFamily(family_id);
       if (fam != nullptr) {
         fam->state = TmTxnState::kAborted;
-        ++counters_.aborted;
+        RecordOutcome(family_id, /*committed=*/false);
         ++counters_.orphans_aborted;
         RetireFamily(family_id);
       }
@@ -1875,7 +1886,7 @@ Async<bool> TranMan::Takeover(FamilyId family_id, uint32_t inc) {
       co_return true;
     }
     fam->state = TmTxnState::kCommitted;
-    ++counters_.committed;
+    RecordOutcome(fam->top.family, /*committed=*/true);
     NotifyServersDropLocks(*fam);
     TmMsg commit;
     commit.type = TmMsgType::kCommit;
@@ -1897,7 +1908,7 @@ Async<bool> TranMan::Takeover(FamilyId family_id, uint32_t inc) {
       co_return true;
     }
     fam->state = TmTxnState::kAborted;
-    ++counters_.aborted;
+    RecordOutcome(fam->top.family, /*committed=*/false);
     TmMsg abort;
     abort.type = TmMsgType::kAbort;
     abort.tid = fam->top;
@@ -2016,7 +2027,7 @@ Async<void> TranMan::HandleAbortMsg(TmMsg msg) {
     }
   }
   fam->state = TmTxnState::kAborted;
-  ++counters_.aborted;
+  RecordOutcome(msg.tid.family, /*committed=*/false);
   RetireFamily(msg.tid.family);
 }
 
@@ -2100,6 +2111,8 @@ Async<RpcResult> TranMan::HandleNestedAbort(const Tid& tid) {
       fam->active_nested.erase(serial);
     }
   }
+  // Counted but NOT routed through RecordOutcome: a nested-subtree abort is
+  // not a family outcome — the family lives on and decides later.
   ++counters_.aborted;
   co_return RpcResult{OkStatus(), {}};
 }
@@ -2190,7 +2203,7 @@ void TranMan::RestoreCoordinator(const Tid& tid, std::vector<SiteId> pending_sub
   fam->piggyback_ack = options.piggyback_commit_ack;
   fam->local_servers = std::move(local_servers);
   fam->inbox = std::make_shared<Channel<TmMsg>>(site_.sched());
-  ++counters_.committed;
+  RecordOutcome(tid.family, /*committed=*/true);
   site_.sched().Spawn(CoordinatorPhase2(tid.family, std::move(pending_subs)));
 }
 

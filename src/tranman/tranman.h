@@ -158,6 +158,13 @@ class TranMan {
   //     state transition is applied.
   void set_failpoints(Failpoints failpoints) { failpoints_ = std::move(failpoints); }
 
+  // Observes every TOP-LEVEL outcome transition this site applies — the same
+  // transitions counters().committed/aborted count, in the same order. The
+  // harness's HistoryRecorder subscribes (src/harness/history.h); nested
+  // subtree aborts are not reported because the family lives on.
+  using OutcomeHook = std::function<void(const FamilyId& family, bool committed)>;
+  void set_outcome_hook(OutcomeHook hook) { outcome_hook_ = std::move(hook); }
+
   // --- Introspection -------------------------------------------------------------
   TmTxnState QueryState(const FamilyId& family) const;
   bool IsBlocked(const FamilyId& family) const;
@@ -304,6 +311,9 @@ class TranMan {
   // Removes the family from the table; the unique_ptr moves to the graveyard
   // so coroutines holding Family* stay valid until the world ends.
   void RetireFamily(const FamilyId& id);
+  // Bumps the outcome counter and fires the outcome hook. Every top-level
+  // commit/abort transition funnels through here; nested aborts must not.
+  void RecordOutcome(const FamilyId& family, bool committed);
   bool Dead(uint32_t inc) const { return !site_.up() || site_.incarnation() != inc; }
   // A synchronous log force performed BY a worker thread: the thread is
   // occupied for the force's whole duration (Section 3.4/3.5 interplay).
@@ -347,6 +357,7 @@ class TranMan {
   // Off-critical-path messages awaiting piggybacking, per destination.
   std::unordered_map<SiteId, std::vector<TmMsg>> offpath_queue_;
   TranManCounters counters_;
+  OutcomeHook outcome_hook_;
 };
 
 }  // namespace camelot

@@ -3,7 +3,8 @@
 // environment-variable replay (see src/harness/crash_explorer.h).
 //
 // Every failing run is reported with a one-line replay recipe; rerun it with
-//   CAMELOT_SEED=<s> CAMELOT_PROTOCOL=<2pc|nbc> CAMELOT_SCHEDULE='<schedule>'
+//   CAMELOT_SEED=<s> CAMELOT_PROTOCOL=<2pc|2pc-unopt|2pc-int|nbc>
+//   CAMELOT_SCHEDULE='<schedule>'
 //   ./crash_schedule_test --gtest_filter='*ReplaysScheduleFromEnvironment*'
 // which reproduces the identical event trace and prints it.
 #include <gtest/gtest.h>
@@ -15,6 +16,7 @@
 
 #include "src/base/logging.h"
 #include "src/harness/crash_explorer.h"
+#include "src/harness/replay.h"
 
 namespace camelot {
 namespace {
@@ -100,9 +102,13 @@ TEST(CrashScheduleDiscovery, FindsTheNonBlockingInstrumentation) {
 // injected, the workload's summed primitive counts must equal the static
 // analysis's prediction exactly (see DESIGN.md, "Primitive-cost conformance").
 TEST(CrashScheduleSweep, FaultFreeRunPassesConformanceGate) {
-  for (const bool non_blocking : {false, true}) {
-    const RunResult result = CrashExplorer(Config(non_blocking)).Run(CrashSchedule{});
-    EXPECT_TRUE(result.ok) << (non_blocking ? "nbc" : "2pc") << ": " << result.Explain();
+  for (const CommitOptions& options :
+       {CommitOptions::Optimized(), CommitOptions::Unoptimized(),
+        CommitOptions::Intermediate(), CommitOptions::NonBlocking()}) {
+    ExplorerConfig cfg;
+    cfg.variant = options;
+    const RunResult result = CrashExplorer(cfg).Run(CrashSchedule{});
+    EXPECT_TRUE(result.ok) << ProtocolName(options) << ": " << result.Explain();
   }
 }
 
@@ -183,7 +189,9 @@ TEST(CrashScheduleReplay, ReplaysScheduleFromEnvironment) {
     cfg.seed = std::strtoull(seed, nullptr, 10);
   }
   if (const char* protocol = std::getenv("CAMELOT_PROTOCOL")) {
-    cfg.non_blocking = std::string(protocol) == "nbc";
+    auto options = ParseProtocolName(protocol);
+    ASSERT_TRUE(options.ok()) << "CAMELOT_PROTOCOL: " << options.status().message();
+    cfg.variant = *options;
   }
   if (std::getenv("CAMELOT_TRACE") != nullptr) {
     SetTraceLevel(TraceLevel::kDebug);  // Protocol-level sim tracing too.

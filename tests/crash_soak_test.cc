@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/harness/crash_explorer.h"
+#include "src/tranman/local_api.h"
 
 namespace camelot {
 namespace {
@@ -54,6 +55,25 @@ TEST(CrashSoak, ExhaustiveEveryHitSweepAcrossSeeds) {
   }
   std::printf("crash soak: %d exhaustive single-crash runs\n", total_runs);
   EXPECT_GE(total_runs, 800);
+}
+
+// The intermediate variants get one exhaustive seed each: their fault
+// handling shares the 2PC machinery, so a single sweep guards the parts the
+// optimization flags actually change (force counts, ack discipline).
+TEST(CrashSoak, ExhaustiveSweepIntermediateVariants) {
+  int total_runs = 0;
+  for (const CommitOptions& options :
+       {CommitOptions::Unoptimized(), CommitOptions::Intermediate()}) {
+    ExplorerConfig cfg;
+    cfg.variant = options;
+    cfg.transfers = 4;
+    int runs = 0;
+    ReportFailures(CrashExplorer(cfg).ExhaustiveSingleCrashSweep(/*max_hits_per_point=*/0,
+                                                                 &runs));
+    total_runs += runs;
+  }
+  std::printf("crash soak: %d intermediate-variant runs\n", total_runs);
+  EXPECT_GE(total_runs, 150);
 }
 
 TEST(CrashSoak, RandomMultiFaultSchedules) {

@@ -16,6 +16,7 @@
 
 #include "src/base/logging.h"
 #include "src/harness/partition_explorer.h"
+#include "src/harness/replay.h"
 
 namespace camelot {
 namespace {
@@ -41,10 +42,14 @@ NemesisScript MustParse(const std::string& text) {
 }
 
 TEST(PartitionSchedule, FaultFreeRunPassesOracle) {
-  for (const bool non_blocking : {false, true}) {
-    PartitionExplorer ex(Config(non_blocking));
+  for (const CommitOptions& options :
+       {CommitOptions::Optimized(), CommitOptions::Unoptimized(),
+        CommitOptions::Intermediate(), CommitOptions::NonBlocking()}) {
+    PartitionExplorerConfig cfg;
+    cfg.variant = options;
+    PartitionExplorer ex(cfg);
     const PartitionRunResult result = ex.Run(NemesisScript{});
-    EXPECT_TRUE(result.ok) << result.Explain();
+    EXPECT_TRUE(result.ok) << ProtocolName(options) << ": " << result.Explain();
     EXPECT_EQ(result.client_ok, ex.config().transfers);
     for (const SiteObservation& obs : result.sites) {
       EXPECT_EQ(obs.decided_in_window, 0u);
@@ -149,7 +154,9 @@ TEST(PartitionScheduleReplay, ReplaysNemesisFromEnvironment) {
     cfg.seed = std::strtoull(seed, nullptr, 10);
   }
   if (const char* protocol = std::getenv("CAMELOT_PROTOCOL")) {
-    cfg.non_blocking = std::string(protocol) == "nbc";
+    auto options = ParseProtocolName(protocol);
+    ASSERT_TRUE(options.ok()) << "CAMELOT_PROTOCOL: " << options.status().message();
+    cfg.variant = *options;
   }
   if (std::getenv("CAMELOT_TRACE") != nullptr) {
     SetTraceLevel(TraceLevel::kDebug);

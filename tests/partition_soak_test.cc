@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/harness/partition_explorer.h"
+#include "src/tranman/local_api.h"
 
 namespace camelot {
 namespace {
@@ -55,6 +56,23 @@ TEST(PartitionSoak, ExhaustiveSweepAcrossSeeds) {
   }
   std::printf("partition soak: %d exhaustive single-partition runs\n", total_runs);
   EXPECT_GE(total_runs, 128);
+}
+
+// One exhaustive sweep each for the intermediate commit variants (shared 2PC
+// machinery, different force/ack discipline) — see crash_soak_test.cc.
+TEST(PartitionSoak, ExhaustiveSweepIntermediateVariants) {
+  int total_runs = 0;
+  for (const CommitOptions& options :
+       {CommitOptions::Unoptimized(), CommitOptions::Intermediate()}) {
+    PartitionExplorerConfig cfg;
+    cfg.variant = options;
+    cfg.transfers = 6;
+    int runs = 0;
+    ReportFailures(PartitionExplorer(cfg).ExhaustiveSinglePartitionSweep(&runs));
+    total_runs += runs;
+  }
+  std::printf("partition soak: %d intermediate-variant runs\n", total_runs);
+  EXPECT_GE(total_runs, 32);
 }
 
 TEST(PartitionSoak, RandomMultiFaultNemesisScripts) {

@@ -2,6 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/harness/history.h"
+
 namespace camelot {
 namespace {
 
@@ -17,6 +24,67 @@ TEST(ReplayRecipeTest, FullRecipeQuotesSchedule) {
             "CAMELOT_SEED=3 CAMELOT_PROTOCOL=2pc CAMELOT_SCHEDULE='disk.read@2#1=error'");
   EXPECT_EQ(ReplayRecipe(9, true, "CAMELOT_NEMESIS", "partition@1000:0|1,2"),
             "CAMELOT_SEED=9 CAMELOT_PROTOCOL=nbc CAMELOT_NEMESIS='partition@1000:0|1,2'");
+}
+
+TEST(ReplayRecipeTest, ProtocolNameCoversAllFourVariants) {
+  EXPECT_EQ(ProtocolName(CommitOptions::Optimized()), "2pc");
+  EXPECT_EQ(ProtocolName(CommitOptions::Unoptimized()), "2pc-unopt");
+  EXPECT_EQ(ProtocolName(CommitOptions::Intermediate()), "2pc-int");
+  EXPECT_EQ(ProtocolName(CommitOptions::NonBlocking()), "nbc");
+}
+
+TEST(ReplayRecipeTest, ParseProtocolNameRoundTrips) {
+  for (const char* name : {"2pc", "2pc-unopt", "2pc-int", "nbc"}) {
+    auto options = ParseProtocolName(name);
+    ASSERT_TRUE(options.ok()) << name;
+    EXPECT_EQ(ProtocolName(*options), name);
+  }
+  EXPECT_FALSE(ParseProtocolName("3pc").ok());
+  EXPECT_FALSE(ParseProtocolName("").ok());
+}
+
+TEST(ReplayRecipeTest, FourVariantPrefixAndRecipe) {
+  EXPECT_EQ(ReplayRecipePrefix(5, CommitOptions::Unoptimized()),
+            "CAMELOT_SEED=5 CAMELOT_PROTOCOL=2pc-unopt");
+  EXPECT_EQ(ReplayRecipe(5, CommitOptions::Intermediate(), "CAMELOT_SCHEDULE", "x"),
+            "CAMELOT_SEED=5 CAMELOT_PROTOCOL=2pc-int CAMELOT_SCHEDULE='x'");
+}
+
+TEST(ReplayRecipeTest, WithHistoryAppendsQuotedPath) {
+  EXPECT_EQ(WithHistory("CAMELOT_SEED=1 CAMELOT_PROTOCOL=2pc", "/tmp/run.history"),
+            "CAMELOT_SEED=1 CAMELOT_PROTOCOL=2pc CAMELOT_HISTORY='/tmp/run.history'");
+}
+
+TEST(HistoryArtifactTest, DumpAndLoadRoundTrip) {
+  HistoryRecorder recorder;
+  recorder.set_enabled(true);
+  recorder.Record(HistoryEvent{HistoryOp::kInit, 0, 0, kInvalidTid, "vault", "obj",
+                               Bytes{1, 2, 3}});
+  recorder.Record(HistoryEvent{HistoryOp::kWrite, 10, 1, Tid{FamilyId{0, 1}, 0, 0}, "vault",
+                               "obj", Bytes{4, 5}});
+  recorder.Record(HistoryEvent{HistoryOp::kCommit, 20, 1, Tid{FamilyId{0, 1}, 0, 0},
+                               std::string(), std::string(), Bytes()});
+
+  // Dump under a scratch artifact dir; the label is sanitized.
+  std::string dir = ::testing::TempDir();
+  setenv("CAMELOT_ARTIFACT_DIR", dir.c_str(), 1);
+  auto path = DumpHistoryArtifact(recorder, "round trip/#1");
+  unsetenv("CAMELOT_ARTIFACT_DIR");
+  ASSERT_TRUE(path.ok()) << path.status().message();
+  EXPECT_EQ(path->find(dir), 0u) << *path;
+  EXPECT_EQ(path->find(' '), std::string::npos) << *path;
+
+  auto loaded = LoadHistoryFile(*path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  ASSERT_EQ(loaded->size(), recorder.events().size());
+  for (size_t i = 0; i < loaded->size(); ++i) {
+    EXPECT_EQ((*loaded)[i], recorder.events()[i]) << "event " << i;
+  }
+  std::remove(path->c_str());
+}
+
+TEST(HistoryArtifactTest, LoadRejectsMissingFile) {
+  EXPECT_FALSE(LoadHistoryFile("/nonexistent/never.history").ok());
 }
 
 }  // namespace

@@ -2,12 +2,19 @@
 // strict two-phase locking must make the outcome equal to SOME serial
 // execution — with S2PL (locks held to the commit point), replaying the
 // committed transactions in commit order must reproduce the final state.
+//
+// The recording and replay machinery lives in the shared harness now:
+// World's HistoryRecorder captures every served read/write and outcome
+// transition, and IsolationOracle::Check performs the commit-order serial
+// replay (src/harness/isolation_oracle.h). This test drives a random
+// read-modify-write workload over it and additionally checks the live
+// system's final state against the oracle's replayed model.
 #include <gtest/gtest.h>
 
-#include <map>
 #include <string>
 #include <vector>
 
+#include "src/harness/isolation_oracle.h"
 #include "src/harness/world.h"
 
 namespace camelot {
@@ -25,22 +32,9 @@ WorldConfig Config(int sites, uint64_t seed) {
 
 std::string Srv(int i) { return "server:" + std::to_string(i); }
 
-// What one committed transaction did, in execution order.
-struct TxnTrace {
-  SimTime commit_point = 0;
-  // (site, object) -> value read before writing; and the value written.
-  struct Op {
-    int site;
-    std::string object;
-    int64_t read_value;
-    int64_t written_value;
-  };
-  std::vector<Op> ops;
-};
-
 // One client: runs `count` read-modify-write transactions over random objects.
 Async<void> Client(World& world, int id, int count, int sites, int objects_per_site,
-                   std::vector<TxnTrace>* committed, int* aborted) {
+                   int* committed, int* aborted) {
   AppClient app(world.site(0));
   Rng rng(static_cast<uint64_t>(id) * 7919 + 13);
   for (int t = 0; t < count; ++t) {
@@ -49,7 +43,6 @@ Async<void> Client(World& world, int id, int count, int sites, int objects_per_s
       co_return;
     }
     const Tid tid = *begin;
-    TxnTrace trace;
     bool failed = false;
     const int n_ops = 1 + static_cast<int>(rng.NextBounded(3));
     for (int k = 0; k < n_ops && !failed; ++k) {
@@ -67,7 +60,6 @@ Async<void> Client(World& world, int id, int count, int sites, int objects_per_s
         failed = true;
         break;
       }
-      trace.ops.push_back(TxnTrace::Op{site, object, *value, next});
     }
     if (failed) {
       co_await app.Abort(tid);
@@ -76,8 +68,7 @@ Async<void> Client(World& world, int id, int count, int sites, int objects_per_s
     }
     Status st = co_await app.Commit(tid);
     if (st.ok()) {
-      trace.commit_point = world.sched().now();
-      committed->push_back(std::move(trace));
+      ++*committed;
     } else {
       ++*aborted;
     }
@@ -92,37 +83,29 @@ TEST_P(SerializabilitySweep, CommittedHistoryEqualsSerialReplay) {
   const int kObjects = 3;
   const int kClients = 4;
   World world(Config(kSites, seed));
+  world.history().set_enabled(true);  // Before setup: kInit seeds the model.
   for (int i = 0; i < kSites; ++i) {
     DataServer* server = world.AddServer(i, Srv(i));
     for (int o = 0; o < kObjects; ++o) {
       server->CreateObjectForSetup("obj" + std::to_string(o), EncodeInt64(0));
     }
   }
-  std::vector<TxnTrace> committed;
+  int committed = 0;
   int aborted = 0;
   for (int c = 0; c < kClients; ++c) {
     world.sched().Spawn(Client(world, c, 5, kSites, kObjects, &committed, &aborted));
   }
   world.RunUntilIdle();
-  ASSERT_GT(committed.size(), 0u);
+  ASSERT_GT(committed, 0);
 
-  // Replay the committed transactions in commit-point order against a model.
-  std::sort(committed.begin(), committed.end(),
-            [](const TxnTrace& a, const TxnTrace& b) { return a.commit_point < b.commit_point; });
-  std::map<std::pair<int, std::string>, int64_t> model;
-  for (const auto& txn : committed) {
-    for (const auto& op : txn.ops) {
-      auto key = std::make_pair(op.site, op.object);
-      const int64_t current = model.count(key) ? model[key] : 0;
-      // Strict 2PL: the value each committed op read must be the model value
-      // at its transaction's serialization point.
-      EXPECT_EQ(op.read_value, current)
-          << "seed " << seed << " non-serializable read of " << op.object << "@site"
-          << op.site;
-      model[key] = op.written_value;
-    }
-  }
-  // The live system's final state must equal the serial replay.
+  // The recorded history must replay serializably in commit order: every
+  // committed read equals the model, no anomaly of any name.
+  IsolationReport report = IsolationOracle::Check(world.history().events());
+  EXPECT_TRUE(report.ok()) << "seed " << seed << "\n" << report.Explain();
+  EXPECT_EQ(report.committed, static_cast<size_t>(committed)) << "seed " << seed;
+  EXPECT_GT(report.reads_checked, 0u) << "seed " << seed;
+
+  // The live system's final state must equal the serial replay's.
   AppClient reader(world.site(0));
   for (int i = 0; i < kSites; ++i) {
     for (int o = 0; o < kObjects; ++o) {
@@ -134,12 +117,12 @@ TEST_P(SerializabilitySweep, CommittedHistoryEqualsSerialReplay) {
         co_await app.Commit(*begin);
         co_return v.value_or(-1);
       }(reader, Srv(i), object));
-      auto key = std::make_pair(i, object);
-      const int64_t expected = model.count(key) ? model[key] : 0;
-      EXPECT_EQ(final_value.value_or(-1), expected)
+      ASSERT_TRUE(final_value.has_value());
+      EXPECT_TRUE(report.CheckFinalValue(Srv(i), object, EncodeInt64(*final_value)))
           << "seed " << seed << " divergent final state of " << object << "@site" << i;
     }
   }
+  EXPECT_TRUE(report.ok()) << "seed " << seed << "\n" << report.Explain();
   // No lock or transaction leaks either.
   for (int i = 0; i < kSites; ++i) {
     EXPECT_EQ(world.site(i).server(Srv(i))->locks().held_lock_count(), 0u) << "site " << i;
