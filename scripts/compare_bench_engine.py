@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Gate engine-bench results against the committed baseline.
+
+Usage: compare_bench_engine.py BASELINE.json CURRENT.json [--threshold=0.25]
+
+Both files are single-line JSON objects written by `bench_engine --json=PATH`.
+Two kinds of gate:
+
+  1. Normalized throughput. Raw events/sec numbers move with the host, so each
+     throughput metric is divided by that run's calibration_iters_per_sec (a
+     pure-CPU xorshift spin measured in the same process) before comparing.
+     A normalized drop of more than --threshold (default 25%) fails.
+
+  2. Ladder-vs-heap speedup floors. The ratio of the production ladder queue
+     to the preserved legacy binary heap is host-independent by construction
+     (same process, same machine, same workload). The floors are set well
+     below the committed trajectory so only a real engine regression — not
+     bench noise — trips them.
+
+CI runs this in the perf-smoke job against `bench_engine --quick`. To land a
+change that legitimately shifts the baseline (an intentional trade-off, or a
+workload change in bench_engine itself), apply the `perf-baseline-reset` label
+to the PR — the job is skipped — and commit a refreshed BENCH_engine.json from
+a full (non-quick) run; see EXPERIMENTS.md.
+"""
+
+import json
+import sys
+
+# Metrics gated after normalizing by calibration_iters_per_sec.
+NORMALIZED_METRICS = [
+    "post_drain_ladder_eps",
+    "timer_churn_ladder_eps",
+    "pingpong_rounds_per_sec",
+    "channel_storm_sends_per_sec",
+    "world_commits_per_host_sec",
+]
+
+# (numerator, denominator, floor): machine-independent speedup gates.
+RATIO_FLOORS = [
+    ("post_drain_ladder_eps", "post_drain_heap_eps", 4.0),
+    ("timer_churn_ladder_eps", "timer_churn_heap_eps", 4.0),
+]
+
+
+def load(path):
+    with open(path) as f:
+        data = json.loads(f.read())
+    calib = data.get("calibration_iters_per_sec", 0.0)
+    if calib <= 0:
+        sys.exit(f"{path}: missing or zero calibration_iters_per_sec")
+    return data
+
+
+def main(argv):
+    threshold = 0.25
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        sys.exit(__doc__)
+    base, cur = load(paths[0]), load(paths[1])
+
+    failures = []
+    print(f"{'metric':<34} {'base/calib':>12} {'cur/calib':>12} {'delta':>8}")
+    for name in NORMALIZED_METRICS:
+        if name not in base or name not in cur:
+            failures.append(f"{name}: missing from one of the files")
+            continue
+        b = base[name] / base["calibration_iters_per_sec"]
+        c = cur[name] / cur["calibration_iters_per_sec"]
+        delta = (c - b) / b
+        flag = ""
+        if delta < -threshold:
+            failures.append(
+                f"{name}: normalized throughput fell {-delta:.1%} "
+                f"(limit {threshold:.0%})")
+            flag = "  <-- FAIL"
+        print(f"{name:<34} {b * 1e6:>12.3f} {c * 1e6:>12.3f} {delta:>+7.1%}{flag}")
+
+    for num, den, floor in RATIO_FLOORS:
+        if num not in cur or den not in cur or cur[den] <= 0:
+            failures.append(f"{num}/{den}: missing from current run")
+            continue
+        ratio = cur[num] / cur[den]
+        flag = ""
+        if ratio < floor:
+            failures.append(f"{num}/{den}: speedup {ratio:.2f}x below floor {floor}x")
+            flag = "  <-- FAIL"
+        print(f"{num + '/' + den:<34} {'':>12} {f'{ratio:.2f}x':>12} {'>=' + str(floor):>8}{flag}")
+
+    if failures:
+        print("\nperf gate FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        print("\nIf this shift is intentional, label the PR `perf-baseline-reset`")
+        print("and refresh BENCH_engine.json from a full run (see EXPERIMENTS.md).")
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -5,10 +5,12 @@ namespace camelot {
 namespace {
 
 // Precomputed CRC32C table (Castagnoli, reflected polynomial 0x82f63b78).
-const uint32_t* CrcTable() {
-  static uint32_t table[256];
-  static bool initialized = false;
-  if (!initialized) {
+// Built inside a magic-static constructor so concurrent first use from
+// parallel explorer sweeps is race-free (the old hand-rolled
+// `static bool initialized` lazy init was not).
+struct CrcTableHolder {
+  uint32_t table[256];
+  CrcTableHolder() {
     for (uint32_t i = 0; i < 256; ++i) {
       uint32_t crc = i;
       for (int k = 0; k < 8; ++k) {
@@ -16,9 +18,12 @@ const uint32_t* CrcTable() {
       }
       table[i] = crc;
     }
-    initialized = true;
   }
-  return table;
+};
+
+const uint32_t* CrcTable() {
+  static const CrcTableHolder holder;
+  return holder.table;
 }
 
 }  // namespace

@@ -1,0 +1,143 @@
+// SharedBytes: an immutable, reference-counted Bytes buffer for the message
+// hot path. Fan-out (multicast, SendToAll), RPC retransmits, and
+// duplicate-suppression replies used to copy the full wire body per send;
+// SharedBytes makes every copy a refcount bump on one shared buffer.
+//
+// The control node comes from a per-thread free list, so the steady-state
+// share/release cycle performs no heap allocation. The refcount is
+// deliberately NON-atomic: a buffer is only ever shared within one World, and
+// each World (scheduler, network, sites) is confined to a single host thread —
+// parallel explorer sweeps give every schedule its own World on its own
+// thread. Nodes are always released to the releasing thread's free list, so
+// the lists themselves are single-threaded too.
+//
+// `operator const Bytes&` lets existing call sites (ByteReader, Decode*)
+// consume a SharedBytes wherever they took a `const Bytes&`.
+#ifndef SRC_BASE_SHARED_BYTES_H_
+#define SRC_BASE_SHARED_BYTES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <utility>
+
+#include "src/base/codec.h"
+
+namespace camelot {
+
+class SharedBytes {
+ public:
+  SharedBytes() = default;
+
+  // Implicit by design: every Bytes-producing call site (ByteWriter::Take,
+  // encoded wires) flows into the shared representation unchanged.
+  SharedBytes(Bytes data) : node_(Acquire(std::move(data))) {}  // NOLINT(google-explicit-constructor)
+
+  SharedBytes(std::initializer_list<uint8_t> il) : SharedBytes(Bytes(il)) {}
+
+  SharedBytes(const SharedBytes& other) : node_(other.node_) {
+    if (node_ != nullptr) {
+      ++node_->refs;
+    }
+  }
+
+  SharedBytes(SharedBytes&& other) noexcept : node_(other.node_) { other.node_ = nullptr; }
+
+  SharedBytes& operator=(const SharedBytes& other) {
+    if (this != &other) {
+      Release();
+      node_ = other.node_;
+      if (node_ != nullptr) {
+        ++node_->refs;
+      }
+    }
+    return *this;
+  }
+
+  SharedBytes& operator=(SharedBytes&& other) noexcept {
+    if (this != &other) {
+      Release();
+      node_ = other.node_;
+      other.node_ = nullptr;
+    }
+    return *this;
+  }
+
+  ~SharedBytes() { Release(); }
+
+  operator const Bytes&() const {  // NOLINT(google-explicit-constructor)
+    return node_ != nullptr ? node_->data : EmptyBytes();
+  }
+  const Bytes& bytes() const { return *this; }
+
+  size_t size() const { return node_ != nullptr ? node_->data.size() : 0; }
+  bool empty() const { return size() == 0; }
+  uint8_t operator[](size_t i) const { return bytes()[i]; }
+
+  // How many SharedBytes currently share this buffer (0 for the empty value);
+  // test/bench observability for the zero-copy paths.
+  uint32_t use_count() const { return node_ != nullptr ? node_->refs : 0; }
+
+ private:
+  struct Node {
+    Bytes data;
+    uint32_t refs = 1;
+    Node* next_free = nullptr;
+  };
+
+  // Wrapped in a struct so thread exit returns the cached nodes to the heap
+  // (the CI leak checker runs with detect_leaks=1).
+  struct FreeList {
+    Node* head = nullptr;
+    ~FreeList() {
+      while (head != nullptr) {
+        Node* next = head->next_free;
+        delete head;
+        head = next;
+      }
+    }
+  };
+
+  static FreeList& Tls() {
+    thread_local FreeList list;
+    return list;
+  }
+
+  static const Bytes& EmptyBytes() {
+    static const Bytes empty;
+    return empty;
+  }
+
+  static Node* Acquire(Bytes data) {
+    FreeList& list = Tls();
+    Node* node = list.head;
+    if (node != nullptr) {
+      list.head = node->next_free;
+      node->refs = 1;
+      node->next_free = nullptr;
+    } else {
+      node = new Node;
+    }
+    node->data = std::move(data);
+    return node;
+  }
+
+  void Release() {
+    if (node_ == nullptr) {
+      return;
+    }
+    if (--node_->refs == 0) {
+      node_->data = Bytes{};  // Drop the payload now; pool only the node shell.
+      FreeList& list = Tls();
+      node_->next_free = list.head;
+      list.head = node_;
+    }
+    node_ = nullptr;
+  }
+
+  Node* node_ = nullptr;
+};
+
+}  // namespace camelot
+
+#endif  // SRC_BASE_SHARED_BYTES_H_

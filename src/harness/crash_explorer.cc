@@ -9,6 +9,7 @@
 #include "src/analysis/static_analysis.h"
 #include "src/harness/isolation_oracle.h"
 #include "src/harness/oracle.h"
+#include "src/harness/parallel.h"
 #include "src/harness/replay.h"
 
 namespace camelot {
@@ -164,7 +165,7 @@ RunResult CrashExplorer::Run(const CrashSchedule& schedule, bool record) {
   bool quiesced = all_up;
   if (all_up) {
     constexpr size_t kMaxEvents = 2u * 1000 * 1000;
-    if (world.sched().RunUntilIdle(kMaxEvents) >= kMaxEvents) {
+    if (!world.sched().RunUntilIdle(kMaxEvents).drained) {
       quiesced = false;
       Violate(&out, "world did not quiesce within " + std::to_string(kMaxEvents) + " events");
     }
@@ -269,31 +270,43 @@ RunResult CrashExplorer::Run(const CrashSchedule& schedule, bool record) {
   return out;
 }
 
+void CrashExplorer::RunSchedules(const std::vector<CrashSchedule>& schedules,
+                                 std::vector<SweepFailure>* failures) {
+  // Each schedule builds its own World, so runs are independent and
+  // bit-identical at any thread count; merging in schedule order keeps the
+  // failure list (and every replay recipe in it) byte-identical too.
+  std::vector<RunResult> results(schedules.size());
+  ParallelFor(ResolveSweepThreads(config_.sweep_threads), schedules.size(),
+              [&](size_t i) { results[i] = Run(schedules[i]); });
+  for (size_t i = 0; i < schedules.size(); ++i) {
+    if (!results[i].ok) {
+      failures->push_back({schedules[i], std::move(results[i])});
+    }
+  }
+}
+
 std::vector<SweepFailure> CrashExplorer::ExhaustiveSingleCrashSweep(uint64_t max_hits_per_point,
                                                                     int* runs) {
   std::vector<SweepFailure> failures;
-  int count = 0;
   // The fault-free discovery run is itself gated (conformance + oracle); a
   // violation there means every sweep result would be noise.
   RunResult discovery = Run(CrashSchedule{}, /*record=*/true);
   if (!discovery.ok) {
     failures.push_back({CrashSchedule{}, discovery});
   }
+  std::vector<CrashSchedule> schedules;
   for (const DiscoveredPoint& dp : discovery.discovered) {
     const uint64_t cap =
         max_hits_per_point == 0 ? dp.hits : std::min(dp.hits, max_hits_per_point);
     for (uint64_t hit = 1; hit <= cap; ++hit) {
       CrashSchedule schedule;
       schedule.entries.push_back({dp.point, dp.site, hit, FailpointAction::kCrash, 0});
-      RunResult result = Run(schedule);
-      ++count;
-      if (!result.ok) {
-        failures.push_back({std::move(schedule), std::move(result)});
-      }
+      schedules.push_back(std::move(schedule));
     }
   }
+  RunSchedules(schedules, &failures);
   if (runs != nullptr) {
-    *runs = count;
+    *runs = static_cast<int>(schedules.size());
   }
   return failures;
 }
@@ -303,10 +316,10 @@ std::vector<SweepFailure> CrashExplorer::RecoverySweep(const ScheduleEntry& base
   CrashSchedule base_only;
   base_only.entries.push_back(base);
   RunResult recorded = Run(base_only, /*record=*/true);
-  int count = 1;
   if (!recorded.ok) {
     failures.push_back({base_only, recorded});
   }
+  std::vector<CrashSchedule> schedules;
   for (const DiscoveredPoint& dp : recorded.discovered) {
     if (dp.point.rfind("recovery.", 0) != 0) {
       continue;
@@ -314,14 +327,11 @@ std::vector<SweepFailure> CrashExplorer::RecoverySweep(const ScheduleEntry& base
     CrashSchedule schedule;
     schedule.entries.push_back(base);
     schedule.entries.push_back({dp.point, dp.site, 1, FailpointAction::kCrash, 0});
-    RunResult result = Run(schedule);
-    ++count;
-    if (!result.ok) {
-      failures.push_back({std::move(schedule), std::move(result)});
-    }
+    schedules.push_back(std::move(schedule));
   }
+  RunSchedules(schedules, &failures);
   if (runs != nullptr) {
-    *runs = count;
+    *runs = 1 + static_cast<int>(schedules.size());
   }
   return failures;
 }
@@ -340,8 +350,12 @@ std::vector<SweepFailure> CrashExplorer::RandomSweep(uint64_t rng_seed, int roun
     }
     return failures;
   }
+  // Schedule generation draws from the sweep Rng in round order; runs consume
+  // no sweep randomness, so pre-generating all schedules and fanning the runs
+  // out yields the exact draw sequence (and schedules) of the old serial
+  // interleaved loop.
   Rng rng(rng_seed);
-  int count = 0;
+  std::vector<CrashSchedule> schedules;
   for (int round = 0; round < rounds; ++round) {
     const int faults = 1 + static_cast<int>(rng.NextBounded(
                                static_cast<uint64_t>(std::max(1, max_faults))));
@@ -374,14 +388,11 @@ std::vector<SweepFailure> CrashExplorer::RandomSweep(uint64_t rng_seed, int roun
       }
       schedule.entries.push_back(std::move(e));
     }
-    RunResult result = Run(schedule);
-    ++count;
-    if (!result.ok) {
-      failures.push_back({std::move(schedule), std::move(result)});
-    }
+    schedules.push_back(std::move(schedule));
   }
+  RunSchedules(schedules, &failures);
   if (runs != nullptr) {
-    *runs = count;
+    *runs = static_cast<int>(schedules.size());
   }
   return failures;
 }

@@ -69,6 +69,10 @@ struct ExplorerConfig {
   SimDuration workload_window = Sec(6);
   SimDuration heal_window = Sec(3);
   int max_restart_attempts = 4;  // A schedule may crash recovery itself.
+  // Host threads for the sweep fan-out (each schedule is an independent
+  // World, so runs are bit-identical at any thread count and failures are
+  // merged in schedule order). 0 = CAMELOT_SWEEP_THREADS / host default.
+  int sweep_threads = 0;
 };
 
 struct RunResult {
@@ -119,6 +123,11 @@ class CrashExplorer {
   std::string ReplayPrefix() const;
 
  private:
+  // Fan the schedules across the sweep thread pool, appending the failing
+  // runs to `failures` in schedule order.
+  void RunSchedules(const std::vector<CrashSchedule>& schedules,
+                    std::vector<SweepFailure>* failures);
+
   ExplorerConfig config_;
 };
 

@@ -8,6 +8,7 @@
 #include "src/base/logging.h"
 #include "src/harness/isolation_oracle.h"
 #include "src/harness/oracle.h"
+#include "src/harness/parallel.h"
 #include "src/harness/replay.h"
 
 namespace camelot {
@@ -179,7 +180,7 @@ PartitionRunResult PartitionExplorer::Run(const NemesisScript& script) {
   // Drain: bounded, so a livelocked run fails loudly instead of hanging.
   bool quiesced = true;
   constexpr size_t kMaxEvents = 2u * 1000 * 1000;
-  if (world.sched().RunUntilIdle(kMaxEvents) >= kMaxEvents) {
+  if (!world.sched().RunUntilIdle(kMaxEvents).drained) {
     quiesced = false;
     Violate(&out, "world did not quiesce within " + std::to_string(kMaxEvents) + " events");
   }
@@ -268,6 +269,25 @@ PartitionRunResult PartitionExplorer::Run(const NemesisScript& script) {
   return out;
 }
 
+void PartitionExplorer::RunScripts(const std::vector<SweepCandidate>& candidates,
+                                   std::vector<PartitionSweepFailure>* failures) {
+  // Each script runs in its own World, so runs are independent and
+  // bit-identical at any thread count; merging in candidate order keeps the
+  // failure list (and every replay recipe in it) byte-identical too.
+  std::vector<PartitionRunResult> results(candidates.size());
+  ParallelFor(ResolveSweepThreads(config_.sweep_threads), candidates.size(),
+              [&](size_t i) { results[i] = Run(candidates[i].script); });
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (!results[i].ok) {
+      PartitionSweepFailure f;
+      f.label = candidates[i].label;
+      f.script = candidates[i].script;
+      f.result = std::move(results[i]);
+      failures->push_back(std::move(f));
+    }
+  }
+}
+
 std::vector<PartitionSweepFailure> PartitionExplorer::ExhaustiveSinglePartitionSweep(int* runs) {
   // Every 2-way split of the 3-site world plus total isolation. "" means
   // "partition:" with no groups — every site isolated.
@@ -304,23 +324,21 @@ std::vector<PartitionSweepFailure> PartitionExplorer::ExhaustiveSinglePartitionS
       failures.push_back(std::move(f));
     }
   }
+  std::vector<SweepCandidate> candidates;
   for (const std::string& split : kSplits) {
     for (const Phase& phase : kPhases) {
       const std::string text = phase.when + "=partition:" + split + ";+4000000=heal";
       Result<NemesisScript> script = NemesisScript::Parse(text);
       CAMELOT_CHECK(script.ok());
-      PartitionRunResult result = Run(*script);
-      ++count;
-      if (!result.ok) {
-        PartitionSweepFailure f;
-        f.label = ProtocolName(config_.Options()) + "/" + phase.name + "/split{" +
-                  (split.empty() ? "isolate-all" : split) + "}";
-        f.script = std::move(*script);
-        f.result = std::move(result);
-        failures.push_back(std::move(f));
-      }
+      SweepCandidate c;
+      c.label = ProtocolName(config_.Options()) + "/" + phase.name + "/split{" +
+                (split.empty() ? "isolate-all" : split) + "}";
+      c.script = std::move(*script);
+      candidates.push_back(std::move(c));
     }
   }
+  RunScripts(candidates, &failures);
+  count += static_cast<int>(candidates.size());
   if (runs != nullptr) {
     *runs = count;
   }
@@ -331,8 +349,12 @@ std::vector<PartitionSweepFailure> PartitionExplorer::RandomNemesisSweep(uint64_
                                                                          int rounds, int* runs) {
   const std::vector<std::string> kSplits = {"0|1,2", "1|0,2", "2|0,1", ""};
   std::vector<PartitionSweepFailure> failures;
+  // Script generation draws from the sweep Rng in round order; runs consume
+  // no sweep randomness, so pre-generating all scripts and fanning the runs
+  // out yields the exact draw sequence (and scripts) of the old serial
+  // interleaved loop.
   Rng rng(rng_seed);
-  int count = 0;
+  std::vector<SweepCandidate> candidates;
   for (int round = 0; round < rounds; ++round) {
     // 1..3 fault episodes, each an install at a random virtual time undone a
     // random 0.5-4 s later. All episode times land inside the workload
@@ -374,18 +396,14 @@ std::vector<PartitionSweepFailure> PartitionExplorer::RandomNemesisSweep(uint64_
     }
     Result<NemesisScript> script = NemesisScript::Parse(text);
     CAMELOT_CHECK(script.ok());
-    PartitionRunResult result = Run(*script);
-    ++count;
-    if (!result.ok) {
-      PartitionSweepFailure f;
-      f.label = "random#" + std::to_string(round);
-      f.script = std::move(*script);
-      f.result = std::move(result);
-      failures.push_back(std::move(f));
-    }
+    SweepCandidate c;
+    c.label = "random#" + std::to_string(round);
+    c.script = std::move(*script);
+    candidates.push_back(std::move(c));
   }
+  RunScripts(candidates, &failures);
   if (runs != nullptr) {
-    *runs = count;
+    *runs = static_cast<int>(candidates.size());
   }
   return failures;
 }

@@ -61,6 +61,10 @@ struct PartitionExplorerConfig {
   // liveness check.
   SimDuration workload_window = Sec(20);
   SimDuration resolve_window = Sec(20);
+  // Host threads for the sweep fan-out (each script runs in an independent
+  // World, so runs are bit-identical at any thread count and failures are
+  // merged in script order). 0 = CAMELOT_SWEEP_THREADS / host default.
+  int sweep_threads = 0;
 };
 
 // Per-site availability evidence gathered across every fault window.
@@ -117,6 +121,16 @@ class PartitionExplorer {
   std::string ReplayPrefix() const;
 
  private:
+  struct SweepCandidate {
+    std::string label;
+    NemesisScript script;
+  };
+
+  // Fan the candidate scripts across the sweep thread pool, appending the
+  // failing runs to `failures` in candidate order.
+  void RunScripts(const std::vector<SweepCandidate>& candidates,
+                  std::vector<PartitionSweepFailure>* failures);
+
   PartitionExplorerConfig config_;
 };
 

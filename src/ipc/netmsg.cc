@@ -120,13 +120,14 @@ Async<RpcResult> NetMsgServer::Call(SiteId dst, const std::string& service, uint
 
   const uint64_t rpc_id = (static_cast<uint64_t>(site_.id().value) << 40) | next_rpc_id_++;
   RequestWire req{rpc_id, site_.id(), service, method, via_comman, ctx.tid, std::move(body)};
-  const Bytes wire = EncodeRequest(req);
+  // Encoded once; every retransmit below resends the same shared buffer.
+  const SharedBytes wire = EncodeRequest(req);
 
-  auto reply = std::make_shared<Channel<Bytes>>(site_.sched());
+  auto reply = std::make_shared<Channel<SharedBytes>>(site_.sched());
   pending_[rpc_id] = PendingCall{reply};
 
   const SimTime deadline = site_.sched().now() + ipc.rpc_timeout;
-  std::optional<Bytes> raw;
+  std::optional<SharedBytes> raw;
   while (true) {
     if (!site_.up() || site_.incarnation() != inc) {
       pending_.erase(rpc_id);
@@ -197,7 +198,7 @@ void NetMsgServer::OnDatagram(Datagram dg) {
   }
 }
 
-void NetMsgServer::HandleRequest(Bytes wire) {
+void NetMsgServer::HandleRequest(SharedBytes wire) {
   RequestWire req;
   if (!DecodeRequest(wire, &req)) {
     return;
@@ -254,17 +255,18 @@ Async<void> NetMsgServer::RunRequest(uint64_t rpc_id, SiteId caller, std::string
   ResponseWire resp{rpc_id, static_cast<uint32_t>(result.status.code()), result.status.message(),
                     handler_us, tid, site_.id(), site_.incarnation(), std::move(piggyback),
                     std::move(result.body)};
-  Bytes resp_wire = EncodeResponse(resp);
+  // One shared buffer backs the cache entry and the outgoing datagram.
+  SharedBytes resp_wire = EncodeResponse(resp);
   in_progress_.erase(rpc_id);
   CacheResponse(rpc_id, resp_wire);
-  SendResponse(caller, resp_wire);
+  SendResponse(caller, std::move(resp_wire));
 }
 
-void NetMsgServer::SendResponse(SiteId dst, const Bytes& wire) {
-  net_.Send(Datagram{site_.id(), dst, kNetMsgService, kResponseType, wire});
+void NetMsgServer::SendResponse(SiteId dst, SharedBytes wire) {
+  net_.Send(Datagram{site_.id(), dst, kNetMsgService, kResponseType, std::move(wire)});
 }
 
-void NetMsgServer::CacheResponse(uint64_t rpc_id, Bytes wire) {
+void NetMsgServer::CacheResponse(uint64_t rpc_id, SharedBytes wire) {
   served_[rpc_id] = std::move(wire);
   served_order_.push_back(rpc_id);
   while (served_order_.size() > kServedCacheLimit) {
@@ -273,7 +275,7 @@ void NetMsgServer::CacheResponse(uint64_t rpc_id, Bytes wire) {
   }
 }
 
-void NetMsgServer::HandleResponse(Bytes wire) {
+void NetMsgServer::HandleResponse(SharedBytes wire) {
   ByteReader r(wire);
   const uint64_t rpc_id = r.U64();
   if (!r.ok()) {

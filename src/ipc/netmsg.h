@@ -54,23 +54,25 @@ class NetMsgServer {
 
  private:
   struct PendingCall {
-    std::shared_ptr<Channel<Bytes>> reply;  // Raw response wire bytes.
+    std::shared_ptr<Channel<SharedBytes>> reply;  // Raw response wire bytes.
   };
 
   void OnDatagram(Datagram dg);
-  void HandleRequest(Bytes wire);
-  void HandleResponse(Bytes wire);
+  void HandleRequest(SharedBytes wire);
+  void HandleResponse(SharedBytes wire);
   Async<void> RunRequest(uint64_t rpc_id, SiteId caller, std::string service, uint32_t method,
                          bool via_comman, Tid tid, Bytes body);
-  void SendResponse(SiteId dst, const Bytes& wire);
-  void CacheResponse(uint64_t rpc_id, Bytes wire);
+  void SendResponse(SiteId dst, SharedBytes wire);
+  void CacheResponse(uint64_t rpc_id, SharedBytes wire);
 
   Site& site_;
   Network& net_;
   uint64_t next_rpc_id_ = 1;
   std::unordered_map<uint64_t, PendingCall> pending_;
   // Duplicate suppression: rpc_id -> cached response wire (bounded FIFO).
-  std::unordered_map<uint64_t, Bytes> served_;
+  // Shared buffers: re-serving a duplicate resends the cached wire without
+  // copying it.
+  std::unordered_map<uint64_t, SharedBytes> served_;
   std::deque<uint64_t> served_order_;
   std::unordered_map<uint64_t, bool> in_progress_;
   std::function<Bytes(const Tid&)> response_decorator_;

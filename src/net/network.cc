@@ -125,7 +125,7 @@ void Network::Send(Datagram dg) {
 }
 
 void Network::Multicast(SiteId src, const std::vector<SiteId>& dsts, ServiceId service,
-                        uint32_t type, const Bytes& body) {
+                        uint32_t type, SharedBytes body) {
   auto it = sites_.find(src);
   CAMELOT_CHECK(it != sites_.end());
   SiteState& sender = it->second;
@@ -163,9 +163,9 @@ void Network::Multicast(SiteId src, const std::vector<SiteId>& dsts, ServiceId s
 }
 
 void Network::SendToAll(SiteId src, const std::vector<SiteId>& dsts, ServiceId service,
-                        uint32_t type, const Bytes& body) {
+                        uint32_t type, SharedBytes body) {
   if (use_multicast_ && dsts.size() > 1) {
-    Multicast(src, dsts, service, type, body);
+    Multicast(src, dsts, service, type, std::move(body));
     return;
   }
   for (SiteId dst : dsts) {
@@ -173,7 +173,7 @@ void Network::SendToAll(SiteId src, const std::vector<SiteId>& dsts, ServiceId s
   }
 }
 
-void Network::Broadcast(SiteId src, ServiceId service, uint32_t type, const Bytes& body) {
+void Network::Broadcast(SiteId src, ServiceId service, uint32_t type, SharedBytes body) {
   std::vector<SiteId> dsts;
   for (const auto& [id, state] : sites_) {
     if (id != src) {
@@ -181,7 +181,7 @@ void Network::Broadcast(SiteId src, ServiceId service, uint32_t type, const Byte
     }
   }
   std::sort(dsts.begin(), dsts.end());
-  SendToAll(src, dsts, service, type, body);
+  SendToAll(src, dsts, service, type, std::move(body));
 }
 
 void Network::CrashSite(SiteId site) {

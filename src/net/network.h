@@ -28,6 +28,7 @@
 
 #include "src/base/codec.h"
 #include "src/base/rng.h"
+#include "src/base/shared_bytes.h"
 #include "src/base/status.h"
 #include "src/base/types.h"
 #include "src/sim/scheduler.h"
@@ -46,7 +47,9 @@ struct Datagram {
   SiteId dst;
   ServiceId service = 0;
   uint32_t type = 0;  // Protocol-defined message type.
-  Bytes body;
+  // Shared so fan-out, retransmits, and duplicates are refcount bumps on one
+  // buffer instead of per-destination copies.
+  SharedBytes body;
 };
 
 struct NetConfig {
@@ -115,9 +118,10 @@ class Network {
   // Fire-and-forget unreliable datagram.
   void Send(Datagram dg);
 
-  // One serialization + one sender jitter draw for the whole group.
+  // One serialization + one sender jitter draw for the whole group. The body
+  // is shared across all destinations (one buffer, N refcount bumps).
   void Multicast(SiteId src, const std::vector<SiteId>& dsts, ServiceId service, uint32_t type,
-                 const Bytes& body);
+                 SharedBytes body);
 
   // If true, Send() to multiple destinations via SendToAll uses Multicast.
   void set_use_multicast(bool v) { use_multicast_ = v; }
@@ -125,10 +129,10 @@ class Network {
 
   // Fan-out honoring the multicast setting (the commit protocols call this).
   void SendToAll(SiteId src, const std::vector<SiteId>& dsts, ServiceId service, uint32_t type,
-                 const Bytes& body);
+                 SharedBytes body);
 
   // Delivery to every registered site except the sender (recovery beacons).
-  void Broadcast(SiteId src, ServiceId service, uint32_t type, const Bytes& body);
+  void Broadcast(SiteId src, ServiceId service, uint32_t type, SharedBytes body);
 
   // --- Failure injection ------------------------------------------------------
   void CrashSite(SiteId site);

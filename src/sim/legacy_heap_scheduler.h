@@ -1,0 +1,95 @@
+// The pre-ladder-queue engine, preserved verbatim (minus the coroutine glue)
+// as an A/B reference: the determinism property test replays identical
+// workloads through this heap and the production ladder queue and asserts the
+// (time, seq) interleavings match event-for-event, and bench_engine reports
+// both engines' events/sec so the committed baseline shows the before/after.
+//
+// Keep this in sync with the Scheduler determinism CONTRACT, not its
+// implementation: time order, FIFO seq tie-break at equal times, PostAt
+// rejects times in the past.
+#ifndef SRC_SIM_LEGACY_HEAP_SCHEDULER_H_
+#define SRC_SIM_LEGACY_HEAP_SCHEDULER_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "src/base/logging.h"
+#include "src/base/types.h"
+
+namespace camelot {
+
+class LegacyHeapScheduler {
+ public:
+  explicit LegacyHeapScheduler(uint64_t /*seed*/ = 1) {}
+
+  LegacyHeapScheduler(const LegacyHeapScheduler&) = delete;
+  LegacyHeapScheduler& operator=(const LegacyHeapScheduler&) = delete;
+
+  SimTime now() const { return now_; }
+
+  void Post(SimDuration delay, std::function<void()> fn) {
+    CAMELOT_CHECK(delay >= 0);
+    PostAt(now_ + delay, std::move(fn));
+  }
+
+  void PostAt(SimTime t, std::function<void()> fn) {
+    CAMELOT_CHECK(t >= now_);
+    queue_.push(Event{t, next_seq_++, std::move(fn)});
+  }
+
+  size_t RunUntilIdle(size_t max_events = SIZE_MAX) {
+    size_t processed = 0;
+    while (!queue_.empty() && processed < max_events) {
+      Event ev = std::move(const_cast<Event&>(queue_.top()));
+      queue_.pop();
+      CAMELOT_CHECK(ev.time >= now_);
+      now_ = ev.time;
+      ev.fn();
+      ++processed;
+    }
+    return processed;
+  }
+
+  size_t RunUntil(SimTime t) {
+    size_t processed = 0;
+    while (!queue_.empty() && queue_.top().time <= t) {
+      Event ev = std::move(const_cast<Event&>(queue_.top()));
+      queue_.pop();
+      now_ = ev.time;
+      ev.fn();
+      ++processed;
+    }
+    if (t > now_) {
+      now_ = t;
+    }
+    return processed;
+  }
+
+  size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
+};
+
+}  // namespace camelot
+
+#endif  // SRC_SIM_LEGACY_HEAP_SCHEDULER_H_

@@ -5,21 +5,46 @@
 // Determinism: events at equal times run in posting order (FIFO tie-break),
 // and all randomness flows from the seed given at construction, so any run is
 // exactly reproducible.
+//
+// The queue is a multi-rung ladder: a ready list for events at the current
+// instant, a bottom rung of one-microsecond slots covering the 1.024ms bucket
+// of virtual time now executing, two rungs of epoch-aligned buckets (1.024ms
+// buckets spanning the current ~1.05s epoch, then 1.05s buckets spanning the
+// current ~18min epoch), and a min-heap for the rare events beyond that. As
+// the clock crosses an epoch or bucket boundary, the bucket it enters is
+// spread one rung down; because SimTime has microsecond resolution, a bottom
+// slot holds only equal-time events, whose FIFO order is exactly
+// ascending-seq order — so steady-state post and pop are O(1) appends and
+// pops, with no comparisons on any rung. Events are EventFn thunks (src/sim/event.h)
+// that store their captures inline or in a per-scheduler slab pool, so the
+// steady-state post/drain path performs no heap allocation. The ordering
+// contract is identical to the old binary heap (see legacy_heap_scheduler.h,
+// kept as the A/B reference): strict (time, seq) order everywhere.
 #ifndef SRC_SIM_SCHEDULER_H_
 #define SRC_SIM_SCHEDULER_H_
 
 #include <coroutine>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "src/base/logging.h"
 #include "src/base/rng.h"
 #include "src/base/types.h"
+#include "src/sim/event.h"
 #include "src/sim/task.h"
 
 namespace camelot {
+
+// Result of a drain call. Converts to the processed count so existing
+// arithmetic call sites keep working; `drained` distinguishes a genuinely
+// empty queue from stopping at the max_events runaway guard.
+struct DrainResult {
+  size_t processed = 0;
+  bool drained = true;
+
+  operator size_t() const { return processed; }  // NOLINT(google-explicit-constructor)
+};
 
 class Scheduler {
  public:
@@ -32,10 +57,17 @@ class Scheduler {
   Rng& rng() { return rng_; }
 
   // Run `fn` after `delay` of virtual time (delay >= 0).
-  void Post(SimDuration delay, std::function<void()> fn);
+  template <typename F>
+  void Post(SimDuration delay, F&& fn) {
+    CAMELOT_CHECK(delay >= 0);
+    PostAt(now_ + delay, std::forward<F>(fn));
+  }
 
   // Run `fn` at absolute virtual time `t` (>= now).
-  void PostAt(SimTime t, std::function<void()> fn);
+  template <typename F>
+  void PostAt(SimTime t, F&& fn) {
+    PushEvent(t, EventFn(std::forward<F>(fn), &pool_));
+  }
 
   // Awaitable: suspend the current coroutine for `delay` of virtual time.
   auto Delay(SimDuration delay) {
@@ -56,21 +88,34 @@ class Scheduler {
   // destroys a suspended coroutine, so dangling-waiter bugs cannot occur).
   void Spawn(Async<void> task);
 
-  // Drain the event queue. Returns the number of events processed. Stops after
-  // max_events as a runaway guard.
-  size_t RunUntilIdle(size_t max_events = SIZE_MAX);
+  // Drain the event queue. Stops after max_events as a runaway guard; the
+  // result's `drained` flag tells the two apart.
+  DrainResult RunUntilIdle(size_t max_events = SIZE_MAX);
 
   // Process events with time <= t, then set now to t. Returns events processed.
   size_t RunUntil(SimTime t);
 
-  size_t pending_events() const { return queue_.size(); }
+  size_t pending_events() const { return size_; }
+
+  // Event-representation observability (allocation-free hot-path tests and
+  // bench_engine): how many posts stored their capture inline vs in the slab
+  // pool, and the pool's own alloc/reuse counters.
+  uint64_t inline_posts() const { return inline_posts_; }
+  uint64_t pooled_posts() const { return pooled_posts_; }
+  const SlabPool& slab_pool() const { return pool_; }
 
  private:
   struct Event {
     SimTime time;
     uint64_t seq;
-    std::function<void()> fn;
+    EventFn fn;
+
+    Event(SimTime t, uint64_t s, EventFn f) : time(t), seq(s), fn(std::move(f)) {}
+    Event(Event&&) noexcept = default;
+    Event& operator=(Event&&) noexcept = default;
   };
+  // Comparator for the overflow min-heap ("a runs after b"), identical to the
+  // old binary-heap engine's.
   struct EventAfter {
     bool operator()(const Event& a, const Event& b) const {
       if (a.time != b.time) {
@@ -79,11 +124,99 @@ class Scheduler {
       return a.seq > b.seq;
     }
   };
+  // A future rung bucket: plain appends in posting order, plus a cached
+  // minimum time so PeekMinTime never has to scan or sort the contents.
+  struct Bucket {
+    std::vector<Event> events;
+    SimTime min_time = 0;
+  };
+
+  // A bottom-rung slot: all events at one exact SimTime, in ascending seq
+  // order (FIFO). Drained front-to-back via `head`.
+  struct Slot {
+    std::vector<Event> events;
+    size_t head = 0;
+  };
+
+  // Every rung has 1024 buckets/slots. Bottom slots are 1us (covering the
+  // current 1.024ms window), rung-1 buckets are 1.024ms (covering the current
+  // ~1.05s epoch), rung-2 buckets are ~1.05s (covering the current ~18min
+  // epoch). Only events more than ~18min out touch the overflow heap —
+  // typical message delays and timeouts never do.
+  static constexpr size_t kBuckets = 1024;
+  static constexpr size_t kBucketMask = kBuckets - 1;
+  static constexpr size_t kBitWords = kBuckets / 64;
+  static constexpr int kShift0 = 10;   // log2(bottom window in us)
+  static constexpr int kShift1 = 20;   // log2(rung-1 epoch)
+  static constexpr int kShift2 = 30;   // log2(rung-2 epoch)
+  static constexpr SimTime kWidth = SimTime{1} << kShift0;
+  static constexpr SimTime kWidthMask = kWidth - 1;
+  static constexpr SimTime kSpan1 = SimTime{1} << kShift1;
+  static constexpr SimTime kSpan2 = SimTime{1} << kShift2;
+
+  // An epoch-aligned rung: bucket i covers [start + (i << shift),
+  // start + ((i + 1) << shift)) of virtual time, where shift is kShift0 for
+  // rung 1 and kShift1 for rung 2. The occupancy bitmap lets scans skip
+  // empty buckets word-at-a-time.
+  struct Rung {
+    std::vector<Bucket> buckets;
+    uint64_t bits[kBitWords] = {};
+    size_t count = 0;
+    SimTime start = 0;
+
+    Rung() : buckets(kBuckets) {}
+  };
+
+  void PushEvent(SimTime t, EventFn fn);
+  void RungAppend(Rung& r, int shift, Event ev);
+  // Place an event into its bottom-rung slot, keeping the slot's ascending
+  // seq order (direct posts append; spread/migrated events may insert).
+  void SlotInsert(Event ev);
+  Event TakeFromSlot(size_t off);
+  Event PopMin();
+  SimTime PeekMinTime() const;
+  bool PopAndRun();
+  // Advance the virtual clock (and the ladder windows) to t.
+  void AdvanceTo(SimTime t);
+  // Make t's bottom window current: advance any epoch the clock crossed
+  // (migrating overflow into rung 2, spreading t's rung-2 bucket into rung 1,
+  // then t's rung-1 bucket into the bottom slots). Each crossed level must
+  // already be drained.
+  void OpenWindow(SimTime t);
+  void MigrateOverflow();
+  void SpreadRung1Bucket(SimTime t);
+  void SpreadRung2Bucket(SimTime t);
+
+  static void SetBit(uint64_t* bits, size_t i) { bits[i >> 6] |= uint64_t{1} << (i & 63); }
+  static void ClearBit(uint64_t* bits, size_t i) {
+    bits[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+  // Next set bit >= from; the caller guarantees one exists.
+  static size_t FindFirstBit(const uint64_t* bits, size_t from);
 
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
+  size_t size_ = 0;
   Rng rng_;
-  std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
+
+  // pool_ must outlive every container of Events below (EventFn destructors
+  // return their blocks to it), so it is declared first.
+  SlabPool pool_;
+
+  std::vector<Event> ready_;  // events at time == now_, FIFO
+  size_t ready_head_ = 0;
+  // Bottom rung: slot off holds events at exactly ring_start_ + off.
+  std::vector<Slot> bottom_;
+  uint64_t bits_[kBitWords] = {};
+  size_t bottom_count_ = 0;
+  size_t bottom_cursor_ = 0;   // all slots before this are empty
+  SimTime ring_start_ = 0;     // bottom window start; aligned, always <= now_
+  Rung rung1_;                 // epoch [rung1_.start, rung1_.start + kSpan1)
+  Rung rung2_;                 // epoch [rung2_.start, rung2_.start + kSpan2)
+  std::vector<Event> overflow_;  // min-heap; times >= rung2_.start + kSpan2
+
+  uint64_t inline_posts_ = 0;
+  uint64_t pooled_posts_ = 0;
 };
 
 }  // namespace camelot

@@ -4,6 +4,7 @@
 
 #include "src/base/codec.h"
 #include "src/base/rng.h"
+#include "src/base/shared_bytes.h"
 
 namespace camelot {
 namespace {
@@ -137,6 +138,60 @@ TEST(CodecTest, RandomizedRoundTripProperty) {
     EXPECT_TRUE(r.ok());
     EXPECT_TRUE(r.AtEnd());
   }
+}
+
+TEST(SharedBytesTest, CopiesShareOneBuffer) {
+  SharedBytes a = Bytes{1, 2, 3};
+  SharedBytes b = a;
+  SharedBytes c = b;
+  EXPECT_EQ(a.use_count(), 3u);
+  // All three alias the same underlying storage.
+  EXPECT_EQ(&a.bytes(), &b.bytes());
+  EXPECT_EQ(&b.bytes(), &c.bytes());
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c[2], 3u);
+}
+
+TEST(SharedBytesTest, MoveStealsWithoutTouchingRefcount) {
+  SharedBytes a = Bytes{9};
+  SharedBytes b = a;
+  SharedBytes c = std::move(a);
+  EXPECT_EQ(b.use_count(), 2u);
+  EXPECT_EQ(c.use_count(), 2u);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move): moved-from is empty.
+}
+
+TEST(SharedBytesTest, DefaultIsEmptyAndReadable) {
+  SharedBytes empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_EQ(empty.use_count(), 0u);
+  // The Bytes view of a null SharedBytes is a valid empty buffer.
+  const Bytes& view = empty;
+  EXPECT_TRUE(view.empty());
+}
+
+TEST(SharedBytesTest, FeedsByteReaderThroughBytesConversion) {
+  ByteWriter w;
+  w.U32(0xfeedf00d);
+  w.Str("shared");
+  const SharedBytes wire = w.Take();
+  ByteReader r(wire);  // operator const Bytes&.
+  EXPECT_EQ(r.U32(), 0xfeedf00du);
+  EXPECT_EQ(r.Str(), "shared");
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(SharedBytesTest, ReassignmentReleasesOldBuffer) {
+  SharedBytes a = Bytes{1};
+  SharedBytes b = a;
+  EXPECT_EQ(a.use_count(), 2u);
+  b = Bytes{2};
+  EXPECT_EQ(a.use_count(), 1u);
+  EXPECT_EQ(b.use_count(), 1u);
+  EXPECT_EQ(b[0], 2u);
+  b = a;
+  EXPECT_EQ(a.use_count(), 2u);
 }
 
 }  // namespace

@@ -78,6 +78,29 @@ TEST(NetworkTest, MulticastSharesOneSerialization) {
   EXPECT_EQ(arrivals[1], arrivals[2]);
 }
 
+TEST(NetworkTest, MulticastSharesOneBodyBuffer) {
+  Rig rig;
+  std::vector<const uint8_t*> payloads;
+  std::vector<size_t> use_counts;
+  for (uint32_t dst = 1; dst <= 3; ++dst) {
+    rig.net.Bind(SiteId{dst}, kTranManService, [&](Datagram dg) {
+      payloads.push_back(dg.body.bytes().data());
+      use_counts.push_back(dg.body.use_count());
+    });
+  }
+  rig.net.Multicast(SiteId{0}, {SiteId{1}, SiteId{2}, SiteId{3}}, kTranManService, 0,
+                    {7, 8, 9});
+  rig.sched.RunUntilIdle();
+  ASSERT_EQ(payloads.size(), 3u);
+  // One serialization, one buffer: every delivery aliases the same storage
+  // instead of carrying a per-destination copy.
+  EXPECT_EQ(payloads[0], payloads[1]);
+  EXPECT_EQ(payloads[1], payloads[2]);
+  for (size_t uc : use_counts) {
+    EXPECT_GE(uc, 1u);
+  }
+}
+
 TEST(NetworkTest, MulticastReducesFanoutVariance) {
   // The paper's Section 4.2 observation: multicasting from coordinator to
   // subordinates substantially reduces the variance of the slowest arrival.

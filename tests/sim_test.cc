@@ -329,6 +329,51 @@ TEST(JoinAllTest, RunsInParallelAndPreservesOrder) {
   EXPECT_EQ(finished, Msec(30));
 }
 
+TEST(EventStorageTest, SmallLambdasStayInline) {
+  Scheduler sched;
+  int hits = 0;
+  for (int i = 0; i < 100; ++i) {
+    sched.Post(Usec(i), [&hits] { ++hits; });  // Capture fits inline.
+  }
+  EXPECT_EQ(sched.inline_posts(), 100u);
+  EXPECT_EQ(sched.pooled_posts(), 0u);
+  EXPECT_EQ(sched.slab_pool().fresh_allocs(), 0u);
+  sched.RunUntilIdle();
+  EXPECT_EQ(hits, 100);
+}
+
+TEST(EventStorageTest, OversizedLambdasUseSlabPoolAndRecycle) {
+  Scheduler sched;
+  struct Big {
+    char payload[200] = {};
+  };
+  int hits = 0;
+  // Serial post/run: the second round must reuse the first round's blocks.
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      Big big;
+      big.payload[0] = static_cast<char>(i);
+      sched.Post(Usec(i), [big, &hits] { hits += big.payload[0] >= 0 ? 1 : 0; });
+    }
+    sched.RunUntilIdle();
+  }
+  EXPECT_EQ(hits, 24);
+  EXPECT_EQ(sched.pooled_posts(), 24u);
+  EXPECT_EQ(sched.inline_posts(), 0u);
+  // Only the first round's blocks are fresh; later rounds recycle.
+  EXPECT_LE(sched.slab_pool().fresh_allocs(), 8u);
+  EXPECT_GE(sched.slab_pool().reused(), 16u);
+}
+
+TEST(EventStorageTest, MoveOnlyCapturesSupported) {
+  Scheduler sched;
+  auto owned = std::make_unique<int>(41);
+  int seen = 0;
+  sched.Post(Usec(1), [p = std::move(owned), &seen] { seen = *p + 1; });
+  sched.RunUntilIdle();
+  EXPECT_EQ(seen, 42);
+}
+
 TEST(RngTest, DeterministicAcrossRuns) {
   Rng a(42);
   Rng b(42);
