@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Gate overload-bench results against the committed baseline.
+
+Usage: compare_bench_overload.py BASELINE.json CURRENT.json [--threshold=0.3]
+
+Both files are single-line JSON objects written by `bench_overload
+--json=PATH`. Unlike bench_engine, every number here is VIRTUAL-time goodput,
+so runs are deterministic per seed and host-independent: no calibration
+normalization is needed, and shifts mean the modeled system changed.
+
+Three kinds of gate:
+
+  1. Oracle booleans. Every `*_ok` metric in the current run must be 1 (the
+     overload oracles held) and `collapse_confirmed` must be 1 (the
+     shedding-disabled arm demonstrably collapsed).
+
+  2. Goodput floors vs the baseline. Each `*_spike_goodput_tps` and
+     `*_recovered_goodput_tps` present in BOTH files must not fall more than
+     --threshold (default 30%) below the committed value. Buckets are small
+     integers over short virtual windows, so the threshold absorbs one-commit
+     quantization while still catching a real capacity regression.
+
+  3. A/B separation. For every shedding variant in the current run, the
+     collapse arm's p99 must exceed that variant's p99 by at least 2x —
+     admission control must visibly bound latency that the collapse arm does
+     not.
+
+CI runs this in the perf-smoke job against `bench_overload --quick`. To land
+a change that legitimately shifts goodput (protocol cost changes move the
+knee), apply the `perf-baseline-reset` label — the job is skipped — and
+commit a refreshed BENCH_overload.json from a full run; see EXPERIMENTS.md.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.loads(f.read())
+
+
+def main(argv):
+    threshold = 0.3
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        sys.exit(__doc__)
+    base, cur = load(paths[0]), load(paths[1])
+
+    failures = []
+
+    for name, value in sorted(cur.items()):
+        if name.endswith("_ok") or name == "collapse_confirmed":
+            if value != 1:
+                failures.append(f"{name}: expected 1, got {value}")
+
+    print(f"{'metric':<34} {'base':>10} {'cur':>10} {'delta':>8}")
+    for name in sorted(base):
+        if not name.endswith(("_spike_goodput_tps", "_recovered_goodput_tps")):
+            continue
+        if name.startswith("collapse_") or name not in cur:
+            continue  # The collapse arm is SUPPOSED to crater.
+        b, c = base[name], cur[name]
+        if b <= 0:
+            continue
+        delta = (c - b) / b
+        flag = ""
+        if delta < -threshold:
+            failures.append(
+                f"{name}: goodput fell {-delta:.1%} (limit {threshold:.0%})")
+            flag = "  <-- FAIL"
+        print(f"{name:<34} {b:>10.2f} {c:>10.2f} {delta:>+7.1%}{flag}")
+
+    collapse_p99 = cur.get("collapse_p99_ms", 0)
+    for name in sorted(cur):
+        if not name.endswith("_p99_ms") or name.startswith(("collapse_", "storm_")):
+            continue
+        ratio = collapse_p99 / cur[name] if cur[name] > 0 else 0
+        flag = ""
+        if ratio < 2.0:
+            failures.append(
+                f"collapse_p99_ms/{name}: separation {ratio:.2f}x below 2x "
+                "(admission control no longer bounds latency the collapse arm "
+                "does not)")
+            flag = "  <-- FAIL"
+        print(f"{'collapse_p99/' + name:<34} {'':>10} {f'{ratio:.2f}x':>10} {'>=2x':>8}{flag}")
+
+    if failures:
+        print("\noverload perf gate FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        print("\nIf this shift is intentional, label the PR `perf-baseline-reset`")
+        print("and refresh BENCH_overload.json from a full run (see EXPERIMENTS.md).")
+        return 1
+    print("\noverload perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

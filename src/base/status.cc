@@ -26,6 +26,8 @@ const char* StatusCodeName(StatusCode code) {
       return "CORRUPTION";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kOverloaded:
+      return "OVERLOADED";
   }
   return "UNKNOWN";
 }

@@ -24,6 +24,7 @@ enum class StatusCode {
   kBlocked,           // 2PC participant is blocked awaiting coordinator outcome.
   kCorruption,        // Log or storage integrity failure.
   kInternal,          // Bug.
+  kOverloaded,        // Shed by admission control; client counts this as shed, not failed.
 };
 
 const char* StatusCodeName(StatusCode code);
@@ -65,6 +66,7 @@ inline Status TimedOutError(std::string m) { return {StatusCode::kTimedOut, std:
 inline Status BlockedError(std::string m) { return {StatusCode::kBlocked, std::move(m)}; }
 inline Status CorruptionError(std::string m) { return {StatusCode::kCorruption, std::move(m)}; }
 inline Status InternalError(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
+inline Status OverloadedError(std::string m) { return {StatusCode::kOverloaded, std::move(m)}; }
 
 // Status-or-value. `value()` asserts on error in debug builds; check `ok()` first.
 template <typename T>

@@ -61,7 +61,7 @@ void ComMan::IngestSites(const Tid& tid, const Bytes& piggyback, SiteId responde
 }
 
 Async<RpcResult> ComMan::Call(const std::string& service, uint32_t method, Bytes body,
-                              const Tid& tid, RpcTrace* trace) {
+                              const Tid& tid, RpcTrace* trace, SimTime deadline) {
   if (tid.IsValid() && IsPoisoned(tid.family)) {
     co_return RpcResult{
         AbortedError("a participant site restarted mid-transaction; abort required"), {}};
@@ -70,7 +70,7 @@ Async<RpcResult> ComMan::Call(const std::string& service, uint32_t method, Bytes
   if (!where.ok()) {
     co_return RpcResult{where.status(), {}};
   }
-  RpcContext ctx{site_.id(), tid};
+  RpcContext ctx{site_.id(), tid, deadline};
   if (*where == site_.id()) {
     RpcResult result = co_await site_.CallLocal(service, method, std::move(body), ctx,
                                                 /*to_data_server=*/true);

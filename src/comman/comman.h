@@ -33,8 +33,10 @@ class ComMan {
   // Calls a named service wherever it lives: a local IPC for services on this
   // site, or a ComMan-interposed remote RPC otherwise. This is THE call path
   // for transactional operations (applications and servers both use it).
+  // `deadline` (absolute virtual time; 0 = none) is the client deadline,
+  // propagated in the RpcContext so the callee can shed expired work.
   Async<RpcResult> Call(const std::string& service, uint32_t method, Bytes body, const Tid& tid,
-                        RpcTrace* trace = nullptr);
+                        RpcTrace* trace = nullptr, SimTime deadline = 0);
 
   // Name-service lookup on behalf of an application (one local IPC).
   Async<Result<SiteId>> Lookup(const std::string& service);

@@ -246,6 +246,40 @@ std::string World::StatsReport() {
   row("restart pages rebuilt", [](CamelotSite& s) {
     return static_cast<uint64_t>(s.recovery_totals().pages_repaired);
   });
+  row("pool queued events", [](CamelotSite& s) {
+    return s.tranman().pool().queued_events();
+  });
+  row("pool wait p99 (us)", [](CamelotSite& s) {
+    return static_cast<uint64_t>(s.tranman().pool().queued_time_us().Percentile(99));
+  });
+  row("pool depth hwm", [](CamelotSite& s) {
+    return static_cast<uint64_t>(s.tranman().pool().depth_high_watermark());
+  });
+  row("admission rejects", [](CamelotSite& s) {
+    return s.tranman().counters().overload_rejects;
+  });
+  row("deadline shed", [](CamelotSite& s) {
+    return s.tranman().counters().deadline_shed;
+  });
+  row("prepares shed", [](CamelotSite& s) {
+    return s.tranman().counters().prepares_shed;
+  });
+  row("off-path dropped", [](CamelotSite& s) {
+    return s.tranman().counters().offpath_dropped;
+  });
+  row("server deadline rejects", [](CamelotSite& s) {
+    uint64_t total = 0;
+    for (auto& [name, server] : s.ServerMap()) {
+      total += server->counters().deadline_rejects;
+    }
+    return total;
+  });
+  row("rpc retransmits", [](CamelotSite& s) {
+    return s.netmsg().retransmits();
+  });
+  row("rpc retries suppressed", [](CamelotSite& s) {
+    return s.netmsg().retransmits_suppressed();
+  });
   std::string out = report.Render();
   char buf[192];
   std::snprintf(buf, sizeof(buf),
@@ -266,7 +300,8 @@ std::string World::StatsReport() {
 Async<Result<Tid>> AppClient::Begin(Tid parent) {
   RpcResult result = co_await home_.site().CallLocal(kTranManServiceName, kTmBegin,
                                                      EncodeBeginRequest(parent),
-                                                     RpcContext{home_.site().id(), parent},
+                                                     RpcContext{home_.site().id(), parent,
+                                                                deadline_},
                                                      /*to_data_server=*/false);
   if (!result.status.ok()) {
     co_return result.status;
@@ -282,7 +317,7 @@ Async<Result<Tid>> AppClient::Begin(Tid parent) {
 Async<Status> AppClient::Commit(const Tid& tid, CommitOptions options) {
   RpcResult result = co_await home_.site().CallLocal(kTranManServiceName, kTmCommit,
                                                      EncodeCommitRequest(tid, options),
-                                                     RpcContext{home_.site().id(), tid},
+                                                     RpcContext{home_.site().id(), tid, deadline_},
                                                      /*to_data_server=*/false);
   co_return result.status;
 }
@@ -290,7 +325,7 @@ Async<Status> AppClient::Commit(const Tid& tid, CommitOptions options) {
 Async<Status> AppClient::Abort(const Tid& tid) {
   RpcResult result = co_await home_.site().CallLocal(kTranManServiceName, kTmAbort,
                                                      EncodeTidOnly(tid),
-                                                     RpcContext{home_.site().id(), tid},
+                                                     RpcContext{home_.site().id(), tid, deadline_},
                                                      /*to_data_server=*/false);
   co_return result.status;
 }
@@ -298,7 +333,8 @@ Async<Status> AppClient::Abort(const Tid& tid) {
 Async<Result<Bytes>> AppClient::Read(const Tid& tid, const std::string& server,
                                      const std::string& object) {
   RpcResult result =
-      co_await home_.comman().Call(server, kSrvRead, EncodeObjectRequest(tid, object), tid);
+      co_await home_.comman().Call(server, kSrvRead, EncodeObjectRequest(tid, object), tid,
+                                   /*trace=*/nullptr, deadline_);
   if (!result.status.ok()) {
     co_return result.status;
   }
@@ -313,7 +349,8 @@ Async<Result<Bytes>> AppClient::Read(const Tid& tid, const std::string& server,
 Async<Status> AppClient::Write(const Tid& tid, const std::string& server,
                                const std::string& object, Bytes value) {
   RpcResult result = co_await home_.comman().Call(server, kSrvWrite,
-                                                  EncodeWriteRequest(tid, object, value), tid);
+                                                  EncodeWriteRequest(tid, object, value), tid,
+                                                  /*trace=*/nullptr, deadline_);
   co_return result.status;
 }
 

@@ -179,6 +179,12 @@ class AppClient {
  public:
   explicit AppClient(CamelotSite& home) : home_(home) {}
 
+  // Client deadline (absolute virtual time; 0 = none) attached to every
+  // subsequent Begin/Commit/Abort/Read/Write so servers and transaction
+  // managers can shed the work once it is past the point of usefulness.
+  void set_deadline(SimTime deadline) { deadline_ = deadline; }
+  SimTime deadline() const { return deadline_; }
+
   Async<Result<Tid>> Begin(Tid parent = kInvalidTid);
   Async<Status> Commit(const Tid& tid, CommitOptions options = CommitOptions::Optimized());
   Async<Status> Abort(const Tid& tid);
@@ -196,6 +202,7 @@ class AppClient {
 
  private:
   CamelotSite& home_;
+  SimTime deadline_ = 0;
 };
 
 }  // namespace camelot

@@ -34,10 +34,21 @@ struct IpcConfig {
   // ComMan CPU per call at EACH site (Section 4.1: 3.2 ms per site).
   SimDuration comman_cpu_per_site = Usec(3200);
 
-  // How long a remote RPC waits for its response before failing kTimedOut,
-  // and how often the request is retransmitted while waiting.
+  // How long a remote RPC waits for its response before failing kTimedOut.
   SimDuration rpc_timeout = Sec(3.0);
+  // Retransmit gaps while waiting: the first gap is rpc_retry_interval, then
+  // capped jittered exponential backoff (x2 per attempt, ±20%, capped at
+  // rpc_retry_cap) — fixed-interval retransmits from many callers march in
+  // lockstep and re-lose together on a congested link.
   SimDuration rpc_retry_interval = Usec(500000);
+  SimDuration rpc_retry_cap = Sec(2.0);
+  // Token-bucket budget for retransmits: each fresh Call earns
+  // rpc_retry_budget_ratio tokens (capped at rpc_retry_budget_cap); each
+  // retransmit spends one. When empty, the caller keeps waiting without
+  // resending, so retransmits cannot amplify offered load during overload.
+  // ratio <= 0 (the default) = unlimited.
+  double rpc_retry_budget_ratio = 0.0;
+  double rpc_retry_budget_cap = 0.0;
 
   // Kernel CPU consumed per dispatched message, serialized on ONE processor.
   // Models the paper's Mach 2.0 "single run queue on one master processor";
@@ -64,6 +75,9 @@ struct RpcTrace {
 struct RpcContext {
   SiteId caller_site = kInvalidSite;
   Tid tid = kInvalidTid;  // Transaction on whose behalf the call is made (may be invalid).
+  // Client deadline (absolute virtual time; 0 = none), propagated on the wire
+  // so servers can shed work that is already past the point of usefulness.
+  SimTime deadline = 0;
 };
 
 // An RPC response: status code plus payload bytes.

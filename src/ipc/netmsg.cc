@@ -11,6 +11,7 @@ namespace {
 constexpr uint32_t kRequestType = 1;
 constexpr uint32_t kResponseType = 2;
 constexpr size_t kServedCacheLimit = 8192;
+constexpr size_t kRetransmitLogLimit = 4096;
 
 struct RequestWire {
   uint64_t rpc_id;
@@ -19,6 +20,7 @@ struct RequestWire {
   uint32_t method;
   bool via_comman;
   Tid tid;
+  SimTime deadline;  // Client deadline (absolute virtual time; 0 = none).
   Bytes body;
 };
 
@@ -30,6 +32,7 @@ Bytes EncodeRequest(const RequestWire& r) {
   w.U32(r.method);
   w.U8(r.via_comman ? 1 : 0);
   w.Transaction(r.tid);
+  w.I64(r.deadline);
   w.Blob(r.body);
   return w.Take();
 }
@@ -42,6 +45,7 @@ bool DecodeRequest(const Bytes& wire, RequestWire* out) {
   out->method = r.U32();
   out->via_comman = r.U8() != 0;
   out->tid = r.Transaction();
+  out->deadline = r.I64();
   out->body = r.Blob();
   return r.ok();
 }
@@ -88,7 +92,11 @@ bool DecodeResponse(const Bytes& wire, ResponseWire* out) {
 
 }  // namespace
 
-NetMsgServer::NetMsgServer(Site& site, Network& net) : site_(site), net_(net) {
+NetMsgServer::NetMsgServer(Site& site, Network& net)
+    : site_(site),
+      net_(net),
+      rng_(0xa076'1d64'78bd'642fULL ^ (site.id().value * 0xe703'7ed1'a0b4'28dbULL)),
+      budget_(site.ipc().rpc_retry_budget_ratio, site.ipc().rpc_retry_budget_cap) {
   net_.Bind(site_.id(), kNetMsgService, [this](Datagram dg) { OnDatagram(std::move(dg)); });
   site_.AddCrashListener([this] {
     // All connection state is volatile: pending callers see closed channels.
@@ -119,7 +127,8 @@ Async<RpcResult> NetMsgServer::Call(SiteId dst, const std::string& service, uint
   }
 
   const uint64_t rpc_id = (static_cast<uint64_t>(site_.id().value) << 40) | next_rpc_id_++;
-  RequestWire req{rpc_id, site_.id(), service, method, via_comman, ctx.tid, std::move(body)};
+  RequestWire req{rpc_id, site_.id(), service, method, via_comman, ctx.tid, ctx.deadline,
+                  std::move(body)};
   // Encoded once; every retransmit below resends the same shared buffer.
   const SharedBytes wire = EncodeRequest(req);
 
@@ -128,14 +137,31 @@ Async<RpcResult> NetMsgServer::Call(SiteId dst, const std::string& service, uint
 
   const SimTime deadline = site_.sched().now() + ipc.rpc_timeout;
   std::optional<SharedBytes> raw;
+  ++calls_;
+  // Budget knobs are re-read per call so harnesses can reconfigure a live
+  // site (tokens and counters survive reconfiguration).
+  budget_.Configure(ipc.rpc_retry_budget_ratio, ipc.rpc_retry_budget_cap);
+  budget_.OnAttempt();
+  int attempt = 0;
   while (true) {
     if (!site_.up() || site_.incarnation() != inc) {
       pending_.erase(rpc_id);
       co_return RpcResult{UnavailableError("caller site crashed"), {}};
     }
-    net_.Send(Datagram{site_.id(), dst, kNetMsgService, kRequestType, wire});
+    if (attempt == 0) {
+      net_.Send(Datagram{site_.id(), dst, kNetMsgService, kRequestType, wire});
+    } else if (budget_.TryRetry()) {
+      ++retransmits_;
+      if (retransmit_times_.size() < kRetransmitLogLimit) {
+        retransmit_times_.push_back(site_.sched().now());
+      }
+      net_.Send(Datagram{site_.id(), dst, kNetMsgService, kRequestType, wire});
+      CDEBUG("[%8.1fms] %s nms retransmit rpc %llu -> %s", ToMs(site_.sched().now()),
+             ToString(site_.id()).c_str(), static_cast<unsigned long long>(rpc_id),
+             ToString(dst).c_str());
+    }
     const SimDuration wait =
-        std::min<SimDuration>(ipc.rpc_retry_interval, deadline - site_.sched().now());
+        std::min<SimDuration>(RetryGap(attempt++), deadline - site_.sched().now());
     if (wait <= 0) {
       break;
     }
@@ -146,9 +172,6 @@ Async<RpcResult> NetMsgServer::Call(SiteId dst, const std::string& service, uint
     if (site_.sched().now() >= deadline) {
       break;
     }
-    CDEBUG("[%8.1fms] %s nms retransmit rpc %llu -> %s", ToMs(site_.sched().now()),
-           ToString(site_.id()).c_str(), static_cast<unsigned long long>(rpc_id),
-           ToString(dst).c_str());
   }
   pending_.erase(rpc_id);
 
@@ -187,6 +210,18 @@ Async<RpcResult> NetMsgServer::Call(SiteId dst, const std::string& service, uint
   co_return RpcResult{std::move(status), std::move(resp.body)};
 }
 
+SimDuration NetMsgServer::RetryGap(int attempt) {
+  const IpcConfig& ipc = site_.ipc();
+  double d = static_cast<double>(ipc.rpc_retry_interval);
+  const double cap = static_cast<double>(std::max(ipc.rpc_retry_cap, ipc.rpc_retry_interval));
+  for (int i = 0; i < attempt && d < cap; ++i) {
+    d *= 2.0;
+  }
+  d = std::min(d, cap);
+  d *= 0.8 + 0.4 * rng_.NextDouble();  // ±20% jitter.
+  return std::max<SimDuration>(static_cast<SimDuration>(d), 1);
+}
+
 void NetMsgServer::OnDatagram(Datagram dg) {
   if (!site_.up()) {
     return;
@@ -213,11 +248,12 @@ void NetMsgServer::HandleRequest(SharedBytes wire) {
   }
   in_progress_[req.rpc_id] = true;
   site_.sched().Spawn(RunRequest(req.rpc_id, req.caller, std::move(req.service), req.method,
-                                 req.via_comman, req.tid, std::move(req.body)));
+                                 req.via_comman, req.tid, req.deadline, std::move(req.body)));
 }
 
 Async<void> NetMsgServer::RunRequest(uint64_t rpc_id, SiteId caller, std::string service,
-                                     uint32_t method, bool via_comman, Tid tid, Bytes body) {
+                                     uint32_t method, bool via_comman, Tid tid, SimTime deadline,
+                                     Bytes body) {
   const uint32_t inc = site_.incarnation();
   const IpcConfig& ipc = site_.ipc();
 
@@ -233,7 +269,7 @@ Async<void> NetMsgServer::RunRequest(uint64_t rpc_id, SiteId caller, std::string
   }
 
   const SimTime handler_start = site_.sched().now();
-  RpcContext ctx{caller, tid};
+  RpcContext ctx{caller, tid, deadline};
   RpcResult result = co_await site_.Dispatch(service, method, std::move(body), ctx);
   const SimDuration handler_us = site_.sched().now() - handler_start;
   if (!site_.up() || site_.incarnation() != inc) {

@@ -14,8 +14,11 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
+#include "src/base/rng.h"
 #include "src/ipc/ipc.h"
+#include "src/ipc/retry_budget.h"
 #include "src/ipc/site.h"
 #include "src/net/network.h"
 #include "src/sim/channel.h"
@@ -52,6 +55,15 @@ class NetMsgServer {
     request_ingest_ = std::move(fn);
   }
 
+  // --- Retransmit observability -----------------------------------------------
+  uint64_t calls() const { return calls_; }
+  uint64_t retransmits() const { return retransmits_; }
+  uint64_t retransmits_suppressed() const { return budget_.suppressed(); }
+  // Virtual times of the most recent retransmits (bounded log), so tests can
+  // assert concurrent callers do not retransmit in lockstep waves.
+  const std::vector<SimTime>& retransmit_times() const { return retransmit_times_; }
+  void clear_retransmit_times() { retransmit_times_.clear(); }
+
  private:
   struct PendingCall {
     std::shared_ptr<Channel<SharedBytes>> reply;  // Raw response wire bytes.
@@ -61,12 +73,23 @@ class NetMsgServer {
   void HandleRequest(SharedBytes wire);
   void HandleResponse(SharedBytes wire);
   Async<void> RunRequest(uint64_t rpc_id, SiteId caller, std::string service, uint32_t method,
-                         bool via_comman, Tid tid, Bytes body);
+                         bool via_comman, Tid tid, SimTime deadline, Bytes body);
   void SendResponse(SiteId dst, SharedBytes wire);
   void CacheResponse(uint64_t rpc_id, SharedBytes wire);
 
+  // Next retransmit gap for `attempt` (0-based): capped jittered exponential
+  // backoff, mirroring TranMan::Backoff.
+  SimDuration RetryGap(int attempt);
+
   Site& site_;
   Network& net_;
+  // Backoff jitter draws come from a per-site rng (NOT the shared scheduler
+  // rng) so adding a retransmit never perturbs unrelated draws.
+  Rng rng_;
+  RetryBudget budget_;
+  uint64_t calls_ = 0;
+  uint64_t retransmits_ = 0;
+  std::vector<SimTime> retransmit_times_;
   uint64_t next_rpc_id_ = 1;
   std::unordered_map<uint64_t, PendingCall> pending_;
   // Duplicate suppression: rpc_id -> cached response wire (bounded FIFO).

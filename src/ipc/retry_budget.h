@@ -1,0 +1,68 @@
+// Token-bucket retry budget (the SRE "retry budget" pattern).
+//
+// Every FIRST attempt earns `ratio` tokens (capped at `cap`); every retry
+// spends one. While the bucket is empty, retries are suppressed — so under
+// overload the retry traffic is bounded to `ratio` of the fresh traffic and
+// cannot amplify offered load into a metastable retry storm. A ratio <= 0
+// makes the budget unlimited (every retry granted), which is the legacy
+// behaviour and the A/B "shedding disabled" configuration.
+#ifndef SRC_IPC_RETRY_BUDGET_H_
+#define SRC_IPC_RETRY_BUDGET_H_
+
+#include <algorithm>
+#include <cstdint>
+
+namespace camelot {
+
+class RetryBudget {
+ public:
+  RetryBudget() = default;  // Unlimited.
+  RetryBudget(double ratio, double cap) : ratio_(ratio), cap_(cap) {}
+
+  bool unlimited() const { return ratio_ <= 0.0; }
+
+  // Adopts new parameters (runtime reconfiguration); accumulated tokens are
+  // clamped to the new cap, counters are preserved.
+  void Configure(double ratio, double cap) {
+    ratio_ = ratio;
+    cap_ = cap;
+    tokens_ = std::min(tokens_, std::max(cap_, 0.0));
+  }
+
+  // Call once per first attempt.
+  void OnAttempt() {
+    if (!unlimited()) {
+      tokens_ = std::min(cap_, tokens_ + ratio_);
+    }
+  }
+
+  // Returns true (and spends a token) if a retry may be sent now.
+  bool TryRetry() {
+    if (unlimited()) {
+      ++granted_;
+      return true;
+    }
+    if (tokens_ >= 1.0) {
+      tokens_ -= 1.0;
+      ++granted_;
+      return true;
+    }
+    ++suppressed_;
+    return false;
+  }
+
+  double tokens() const { return tokens_; }
+  uint64_t granted() const { return granted_; }
+  uint64_t suppressed() const { return suppressed_; }
+
+ private:
+  double ratio_ = 0.0;  // <= 0: unlimited.
+  double cap_ = 0.0;
+  double tokens_ = 0.0;
+  uint64_t granted_ = 0;
+  uint64_t suppressed_ = 0;
+};
+
+}  // namespace camelot
+
+#endif  // SRC_IPC_RETRY_BUDGET_H_

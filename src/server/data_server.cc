@@ -47,8 +47,17 @@ Async<void> DataServer::RestorePreparedUpdate(const Tid& tid, const std::string&
                                     lsn});
 }
 
-Async<RpcResult> DataServer::Handle(RpcContext /*ctx*/, uint32_t method, Bytes body) {
+Async<RpcResult> DataServer::Handle(RpcContext ctx, uint32_t method, Bytes body) {
   ByteReader r(body);
+  // Deadline shed: a transactional operation that arrives after its client's
+  // deadline is zombie work — refuse before joining or touching locks. The
+  // protocol upcalls (vote/commit/abort) below are never shed: they complete
+  // work the transaction manager already admitted.
+  if ((method == kSrvRead || method == kSrvWrite || method == kSrvCreate) &&
+      ctx.deadline > 0 && site_.sched().now() > ctx.deadline) {
+    ++counters_.deadline_rejects;
+    co_return RpcResult{OverloadedError("client deadline already passed"), {}};
+  }
   switch (method) {
     case kSrvRead: {
       const Tid tid = r.Transaction();

@@ -47,6 +47,9 @@ struct ServerCounters {
   uint64_t votes_readonly = 0;
   uint64_t commits = 0;
   uint64_t aborts = 0;
+  // Read/write/create requests refused because the propagated client deadline
+  // had already passed when they arrived (zombie work shed before locking).
+  uint64_t deadline_rejects = 0;
 };
 
 // What a history hook observes: the setup install, or a transactional

@@ -51,6 +51,9 @@ class Channel {
       return;
     }
     items_.push_back(std::move(item));
+    if (items_.size() > high_watermark_) {
+      high_watermark_ = items_.size();
+    }
   }
 
   // Wake every pending receiver with nullopt and drop queued items. Idempotent.
@@ -72,6 +75,9 @@ class Channel {
   bool closed() const { return closed_; }
   size_t size() const { return items_.size(); }
   bool empty() const { return items_.empty(); }
+  // Deepest the queue of undelivered items has ever been (queue-health
+  // instrumentation; never reset by Close).
+  size_t high_watermark() const { return high_watermark_; }
 
   // co_await ch.Receive() -> std::optional<T> (nullopt iff closed).
   auto Receive() { return ReceiveAwaiter{this, -1, {}}; }
@@ -142,6 +148,7 @@ class Channel {
   Scheduler* sched_;
   std::deque<T> items_;
   std::deque<std::shared_ptr<Waiter>> waiters_;
+  size_t high_watermark_ = 0;
   bool closed_ = false;
 };
 

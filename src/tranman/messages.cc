@@ -39,6 +39,7 @@ Bytes TmMsg::Encode() const {
   w.SiteList(sites);
   w.U32(commit_quorum);
   w.U32(abort_quorum);
+  w.I64(deadline);
   w.U8(static_cast<uint8_t>(vote));
   w.U64(epoch);
   w.U8(static_cast<uint8_t>(decision));
@@ -61,6 +62,7 @@ Result<TmMsg> TmMsg::Decode(const Bytes& wire) {
   m.sites = r.SiteList();
   m.commit_quorum = r.U32();
   m.abort_quorum = r.U32();
+  m.deadline = r.I64();
   m.vote = static_cast<TmVote>(r.U8());
   m.epoch = r.U64();
   m.decision = static_cast<TmDecision>(r.U8());

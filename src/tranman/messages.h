@@ -66,6 +66,11 @@ struct TmMsg {
   uint32_t commit_quorum = 0;
   uint32_t abort_quorum = 0;
 
+  // kPrepare: the client deadline for the family (absolute virtual time;
+  // 0 = none). A subordinate receiving an already-expired prepare refuses it
+  // (votes abort) instead of doing work the client has given up on.
+  SimTime deadline = 0;
+
   // kVote.
   TmVote vote = TmVote::kAbort;
 

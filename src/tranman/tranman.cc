@@ -34,6 +34,8 @@ TranMan::TranMan(Site& site, Network& net, ComMan& comman, StableLog& log, TranM
       // site would shift every other component's random trajectory.
       rng_(0x9e3779b97f4a7c15ULL ^
            (static_cast<uint64_t>(site.id().value) * 0xbf58476d1ce4e5b9ULL)) {
+  pool_.set_admission_limit(config_.admission_queue_limit);
+  pool_.set_admission_policy(config_.admission_policy);
   site_.RegisterService(kTranManServiceName,
                         [this](RpcContext ctx, uint32_t method, Bytes body) {
                           return Handle(ctx, method, std::move(body));
@@ -485,8 +487,16 @@ void TranMan::QueueOffPath(SiteId dst, TmMsg msg) {
     SendMsg(dst, std::move(msg));  // No batching: an ordinary unicast send.
     return;
   }
-  const bool first = offpath_queue_[dst].empty();
-  offpath_queue_[dst].push_back(std::move(msg));
+  auto& queue = offpath_queue_[dst];
+  const bool first = queue.empty();
+  queue.push_back(std::move(msg));
+  if (config_.offpath_queue_limit > 0 && queue.size() > config_.offpath_queue_limit) {
+    // Drop-oldest: a long partition must not grow this queue without bound.
+    // Off-path messages (commit-acks) are re-derived by protocol timeouts,
+    // so dropping one costs a retransmit, never correctness.
+    queue.erase(queue.begin());
+    ++counters_.offpath_dropped;
+  }
   if (first) {
     const uint32_t inc = site_.incarnation();
     site_.sched().Post(config_.piggyback_delay, [this, dst, inc] {
@@ -554,7 +564,34 @@ void TranMan::OnDatagram(Datagram dg) {
 Async<void> TranMan::DispatchMsg(TmMsg msg) {
   const uint32_t inc = site_.incarnation();
   // Every protocol event passes through the worker pool (Section 3.4).
-  co_await pool_.Run(config_.cpu_per_event);
+  // Incoming prepares are NEW work at this site: they use the bounded
+  // admission queue (with the propagated client deadline), while completion
+  // traffic — votes, outcomes, acks, status — is never shed, since dropping
+  // it would stall in-flight commits and hold locks longer.
+  if (msg.type == TmMsgType::kPrepare) {
+    const Admission adm = co_await pool_.Admit(
+        config_.cpu_per_event, config_.shed_expired_work ? msg.deadline : 0);
+    if (adm != Admission::kRun) {
+      if (Dead(inc)) {
+        co_return;
+      }
+      // Refuse rather than silently drop: an abort vote is always safe
+      // before a commit decision exists, and it resolves the coordinator
+      // immediately instead of after vote_timeout.
+      ++counters_.prepares_shed;
+      if (adm == Admission::kExpired) {
+        ++counters_.deadline_shed;
+      }
+      TmMsg vote;
+      vote.type = TmMsgType::kVote;
+      vote.tid = msg.tid;
+      vote.vote = TmVote::kAbort;
+      SendMsg(msg.from, vote);
+      co_return;
+    }
+  } else {
+    co_await pool_.Run(config_.cpu_per_event);
+  }
   if (Dead(inc)) {
     co_return;
   }
@@ -649,9 +686,31 @@ void TranMan::AnnounceRecovered() {
 
 // --- Service handler ----------------------------------------------------------------
 
-Async<RpcResult> TranMan::Handle(RpcContext /*ctx*/, uint32_t method, Bytes body) {
+Async<RpcResult> TranMan::Handle(RpcContext ctx, uint32_t method, Bytes body) {
   const uint32_t inc = site_.incarnation();
-  co_await pool_.Run(config_.cpu_per_event);
+  if (method == kTmBegin) {
+    // New work enters through bounded admission: the fast checks (deadline
+    // already passed, live-family cap) and a full queue reject the begin
+    // kOverloaded before it can occupy a worker — the client counts it as
+    // shed, not failed, and backs off.
+    Status admit = AdmissionCheck(ctx.deadline, /*creates_family=*/true);
+    if (!admit.ok()) {
+      ++counters_.overload_rejects;
+      co_return RpcResult{std::move(admit), {}};
+    }
+    const Admission adm = co_await pool_.Admit(
+        config_.cpu_per_event, config_.shed_expired_work ? ctx.deadline : 0);
+    if (adm != Admission::kRun) {
+      ++counters_.overload_rejects;
+      if (adm == Admission::kExpired) {
+        ++counters_.deadline_shed;
+        co_return RpcResult{OverloadedError("deadline passed while queued for admission"), {}};
+      }
+      co_return RpcResult{OverloadedError("admission queue full"), {}};
+    }
+  } else {
+    co_await pool_.Run(config_.cpu_per_event);
+  }
   if (Dead(inc)) {
     co_return RpcResult{UnavailableError("site down"), {}};
   }
@@ -659,7 +718,7 @@ Async<RpcResult> TranMan::Handle(RpcContext /*ctx*/, uint32_t method, Bytes body
   switch (method) {
     case kTmBegin: {
       const Tid parent = r.Transaction();
-      RpcResult result = co_await HandleBegin(parent);
+      RpcResult result = co_await HandleBegin(parent, ctx.deadline);
       co_return result;
     }
     case kTmCommit: {
@@ -670,6 +729,14 @@ Async<RpcResult> TranMan::Handle(RpcContext /*ctx*/, uint32_t method, Bytes body
       options.piggyback_commit_ack = r.U8() != 0;
       if (!r.ok()) {
         co_return RpcResult{InvalidArgumentError("bad commit request"), {}};
+      }
+      if (ctx.deadline > 0) {
+        // A commit call can carry the deadline even when begin did not (e.g.
+        // the client adopted one mid-transaction); the prepare fan-out reads
+        // it off the family.
+        if (Family* fam = FindFamily(tid.family); fam != nullptr && fam->deadline == 0) {
+          fam->deadline = ctx.deadline;
+        }
       }
       if (tid.IsTopLevel()) {
         RpcResult result = co_await HandleCommit(tid, options);
@@ -723,11 +790,23 @@ Async<RpcResult> TranMan::Handle(RpcContext /*ctx*/, uint32_t method, Bytes body
   }
 }
 
-Async<RpcResult> TranMan::HandleBegin(const Tid& parent) {
+Status TranMan::AdmissionCheck(SimTime deadline, bool creates_family) const {
+  if (config_.shed_expired_work && deadline > 0 && site_.sched().now() > deadline) {
+    return OverloadedError("client deadline already passed");
+  }
+  if (creates_family && config_.max_live_families > 0 &&
+      live_family_count() >= config_.max_live_families) {
+    return OverloadedError("live-family cap reached");
+  }
+  return OkStatus();
+}
+
+Async<RpcResult> TranMan::HandleBegin(const Tid& parent, SimTime deadline) {
   if (!parent.IsValid()) {
     // New top-level transaction; this site is the family origin.
     const Tid tid{FamilyId{site_.id(), next_family_seq_++}, 0, 0};
-    CreateFamily(tid);
+    Family* fam = CreateFamily(tid);
+    fam->deadline = deadline;
     ++counters_.begun;
     co_return RpcResult{OkStatus(), EncodeTid(tid)};
   }
@@ -756,7 +835,13 @@ Async<RpcResult> TranMan::HandleBegin(const Tid& parent) {
 Async<RpcResult> TranMan::HandleJoin(const Tid& tid, const std::string& server) {
   Family* fam = FindFamily(tid.family);
   if (fam == nullptr) {
-    // First contact with this family at this (subordinate) site.
+    // First contact with this family at this (subordinate) site: the join
+    // creates a family, so the in-flight cap applies. Rejecting is safe —
+    // the server op fails kOverloaded and the client aborts the transaction.
+    if (config_.max_live_families > 0 && live_family_count() >= config_.max_live_families) {
+      ++counters_.overload_rejects;
+      co_return RpcResult{OverloadedError("live-family cap reached"), {}};
+    }
     fam = CreateFamily(tid);
     if (tid.family.origin != site_.id()) {
       site_.sched().Spawn(OrphanWatch(tid.family, site_.incarnation()));
@@ -1010,6 +1095,7 @@ Async<Status> TranMan::CoordinateTwoPhase(Family* fam, const CommitOptions& opti
   prepare.force_subordinate_commit = options.force_subordinate_commit;
   prepare.piggyback_commit_ack = options.piggyback_commit_ack;
   prepare.sites = fam->sites;
+  prepare.deadline = fam->deadline;
 
   VoteRound votes = co_await GatherVotes(fam, prepare, subs);
   if (Dead(inc)) {
@@ -1154,6 +1240,7 @@ Async<Status> TranMan::CoordinateNonBlocking(Family* fam, const CommitOptions& /
   prepare.sites = fam->sites;
   prepare.commit_quorum = fam->commit_quorum;
   prepare.abort_quorum = fam->abort_quorum;
+  prepare.deadline = fam->deadline;
 
   VoteRound votes = co_await GatherVotes(fam, prepare, subs);
   if (Dead(inc)) {
@@ -1352,6 +1439,30 @@ Async<void> TranMan::HandleRemotePrepare(TmMsg msg) {
     vote.tid = msg.tid;
     vote.vote = TmVote::kAbort;
     SendMsg(msg.from, vote);
+    co_return;
+  }
+
+  if (config_.shed_expired_work && msg.deadline > 0 && site_.sched().now() > msg.deadline) {
+    // The propagated client deadline passed while this prepare was queued or
+    // in flight: refuse it instead of preparing work nobody is waiting for.
+    // No commit decision can exist while our vote is outstanding, so an
+    // abort vote is safe, and aborting locally releases the locks now.
+    ++counters_.deadline_shed;
+    fam->committing = true;
+    log_.Append(LogRecord::Abort(fam->top));
+    RecordSpool(fam->top.family, "sub", "abort");
+    co_await CallServersAbort(*fam);
+    if (Dead(inc)) {
+      co_return;
+    }
+    TmMsg vote;
+    vote.type = TmMsgType::kVote;
+    vote.tid = msg.tid;
+    vote.vote = TmVote::kAbort;
+    SendMsg(msg.from, vote);
+    fam->state = TmTxnState::kAborted;
+    RecordOutcome(msg.tid.family, /*committed=*/false);
+    RetireFamily(msg.tid.family);
     co_return;
   }
 

@@ -88,6 +88,27 @@ struct TranManConfig {
   // a commit flow is surfaced in counters().stuck_families (observation only;
   // the protocols keep running).
   SimDuration stuck_family_deadline = Sec(60.0);
+
+  // --- Overload / admission control (defaults preserve legacy behaviour) -------
+  // Bound on the worker pool's new-work admission queue: begins and incoming
+  // prepares queue here; when it is full, begins fast-reject kOverloaded
+  // (without occupying a worker) and prepares are refused with an abort vote.
+  // 0 = unbounded. Completion work (votes, outcomes, acks) is never bounded.
+  size_t admission_queue_limit = 0;
+  // Queue discipline for the bounded admission queue under overload.
+  AdmissionPolicy admission_policy = AdmissionPolicy::kFifo;
+  // Cap on live (unretired) families at this site: begins and first-contact
+  // joins beyond it fast-reject kOverloaded. 0 = uncapped.
+  size_t max_live_families = 0;
+  // Drop work whose propagated client deadline has already passed (begins,
+  // queued admissions, incoming prepares). Deadlines only exist when a client
+  // sets one, so this is inert for legacy workloads.
+  bool shed_expired_work = true;
+  // Bound on each destination's off-path piggyback queue; the oldest message
+  // is dropped (counters().offpath_dropped) when a long partition backs it
+  // up. Always-safe: off-path messages are retried/re-derived by protocol
+  // timeouts. 0 = unbounded.
+  size_t offpath_queue_limit = 256;
 };
 
 struct TranManCounters {
@@ -108,6 +129,10 @@ struct TranManCounters {
   uint64_t heuristic_resolutions = 0;
   uint64_t heuristic_damage = 0;  // Heuristic outcome contradicted the real one.
   uint64_t messages_piggybacked = 0;  // Off-path messages that rode another datagram.
+  uint64_t overload_rejects = 0;   // Begins/joins fast-rejected kOverloaded (shed, not failed).
+  uint64_t prepares_shed = 0;      // Incoming prepares refused (abort vote) by admission control.
+  uint64_t deadline_shed = 0;      // Work dropped because its client deadline had passed.
+  uint64_t offpath_dropped = 0;    // Off-path messages dropped by the queue bound.
 };
 
 class TranMan {
@@ -183,6 +208,9 @@ class TranMan {
     SimTime blocked_since = 0;       // When `blocked` was last set (for blocked_time_us).
     bool watchdog_armed = false;     // A StuckFamilyWatch one-shot is in flight.
     bool is_coordinator = false;
+    // Client deadline (absolute virtual time; 0 = none), captured at begin
+    // and carried on prepares so subordinates can refuse expired work.
+    SimTime deadline = 0;
 
     // Local participants (servers on this site that joined).
     std::vector<std::string> local_servers;
@@ -221,7 +249,10 @@ class TranMan {
 
   // --- Service handler (local IPC) ---------------------------------------------
   Async<RpcResult> Handle(RpcContext ctx, uint32_t method, Bytes body);
-  Async<RpcResult> HandleBegin(const Tid& parent);
+  // kOverloaded fast-reject for new work, evaluated BEFORE the event takes a
+  // worker: admission queue full, live-family cap hit, or deadline expired.
+  Status AdmissionCheck(SimTime deadline, bool creates_family) const;
+  Async<RpcResult> HandleBegin(const Tid& parent, SimTime deadline);
   Async<RpcResult> HandleJoin(const Tid& tid, const std::string& server);
   Async<RpcResult> HandleCommit(const Tid& tid, const CommitOptions& options);
   Async<RpcResult> HandleAbort(const Tid& tid);

@@ -3,11 +3,13 @@
 // ComMan interposition hooks, and the name service.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <optional>
 #include <string>
 
 #include "src/ipc/name_service.h"
+#include "src/ipc/retry_budget.h"
 #include "src/ipc/netmsg.h"
 #include "src/ipc/site.h"
 #include "src/net/network.h"
@@ -151,8 +153,10 @@ TEST(NetMsgTest, RetransmitsThroughLossyNetwork) {
   cfg.loss_probability = 0.4;
   Rig rig(2, cfg, 77);
   for (auto& site : rig.sites) {
-    // 15 attempts per call: per-call failure odds are negligible even at 40% loss.
+    // ~15 attempts per call (cap pins the exponential backoff at the base
+    // interval): per-call failure odds are negligible even at 40% loss.
     site->mutable_ipc().rpc_retry_interval = Usec(200000);
+    site->mutable_ipc().rpc_retry_cap = Usec(200000);
   }
   rig.site(1).RegisterService("echo", EchoHandler());
   int ok_count = 0;
@@ -254,6 +258,82 @@ TEST(NameServiceTest, RegisterResolveUnregister) {
   EXPECT_EQ(*r, SiteId{3});
   names.Unregister("server:a");
   EXPECT_EQ(names.Resolve("server:a").status().code(), StatusCode::kNotFound);
+}
+
+TEST(NetMsgTest, LostResponseBurstsRetransmitOutOfLockstep) {
+  // Regression: the fixed-interval retransmit loop made every caller that
+  // lost a response retransmit at the same instants — a synchronized wave
+  // that re-overloads the receiver. With capped jittered exponential
+  // backoff, two callers that start together must drift apart.
+  NetConfig cfg = QuietNet();
+  cfg.loss_probability = 1.0;  // Nothing gets through; every call retransmits
+                               // until its timeout.
+  Rig rig(3, cfg, 9);
+  for (auto& site : rig.sites) {
+    // Short base gap: several doublings fit inside the RPC timeout.
+    site->mutable_ipc().rpc_retry_interval = Usec(100000);
+  }
+  rig.site(2).RegisterService("echo", EchoHandler());
+  for (int i = 0; i < 2; ++i) {
+    rig.sched.Spawn([](Rig& r, int from) -> Async<void> {
+      co_await r.netmsg(from).Call(SiteId{2}, "echo", 0, {}, RpcContext{}, true);
+    }(rig, i));
+  }
+  rig.sched.RunUntilIdle();
+  const auto& a = rig.netmsg(0).retransmit_times();
+  const auto& b = rig.netmsg(1).retransmit_times();
+  ASSERT_GE(a.size(), 2u);
+  ASSERT_GE(b.size(), 2u);
+  // Both callers started at t=0; without jitter their retransmit instants
+  // would be identical. Require that they never coincide after the first.
+  size_t coincident = 0;
+  for (size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
+    if (a[i] == b[i]) {
+      ++coincident;
+    }
+  }
+  EXPECT_EQ(coincident, 0u) << "retransmit waves are synchronized";
+  // And the gaps grow: the last gap must exceed the first (exponential).
+  ASSERT_GE(a.size(), 3u);
+  EXPECT_GT(a[a.size() - 1] - a[a.size() - 2], a[1] - a[0]);
+}
+
+TEST(NetMsgTest, RetryBudgetSuppressesRetransmits) {
+  NetConfig cfg = QuietNet();
+  cfg.loss_probability = 1.0;
+  Rig rig(2, cfg, 3);
+  // Half a token per call, spend one per retransmit: the first call's
+  // retransmits are all suppressed (0.5 < 1).
+  rig.site(0).mutable_ipc().rpc_retry_budget_ratio = 0.5;
+  rig.site(0).mutable_ipc().rpc_retry_budget_cap = 10;
+  rig.site(1).RegisterService("echo", EchoHandler());
+  rig.sched.Spawn([](Rig& r) -> Async<void> {
+    co_await r.netmsg(0).Call(SiteId{1}, "echo", 0, {}, RpcContext{}, true);
+  }(rig));
+  rig.sched.RunUntilIdle();
+  EXPECT_EQ(rig.netmsg(0).retransmits(), 0u);
+  EXPECT_GE(rig.netmsg(0).retransmits_suppressed(), 1u);
+}
+
+TEST(RetryBudgetTest, TokenBucketEarnsAndSpends) {
+  RetryBudget budget(0.5, 2.0);
+  EXPECT_FALSE(budget.unlimited());
+  EXPECT_FALSE(budget.TryRetry());  // No tokens yet.
+  budget.OnAttempt();
+  budget.OnAttempt();  // 1.0 token.
+  EXPECT_TRUE(budget.TryRetry());
+  EXPECT_FALSE(budget.TryRetry());  // Spent.
+  for (int i = 0; i < 10; ++i) {
+    budget.OnAttempt();  // Capped at 2.0, not 5.0.
+  }
+  EXPECT_TRUE(budget.TryRetry());
+  EXPECT_TRUE(budget.TryRetry());
+  EXPECT_FALSE(budget.TryRetry());
+  EXPECT_EQ(budget.suppressed(), 3u);
+
+  RetryBudget unlimited(0, 0);
+  EXPECT_TRUE(unlimited.unlimited());
+  EXPECT_TRUE(unlimited.TryRetry());
 }
 
 TEST(NameServiceTest, LookupCostsOneLocalIpc) {

@@ -1,0 +1,100 @@
+// Overload soak (ctest label: soak): multi-seed overload-oracle runs across
+// every commit variant, admission policy, and both spike kinds (load spike /
+// congestion storm), plus shedding-disabled collapse confirmation. Failing
+// runs append their replay recipe + queue-health report to
+// overload_soak_failures.txt (directory overridden by CAMELOT_ARTIFACT_DIR)
+// so CI uploads them as an artifact.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/harness/overload_oracle.h"
+#include "src/harness/replay.h"
+#include "src/tranman/local_api.h"
+
+namespace camelot {
+namespace {
+
+std::string ArtifactPath() {
+  const char* dir = std::getenv("CAMELOT_ARTIFACT_DIR");
+  return (dir != nullptr ? std::string(dir) + "/" : std::string()) + "overload_soak_failures.txt";
+}
+
+void ReportFailure(const std::string& label, const OverloadRunResult& result) {
+  ADD_FAILURE() << label << " violated the overload oracle:\n" << result.Explain();
+  std::FILE* artifact = std::fopen(ArtifactPath().c_str(), "a");
+  if (artifact != nullptr) {
+    std::fprintf(artifact, "%s: %s\n%s", label.c_str(), result.replay.c_str(),
+                 result.Explain().c_str());
+    std::fclose(artifact);
+  }
+}
+
+TEST(OverloadSoak, SpikesAcrossSeedsVariantsAndPolicies) {
+  int runs = 0;
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    for (const char* name : {"2pc", "2pc-unopt", "2pc-int", "nbc"}) {
+      for (const AdmissionPolicy policy :
+           {AdmissionPolicy::kFifo, AdmissionPolicy::kLifo, AdmissionPolicy::kDeadlineDrop}) {
+        OverloadExplorerConfig cfg;
+        cfg.seed = seed;
+        cfg.variant = *ParseProtocolName(name);
+        cfg.admission_policy = policy;
+        const OverloadRunResult result = OverloadExplorer(cfg).Run();
+        ++runs;
+        if (!result.ok) {
+          ReportFailure(std::string(name) + " policy=" +
+                            std::to_string(static_cast<int>(policy)) +
+                            " seed=" + std::to_string(seed),
+                        result);
+        }
+      }
+    }
+  }
+  std::printf("overload soak: %d spike runs\n", runs);
+  EXPECT_GE(runs, 36);
+}
+
+TEST(OverloadSoak, LatencyStormsAcrossSeeds) {
+  int runs = 0;
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    for (const char* name : {"2pc", "nbc"}) {
+      OverloadExplorerConfig cfg;
+      cfg.seed = seed;
+      cfg.variant = *ParseProtocolName(name);
+      const OverloadRunResult result = OverloadExplorer(cfg).RunLatencyStorm();
+      ++runs;
+      if (!result.ok) {
+        ReportFailure(std::string("storm ") + name + " seed=" + std::to_string(seed), result);
+      }
+    }
+  }
+  std::printf("overload soak: %d storm runs\n", runs);
+}
+
+TEST(OverloadSoak, CollapseArmStaysCollapsedAndSafe) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    OverloadExplorerConfig cfg;
+    cfg.seed = seed;
+    cfg.shedding = false;
+    const OverloadRunResult result = OverloadExplorer(cfg).Run();
+    const std::vector<std::string> missing = OverloadExplorer::ExpectCollapse(result);
+    if (!missing.empty()) {
+      OverloadRunResult annotated = result;
+      annotated.violations = missing;
+      ReportFailure("collapse arm seed=" + std::to_string(seed), annotated);
+    }
+    for (const auto& v : result.violations) {
+      if (v.find("safety:") != std::string::npos || v.find("leak") != std::string::npos) {
+        ReportFailure("collapse-arm safety seed=" + std::to_string(seed), result);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace camelot

@@ -1,0 +1,127 @@
+// Overload robustness: the capacity model, the overload oracle across all
+// four commit variants, latency-storm recovery, the A/B proof that admission
+// control is load-bearing (the shedding-disabled arm collapses), the
+// off-path queue bound, and channel depth high-watermarks.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/harness/load_gen.h"
+#include "src/harness/overload_oracle.h"
+#include "src/harness/replay.h"
+#include "src/sim/channel.h"
+
+namespace camelot {
+namespace {
+
+TEST(CapacityModelTest, PredictsAFiniteKnee) {
+  OverloadExplorerConfig cfg;
+  OverloadExplorer explorer(cfg);
+  const CapacityModel model = explorer.Capacity();
+  EXPECT_GT(model.predicted_tps, 0);
+  EXPECT_GT(model.events, 4);   // Begin+commit+joins plus real datagrams.
+  EXPECT_GE(model.forces, 2);   // Coordinator commit + subordinate prepare at least.
+  EXPECT_GT(model.per_txn_pool_us, 0);
+  // Unoptimized 2PC forces more, so its knee must be at or below Optimized's.
+  OverloadExplorerConfig unopt = cfg;
+  unopt.variant = CommitOptions::Unoptimized();
+  EXPECT_LE(OverloadExplorer(unopt).Capacity().predicted_tps, model.predicted_tps);
+}
+
+TEST(ZipfianTest, SkewConcentratesOnHotKeys) {
+  Rng rng(7);
+  ZipfianGenerator zipf(100, 0.99);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 10000; ++i) {
+    ++counts[zipf.Next(rng)];
+  }
+  // The hottest key dominates any mid-range key under heavy skew.
+  EXPECT_GT(counts[0], counts[50] * 5);
+  // Uniform fallback: no key should dominate.
+  ZipfianGenerator uniform(100, 0.0);
+  std::vector<int> ucounts(100, 0);
+  for (int i = 0; i < 10000; ++i) {
+    ++ucounts[uniform.Next(rng)];
+  }
+  EXPECT_LT(ucounts[0], 300);
+}
+
+class OverloadVariants : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(OverloadVariants, SpikeSurvivesWithAdmissionControl) {
+  OverloadExplorerConfig cfg;
+  cfg.variant = *ParseProtocolName(GetParam());
+  OverloadExplorer explorer(cfg);
+  const OverloadRunResult result = explorer.Run();
+  EXPECT_TRUE(result.ok) << result.Explain();
+  // The spike must actually have pressed the admission machinery.
+  EXPECT_GT(result.overload_rejects + result.deadline_shed + result.background.shed +
+                result.spike.shed,
+            0u)
+      << "5x offered load never tripped admission control\n"
+      << result.Explain();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCommitVariants, OverloadVariants,
+                         ::testing::Values("2pc", "2pc-unopt", "2pc-int", "nbc"));
+
+TEST(OverloadExplorerTest, LatencyStormRecovers) {
+  OverloadExplorerConfig cfg;
+  OverloadExplorer explorer(cfg);
+  const OverloadRunResult result = explorer.RunLatencyStorm();
+  EXPECT_TRUE(result.ok) << result.Explain();
+}
+
+TEST(OverloadExplorerTest, SheddingDisabledCollapses) {
+  OverloadExplorerConfig cfg;
+  cfg.shedding = false;
+  OverloadExplorer explorer(cfg);
+  const OverloadRunResult result = explorer.Run();
+  // The collapse arm must exhibit the collapse signature...
+  const std::vector<std::string> missing = OverloadExplorer::ExpectCollapse(result);
+  EXPECT_TRUE(missing.empty()) << [&] {
+    std::string out;
+    for (const auto& m : missing) {
+      out += m + "\n";
+    }
+    return out + result.Explain();
+  }();
+  // ...but even a collapsing system must stay SAFE: conservation and leak
+  // freedom are audited in both arms (violations carry a "safety:" prefix).
+  for (const auto& v : result.violations) {
+    EXPECT_TRUE(v.find("safety:") == std::string::npos &&
+                v.find("leak") == std::string::npos)
+        << result.Explain();
+  }
+}
+
+TEST(OverloadExplorerTest, OffPathQueueStaysBounded) {
+  // The shedding run's world uses the default off-path bound; the counter
+  // only moves when a destination backs up, so here we just assert the bound
+  // plumbed through and the explorer surfaces the counter.
+  OverloadExplorerConfig cfg;
+  OverloadExplorer explorer(cfg);
+  const OverloadRunResult result = explorer.Run();
+  EXPECT_NE(result.queue_health.find("off-path dropped"), std::string::npos);
+}
+
+TEST(ChannelTest, DepthHighWatermarkTracksPeakBacklog) {
+  Scheduler sched;
+  Channel<int> ch(sched);
+  for (int i = 0; i < 5; ++i) {
+    ch.Send(i);
+  }
+  EXPECT_EQ(ch.high_watermark(), 5u);
+  sched.Spawn([](Channel<int>& c) -> Async<void> {
+    for (int i = 0; i < 5; ++i) {
+      co_await c.Receive();
+    }
+  }(ch));
+  sched.RunUntilIdle();
+  ch.Send(9);  // Draining does not reset the peak.
+  EXPECT_EQ(ch.high_watermark(), 5u);
+}
+
+}  // namespace
+}  // namespace camelot

@@ -152,5 +152,150 @@ TEST(TmMsgTest, AllTypesHaveNames) {
   }
 }
 
+// --- Bounded admission (overload robustness) ----------------------------------
+
+Async<void> AdmitOne(WorkerPool& pool, SimDuration cpu, SimTime deadline,
+                     std::vector<Admission>* outcomes) {
+  Admission a = co_await pool.Admit(cpu, deadline);
+  outcomes->push_back(a);
+}
+
+TEST(WorkerPoolTest, AdmissionQueueBoundFastRejects) {
+  Scheduler sched;
+  WorkerPool pool(sched, 1);
+  pool.set_admission_limit(2);
+  std::vector<Admission> outcomes;
+  // 1 running + 2 queued fill the pool; the 4th and 5th must be rejected
+  // without ever occupying a worker.
+  for (int i = 0; i < 5; ++i) {
+    sched.Spawn(AdmitOne(pool, Msec(10), 0, &outcomes));
+  }
+  sched.RunUntilIdle();
+  ASSERT_EQ(outcomes.size(), 5u);
+  int ran = 0;
+  int rejected = 0;
+  for (Admission a : outcomes) {
+    ran += a == Admission::kRun;
+    rejected += a == Admission::kRejected;
+  }
+  EXPECT_EQ(ran, 3);
+  EXPECT_EQ(rejected, 2);
+  EXPECT_EQ(pool.shed_rejected(), 2u);
+  EXPECT_EQ(pool.queued(), 0u);
+}
+
+TEST(WorkerPoolTest, ExpiredDeadlineShedBeforeOccupyingWorker) {
+  Scheduler sched;
+  WorkerPool pool(sched, 1);
+  std::vector<Admission> outcomes;
+  // First event holds the only worker for 50ms; the second's deadline passes
+  // at 20ms while it is queued — it must be shed at grant time, unrun.
+  sched.Spawn(AdmitOne(pool, Msec(50), 0, &outcomes));
+  sched.Spawn(AdmitOne(pool, Msec(10), Msec(20), &outcomes));
+  // Arriving already-expired: shed immediately, never queued.
+  sched.Spawn([](Scheduler& s, WorkerPool& p, std::vector<Admission>* out) -> Async<void> {
+    co_await s.Delay(Msec(60));
+    co_await AdmitOne(p, Msec(10), Msec(30), out);
+  }(sched, pool, &outcomes));
+  sched.RunUntilIdle();
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_EQ(pool.shed_expired(), 2u);
+  int expired = 0;
+  for (Admission a : outcomes) {
+    expired += a == Admission::kExpired;
+  }
+  EXPECT_EQ(expired, 2);
+}
+
+TEST(WorkerPoolTest, LifoPolicyRunsNewestFirst) {
+  Scheduler sched;
+  WorkerPool pool(sched, 1);
+  pool.set_admission_policy(AdmissionPolicy::kLifo);
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    sched.Spawn([](WorkerPool& p, std::vector<int>* out, int id) -> Async<void> {
+      if (co_await p.Admit(Msec(10)) == Admission::kRun) {
+        out->push_back(id);
+      }
+    }(pool, &order, i));
+  }
+  sched.RunUntilIdle();
+  // 0 grabs the worker; 1..3 queue; LIFO grants 3, 2, 1.
+  EXPECT_EQ(order, (std::vector<int>{0, 3, 2, 1}));
+}
+
+TEST(WorkerPoolTest, DeadlineDropEvictsTightestQueuedEntry) {
+  Scheduler sched;
+  WorkerPool pool(sched, 1);
+  pool.set_admission_limit(2);
+  pool.set_admission_policy(AdmissionPolicy::kDeadlineDrop);
+  std::vector<Admission> outcomes;
+  std::vector<Admission> victim;
+  sched.Spawn(AdmitOne(pool, Msec(50), 0, &outcomes));           // Occupies the worker.
+  sched.Spawn(AdmitOne(pool, Msec(10), Msec(30), &victim));      // Queued, tight deadline.
+  sched.Spawn(AdmitOne(pool, Msec(10), Msec(500), &outcomes));   // Queued, slack.
+  sched.Spawn(AdmitOne(pool, Msec(10), Msec(400), &outcomes));   // Full: evicts the 30ms entry.
+  sched.RunUntilIdle();
+  ASSERT_EQ(victim.size(), 1u);
+  EXPECT_EQ(victim[0], Admission::kRejected);
+  for (Admission a : outcomes) {
+    EXPECT_EQ(a, Admission::kRun);
+  }
+  // A newcomer with LESS slack than everyone queued is itself rejected.
+  EXPECT_EQ(pool.shed_rejected(), 1u);
+}
+
+TEST(WorkerPoolTest, ResizeWithQueuedEventsDispatchesAndShrinksLazily) {
+  Scheduler sched;
+  WorkerPool pool(sched, 1);
+  std::vector<SimTime> finish;
+  for (int i = 0; i < 4; ++i) {
+    sched.Spawn([](Scheduler& s, WorkerPool& p, std::vector<SimTime>* out) -> Async<void> {
+      co_await p.Run(Msec(10));
+      out->push_back(s.now());
+    }(sched, pool, &finish));
+  }
+  // Grow while three are queued: the backlog dispatches immediately.
+  sched.Spawn([](Scheduler& s, WorkerPool& p) -> Async<void> {
+    co_await s.Delay(Msec(1));
+    p.Resize(4);
+  }(sched, pool));
+  sched.RunUntilIdle();
+  ASSERT_EQ(finish.size(), 4u);
+  EXPECT_EQ(finish[0], Msec(10));
+  for (size_t i = 1; i < finish.size(); ++i) {
+    EXPECT_EQ(finish[i], Msec(11));  // Dispatched at the resize, 10ms later done.
+  }
+  // Shrink with work in flight: takes effect as workers release.
+  pool.Resize(1);
+  std::vector<SimTime> second;
+  for (int i = 0; i < 2; ++i) {
+    sched.Spawn([](Scheduler& s, WorkerPool& p, std::vector<SimTime>* out) -> Async<void> {
+      co_await p.Run(Msec(10));
+      out->push_back(s.now());
+    }(sched, pool, &second));
+  }
+  sched.RunUntilIdle();
+  ASSERT_EQ(second.size(), 2u);
+  EXPECT_EQ(second[1] - second[0], Msec(10));  // Serialized: one worker again.
+}
+
+TEST(WorkerPoolTest, QueueHealthInstrumentation) {
+  Scheduler sched;
+  WorkerPool pool(sched, 1);
+  std::vector<Admission> outcomes;
+  for (int i = 0; i < 3; ++i) {
+    sched.Spawn(AdmitOne(pool, Msec(10), 0, &outcomes));
+  }
+  sched.RunUntilIdle();
+  EXPECT_EQ(pool.depth_high_watermark(), 2u);
+  EXPECT_EQ(pool.queued_time_us().count(), 2u);
+  EXPECT_EQ(pool.queued_time_us().max(), 20000.0);  // Last in line waited 2 bursts.
+  EXPECT_GT(pool.queue_depth().mean(), 0.0);
+  pool.ResetQueueStats();
+  EXPECT_EQ(pool.depth_high_watermark(), 0u);
+  EXPECT_EQ(pool.queued_time_us().count(), 0u);
+}
+
 }  // namespace
 }  // namespace camelot
