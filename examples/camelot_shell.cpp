@@ -10,7 +10,8 @@
 //   begin t1                 # named transaction handles
 //   write t1 bank gold 450
 //   read  t1 bank gold
-//   commit t1 [nbc]          # optimized 2PC by default; "nbc" = non-blocking
+//   commit t1 [nbc|paxos [F]]  # optimized 2PC by default; "nbc" = non-blocking,
+//                            # "paxos" = Paxos Commit (default F = 1)
 //   abort t1
 //   crash 1 / restart 1      # failure injection
 //   partition 0 | 1 2        # groups separated by '|'
@@ -146,8 +147,17 @@ bool Shell::Execute(const std::string& line) {
       return true;
     }
     AppClient app(W().site(0));
-    const CommitOptions options =
-        proto == "nbc" ? CommitOptions::NonBlocking() : CommitOptions::Optimized();
+    CommitOptions options = CommitOptions::Optimized();
+    if (proto == "nbc") {
+      options = CommitOptions::NonBlocking();
+    } else if (proto == "paxos") {
+      uint32_t f = 1;
+      if (!(in >> f)) {
+        f = 1;  // A failed extraction zeroes f; a bare "paxos" means F = 1.
+        in.clear();
+      }
+      options = CommitOptions::Paxos(f);
+    }
     auto st = Run([](AppClient& a, Tid t, bool commit, CommitOptions o) -> Async<Status> {
       Status r;
       if (commit) {

@@ -1,5 +1,6 @@
 #include "src/analysis/static_analysis.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -57,10 +58,58 @@ void FrontEvents(PathAnalysis* path, TxnKind kind, int subordinates,
   path->events.push_back({"vote local server (local IPC)", c.local_ipc});
 }
 
+// Acceptor-set sizing, mirroring HandleCommit: min(2F+1, participants),
+// clamped odd so quorums are strict majorities of the set.
+int64_t PaxosAcceptorCount(uint32_t paxos_f, int64_t subordinates) {
+  int64_t a = std::min<int64_t>(2 * static_cast<int64_t>(paxos_f) + 1, subordinates + 1);
+  if (a % 2 == 0) {
+    --a;
+  }
+  return a;
+}
+
 }  // namespace
+
+PathAnalysis CompletionPath(const CommitOptions& options, TxnKind kind, int subordinates,
+                            const PrimitiveCosts& c) {
+  if (options.protocol != CommitProtocol::kPaxos) {
+    return CompletionPath(options.protocol, kind, subordinates, c);
+  }
+  if (PaxosAcceptorCount(options.paxos_f, subordinates) <= 1) {
+    // Gray & Lamport's degenerate case: F = 0 Paxos Commit IS the optimized
+    // two-phase protocol, path for path.
+    return CompletionPath(CommitProtocol::kTwoPhase, kind, subordinates, c);
+  }
+  PathAnalysis path;
+  FrontEvents(&path, kind, subordinates, c);
+  // Read-only transactions skip the prepare force, the accept round, and the
+  // notify phase entirely (same shape as the other protocols).
+  if (kind == TxnKind::kRead) {
+    path.events.push_back({"prepare datagram", c.datagram});
+    path.events.push_back({"subordinate vote (local IPC)", c.local_ipc});
+    path.events.push_back({"vote datagram", c.datagram});
+    return path;
+  }
+  // Votes fan to the whole acceptor set and the ballot-0 accepts proceed in
+  // parallel, so F never appears in the path length. The commit record is only
+  // spooled: F+1 durable accepts already carry the decision, which is how
+  // Paxos Commit undercuts NBC by one force and one datagram.
+  path.events.push_back({"coordinator prepare log force", c.log_force});
+  path.events.push_back({"prepare datagram", c.datagram});
+  path.events.push_back({"subordinate vote (local IPC)", c.local_ipc});
+  path.events.push_back({"subordinate prepare log force", c.log_force});
+  path.events.push_back({"vote datagram", c.datagram});
+  path.events.push_back({"acceptor accept log force", c.log_force});
+  path.events.push_back({"accepted datagram", c.datagram});
+  return path;
+}
 
 PathAnalysis CompletionPath(CommitProtocol protocol, TxnKind kind, int subordinates,
                             const PrimitiveCosts& c) {
+  if (protocol == CommitProtocol::kPaxos) {
+    // Protocol-only callers get the smallest non-degenerate registrar (F = 1).
+    return CompletionPath(CommitOptions::Paxos(1), kind, subordinates, c);
+  }
   PathAnalysis path;
   FrontEvents(&path, kind, subordinates, c);
 
@@ -129,6 +178,48 @@ CountVector ExpectedProtocolCounts(const CommitOptions& options, int update_subs
   if (s == 0) {
     // Local-only commit: one force iff anything was written.
     add("coord/local.commit/force", local_updates ? 1 : 0);
+    return counts;
+  }
+
+  if (options.protocol == CommitProtocol::kPaxos) {
+    const int64_t a = PaxosAcceptorCount(options.paxos_f, s);
+    if (a <= 1) {
+      // F_eff = 0: Gray & Lamport's theorem — Paxos Commit with a single
+      // acceptor is EXACTLY the optimized two-phase protocol, count for count.
+      return ExpectedProtocolCounts(CommitOptions::Optimized(), update_subs, readonly_subs,
+                                    local_updates, outcome);
+    }
+    // Phase 1: prepare fan-out; every yes vote fans to the whole acceptor set
+    // (the first `a` participant sites, coordinator first) minus its sender.
+    add("coord/PREPARE/dgram", s);
+    add("coord/paxos.prepare/force", local_updates ? 1 : 0);
+    add("coord/VOTE/dgram", a - 1);
+    add("sub/VOTE/dgram", s * a - (a - 1));
+    add("sub/prepare/force", u);
+    if (u == 0 && !local_updates) {
+      // Entirely read-only: trivially committed, no accept round. The
+      // lingering read-only acceptors are told the outcome and ack their
+      // tombstones (the acks land on the retired family).
+      add("coord/COMMIT/dgram", a - 1);
+      add("sub/COMMIT-ACK/dgram", a - 1);
+      return counts;
+    }
+    // Ballot-0 accepts: every acceptor forces one batched accept record; the
+    // remote ones report theirs to the leader.
+    add("acceptor/paxos.accept/force", a);
+    add("acceptor/PAXOS-ACCEPTED/dgram", a - 1);
+    // Commit point: spooled, never forced — F+1 durable accepts carry the
+    // decision across any F crashes.
+    add("coord/paxos.commit/spool", 1);
+    // Notify phase: update subordinates plus the read-only remote acceptors
+    // (update sites are assumed to occupy the front of the site list, which is
+    // join order — how every harness workload builds it).
+    const int64_t ro_acceptors = std::min(r, std::max<int64_t>(0, (a - 1) - u));
+    add("coord/COMMIT/dgram", u + ro_acceptors);
+    add("sub/COMMIT-ACK/dgram", u + ro_acceptors);
+    add("sub/commit/spool", u);
+    add("sub/ack/force", u);
+    add("coord/end/spool", 1);
     return counts;
   }
 
@@ -216,6 +307,34 @@ CountVector ExpectedMinimalTxnCounts(const CommitOptions& options, TxnKind kind,
     add("ipc/server/call", s + 1);
   }
   return counts;
+}
+
+namespace {
+
+void AppendCriticalTail(PathAnalysis* path, TxnKind kind, int subordinates,
+                        const PrimitiveCosts& c) {
+  if (subordinates == 0) {
+    path->events.push_back({"drop-locks call (local one-way)", c.local_oneway});
+    path->events.push_back({"drop lock", c.drop_lock});
+    return;
+  }
+  if (kind == TxnKind::kWrite) {
+    path->events.push_back({"commit datagram", c.datagram});
+    path->events.push_back({"subordinate drop-locks call (local one-way)", c.local_oneway});
+    path->events.push_back({"drop lock", c.drop_lock});
+  } else {
+    path->events.push_back({"drop-locks call (local one-way)", c.local_oneway});
+    path->events.push_back({"drop lock", c.drop_lock});
+  }
+}
+
+}  // namespace
+
+PathAnalysis CriticalPath(const CommitOptions& options, TxnKind kind, int subordinates,
+                          const PrimitiveCosts& c) {
+  PathAnalysis path = CompletionPath(options, kind, subordinates, c);
+  AppendCriticalTail(&path, kind, subordinates, c);
+  return path;
 }
 
 PathAnalysis CriticalPath(CommitProtocol protocol, TxnKind kind, int subordinates,

@@ -53,9 +53,19 @@ struct PathAnalysis {
 PathAnalysis CompletionPath(CommitProtocol protocol, TxnKind kind, int subordinates,
                             const PrimitiveCosts& costs = {});
 
+// Options-aware form: Paxos Commit's path depends on F (F = 0 collapses to the
+// optimized two-phase path; F >= 1 swaps NBC's replicate round for a parallel
+// accept round and spools the commit record). The protocol-only form above
+// models kPaxos at F = 1.
+PathAnalysis CompletionPath(const CommitOptions& options, TxnKind kind, int subordinates,
+                            const PrimitiveCosts& costs = {});
+
 // The shortest sequence of actions before ALL locks are dropped and the call
 // has returned (always at least as long as the completion path).
 PathAnalysis CriticalPath(CommitProtocol protocol, TxnKind kind, int subordinates,
+                          const PrimitiveCosts& costs = {});
+
+PathAnalysis CriticalPath(const CommitOptions& options, TxnKind kind, int subordinates,
                           const PrimitiveCosts& costs = {});
 
 // The paper derives "transaction management cost" by subtracting operation

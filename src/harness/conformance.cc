@@ -80,7 +80,9 @@ ConformanceReport RunConformanceScenario(const ConformanceScenario& scenario,
   report.counts_match = report.diff.empty();
 
   if (scenario.outcome == TxnOutcome::kCommit) {
-    report.predicted_ms = CompletionPath(scenario.options.protocol, scenario.kind,
+    // Options-aware so Paxos Commit's F (and its F = 0 collapse to two-phase)
+    // shape the predicted path.
+    report.predicted_ms = CompletionPath(scenario.options, scenario.kind,
                                          scenario.subordinates)
                               .TotalMs();
     // The paper's static analysis must underestimate: it charges primitive

@@ -161,13 +161,42 @@ RunResult CrashExplorer::Run(const CrashSchedule& schedule, bool record) {
 
   // Drain: let every in-doubt outcome, orphan watcher, and the workload's
   // remaining transfers resolve. Bounded so a livelocked run fails loudly
-  // instead of hanging the sweep.
+  // instead of hanging the sweep. A schedule entry can fire during the drain
+  // itself — e.g. a crash armed on a commit-ack that is only sent once the
+  // coordinator's retransmission reaches the healed site — taking a site
+  // down after the heal loop finished; re-heal and re-drain until stable so
+  // the audit reads a fully recovered installation.
   bool quiesced = all_up;
   if (all_up) {
     constexpr size_t kMaxEvents = 2u * 1000 * 1000;
-    if (!world.sched().RunUntilIdle(kMaxEvents).drained) {
-      quiesced = false;
-      Violate(&out, "world did not quiesce within " + std::to_string(kMaxEvents) + " events");
+    int late_heals = 0;
+    for (;;) {
+      if (!world.sched().RunUntilIdle(kMaxEvents).drained) {
+        quiesced = false;
+        Violate(&out, "world did not quiesce within " + std::to_string(kMaxEvents) + " events");
+        break;
+      }
+      std::vector<int> down;
+      for (int i = 0; i < n; ++i) {
+        if (!world.site(i).site().up()) {
+          down.push_back(i);
+        }
+      }
+      if (down.empty()) {
+        break;
+      }
+      if (++late_heals > config_.max_restart_attempts) {
+        quiesced = false;
+        for (int i : down) {
+          Violate(&out, "site " + std::to_string(i) + " still down after " +
+                            std::to_string(late_heals - 1) + " late restart attempts");
+        }
+        break;
+      }
+      for (int i : down) {
+        world.Restart(i);
+      }
+      world.RunFor(config_.heal_window);
     }
   }
 

@@ -164,6 +164,16 @@ Async<Status> LoadGen::Attempt(AppClient& app, Rng& rng, bool read_only, SimTime
     co_await app.Abort(tid);
     co_return staged;
   }
+  // Long-lived transactions: think with the locks held before committing, so
+  // a nemesis crash has a real window to catch the family mid-flight.
+  if (cfg_.hold_time_mean > 0) {
+    SimDuration hold = static_cast<SimDuration>(
+        rng.NextExponential(static_cast<double>(cfg_.hold_time_mean)));
+    if (cfg_.hold_time_max > 0) {
+      hold = std::min(hold, cfg_.hold_time_max);
+    }
+    co_await world_.sched().Delay(std::max<SimDuration>(hold, 1));
+  }
   co_return co_await app.Commit(tid, cfg_.options);
 }
 

@@ -69,6 +69,15 @@ struct LoadGenConfig {
   int64_t max_amount = 5;                 // Transfer amounts 1..max_amount.
   CommitOptions options = CommitOptions::Optimized();
 
+  // Long-lived transactions: after staging its updates (locks held) each
+  // transaction thinks for an exponentially distributed hold time before
+  // calling Commit (0 = commit immediately, the classic short-txn shape).
+  // This is the paper's interactive-transaction regime — the window in which
+  // a crash catches transactions mid-flight, and exactly the regime where a
+  // blocking commit protocol strands locks behind a dead coordinator.
+  SimDuration hold_time_mean = 0;
+  SimDuration hold_time_max = 0;          // Per-draw clamp; 0 = unclamped.
+
   // Per-arrival client deadline (relative; 0 = none). The absolute deadline is
   // fixed at arrival time and survives retries — a retry does not buy the
   // client more patience.

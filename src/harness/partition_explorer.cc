@@ -299,9 +299,17 @@ std::vector<PartitionSweepFailure> PartitionExplorer::ExhaustiveSinglePartitionS
     const char* name;
     std::string when;
   };
-  const bool nbc = config_.Options().protocol == CommitProtocol::kNonBlocking;
-  const std::string decided_point =
-      std::string(nbc ? "tm.nbc.commit_force.after" : "tm.2pc.commit_force.after") + "@0#1";
+  // "Decided" anchor per protocol: the coordinator's decision force — for
+  // Paxos Commit the ballot-0 accept force, the closest durable event to the
+  // commit point (the commit record itself is only spooled).
+  const CommitProtocol proto = config_.Options().protocol;
+  std::string decided_force = "tm.2pc.commit_force.after";
+  if (proto == CommitProtocol::kNonBlocking) {
+    decided_force = "tm.nbc.commit_force.after";
+  } else if (proto == CommitProtocol::kPaxos) {
+    decided_force = "tm.paxos.accept_force.after";
+  }
+  const std::string decided_point = decided_force + "@0#1";
   const std::vector<Phase> kPhases = {
       {"active", "@1000000"},          // Mid-workload, between protocol steps.
       {"prepare", "tm.send.PREPARE@0#1"},  // The instant PREPARE leaves site 0.

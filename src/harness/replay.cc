@@ -6,6 +6,9 @@
 namespace camelot {
 
 std::string ProtocolName(const CommitOptions& options) {
+  if (options.protocol == CommitProtocol::kPaxos) {
+    return "paxos";
+  }
   if (options.protocol == CommitProtocol::kNonBlocking) {
     return "nbc";
   }
@@ -28,7 +31,22 @@ Result<CommitOptions> ParseProtocolName(std::string_view name) {
   if (name == "nbc") {
     return CommitOptions::NonBlocking();
   }
+  if (name == "paxos") {
+    // The name alone does not carry F; recipes pair it with CAMELOT_F
+    // (ApplyPaxosFFromEnv), defaulting to the smallest non-degenerate set.
+    return CommitOptions::Paxos(1);
+  }
   return InvalidArgumentError("unknown protocol name: " + std::string(name));
+}
+
+CommitOptions ApplyPaxosFFromEnv(CommitOptions options) {
+  if (options.protocol != CommitProtocol::kPaxos) {
+    return options;
+  }
+  if (const char* f = std::getenv("CAMELOT_F")) {
+    options.paxos_f = static_cast<uint32_t>(std::strtoul(f, nullptr, 10));
+  }
+  return options;
 }
 
 std::string ReplayRecipePrefix(uint64_t seed, bool non_blocking) {
@@ -37,7 +55,12 @@ std::string ReplayRecipePrefix(uint64_t seed, bool non_blocking) {
 }
 
 std::string ReplayRecipePrefix(uint64_t seed, const CommitOptions& options) {
-  return "CAMELOT_SEED=" + std::to_string(seed) + " CAMELOT_PROTOCOL=" + ProtocolName(options);
+  std::string prefix =
+      "CAMELOT_SEED=" + std::to_string(seed) + " CAMELOT_PROTOCOL=" + ProtocolName(options);
+  if (options.protocol == CommitProtocol::kPaxos) {
+    prefix += " CAMELOT_F=" + std::to_string(options.paxos_f);
+  }
+  return prefix;
 }
 
 std::string ReplayRecipe(uint64_t seed, bool non_blocking, const std::string& variable,

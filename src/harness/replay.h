@@ -18,11 +18,16 @@
 
 namespace camelot {
 
-// The four commit variants of the paper's comparison, as replay-recipe
-// protocol tokens: "2pc" (Optimized), "2pc-unopt" (Unoptimized),
-// "2pc-int" (Intermediate), "nbc" (NonBlocking).
+// The five commit variants, as replay-recipe protocol tokens: "2pc"
+// (Optimized), "2pc-unopt" (Unoptimized), "2pc-int" (Intermediate), "nbc"
+// (NonBlocking), "paxos" (Paxos Commit; F rides in CAMELOT_F, defaulting
+// to 1 on parse).
 std::string ProtocolName(const CommitOptions& options);
 Result<CommitOptions> ParseProtocolName(std::string_view name);
+
+// Overrides paxos_f from the CAMELOT_F environment variable on a parsed
+// "paxos" option set; every other protocol passes through untouched.
+CommitOptions ApplyPaxosFFromEnv(CommitOptions options);
 
 // "CAMELOT_SEED=<seed> CAMELOT_PROTOCOL=<2pc|nbc>"
 std::string ReplayRecipePrefix(uint64_t seed, bool non_blocking);

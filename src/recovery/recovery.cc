@@ -269,8 +269,17 @@ Async<RecoveryReport> RecoveryManager::Recover(
         // We were the coordinator and phase 2 was cut short: resume it so the
         // remaining subordinates drop their locks and ack.
         std::vector<std::string> server_names(trace.servers.begin(), trace.servers.end());
+        // The commit record does not name the protocol, but the prepare (or
+        // ballot-0 accept) record does — restoring it matters because NBC and
+        // Paxos coordinators keep tombstones after phase 2 where 2PC retires.
+        CommitOptions options = CommitOptions::Optimized();
+        if (trace.prepared) {
+          options.protocol = trace.prepare.protocol;
+        } else if (trace.has_replication) {
+          options.protocol = trace.replication.protocol;
+        }
         tranman_.RestoreCoordinator(trace.top, trace.commit_sites, std::move(server_names),
-                                    CommitOptions::Optimized());
+                                    options);
         ++report.coordinators_resumed;
       } else {
         tranman_.RestoreTombstone(trace.top, TmTxnState::kCommitted);
@@ -305,14 +314,21 @@ Async<RecoveryReport> RecoveryManager::Recover(
         restored.commit_quorum = trace.prepare.commit_quorum;
         restored.abort_quorum = trace.prepare.abort_quorum;
       } else {
-        // Only replication records: an NBC participant. Default quorums are
-        // the majority rule every coordinator uses.
+        // Only replication records: a quorum participant without prepared
+        // updates of its own (read-only NBC coordinator, passive acceptor).
+        // The record carries protocol and quorum sizes; legacy NBC records
+        // hold zeros, reconstructed with the majority rule every NBC
+        // coordinator uses.
         restored.coordinator = trace.replication.coordinator;
         restored.sites = trace.replication.sites;
-        restored.protocol = CommitProtocol::kNonBlocking;
+        restored.protocol = trace.replication.protocol;
         const uint32_t n = static_cast<uint32_t>(trace.replication.sites.size());
-        restored.commit_quorum = n / 2 + 1;
-        restored.abort_quorum = n + 1 - restored.commit_quorum;
+        restored.commit_quorum = trace.replication.commit_quorum != 0
+                                     ? trace.replication.commit_quorum
+                                     : n / 2 + 1;
+        restored.abort_quorum = trace.replication.abort_quorum != 0
+                                    ? trace.replication.abort_quorum
+                                    : n + 1 - restored.commit_quorum;
       }
       restored.has_replication = trace.has_replication;
       if (trace.has_replication) {

@@ -37,11 +37,16 @@ struct CommitOptions {
   CommitProtocol protocol = CommitProtocol::kTwoPhase;
   bool force_subordinate_commit = false;
   bool piggyback_commit_ack = true;
+  // Paxos Commit fault tolerance: the protocol places min(2F+1, participants)
+  // acceptors (clamped odd) on the participant sites, coordinator first. F=0
+  // degenerates to exactly the optimized two-phase protocol.
+  uint32_t paxos_f = 0;
 
-  static CommitOptions Optimized() { return {CommitProtocol::kTwoPhase, false, true}; }
-  static CommitOptions Unoptimized() { return {CommitProtocol::kTwoPhase, true, false}; }
-  static CommitOptions Intermediate() { return {CommitProtocol::kTwoPhase, true, true}; }
-  static CommitOptions NonBlocking() { return {CommitProtocol::kNonBlocking, false, true}; }
+  static CommitOptions Optimized() { return {CommitProtocol::kTwoPhase, false, true, 0}; }
+  static CommitOptions Unoptimized() { return {CommitProtocol::kTwoPhase, true, false, 0}; }
+  static CommitOptions Intermediate() { return {CommitProtocol::kTwoPhase, true, true, 0}; }
+  static CommitOptions NonBlocking() { return {CommitProtocol::kNonBlocking, false, true, 0}; }
+  static CommitOptions Paxos(uint32_t f) { return {CommitProtocol::kPaxos, false, true, f}; }
 };
 
 inline Bytes EncodeBeginRequest(const Tid& parent) {
@@ -56,6 +61,7 @@ inline Bytes EncodeCommitRequest(const Tid& tid, const CommitOptions& options) {
   w.U8(static_cast<uint8_t>(options.protocol));
   w.U8(options.force_subordinate_commit ? 1 : 0);
   w.U8(options.piggyback_commit_ack ? 1 : 0);
+  w.U32(options.paxos_f);
   return w.Take();
 }
 

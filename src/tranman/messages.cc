@@ -24,6 +24,8 @@ const char* TmMsgTypeName(TmMsgType type) {
       return "STATUS-RESP";
     case TmMsgType::kSiteUp:
       return "SITE-UP";
+    case TmMsgType::kPaxosAccepted:
+      return "PAXOS-ACCEPTED";
   }
   return "UNKNOWN";
 }
@@ -47,6 +49,7 @@ Bytes TmMsg::Encode() const {
   w.U8(has_replication ? 1 : 0);
   w.U64(replicated_epoch);
   w.U8(static_cast<uint8_t>(replicated_decision));
+  w.U8(promised ? 1 : 0);
   return w.Take();
 }
 
@@ -70,6 +73,7 @@ Result<TmMsg> TmMsg::Decode(const Bytes& wire) {
   m.has_replication = r.U8() != 0;
   m.replicated_epoch = r.U64();
   m.replicated_decision = static_cast<TmDecision>(r.U8());
+  m.promised = r.U8() != 0;
   if (!r.ok() || !r.AtEnd()) {
     return CorruptionError("bad TmMsg wire format");
   }

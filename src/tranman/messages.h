@@ -29,6 +29,7 @@ enum class TmMsgType : uint8_t {
   kStatusReq = 8,     // in-doubt site / takeover coordinator -> participants
   kStatusResp = 9,    // participant -> asker
   kSiteUp = 10,       // recovered site -> everyone: re-probe me if in doubt
+  kPaxosAccepted = 11,  // Paxos acceptor -> leader: batched ballot-0 accept done
 };
 
 const char* TmMsgTypeName(TmMsgType type);
@@ -83,6 +84,12 @@ struct TmMsg {
   bool has_replication = false;
   uint64_t replicated_epoch = 0;
   TmDecision replicated_decision = TmDecision::kAbort;
+  // kStatusResp to a Paxos takeover read: the family is unknown here, but a
+  // promise at the read's epoch was recorded — "no accepted value" is real
+  // testimony a leader may count toward its read quorum, unlike a bare
+  // kUnknown (which proves nothing: an amnesiac acceptor may have accepted
+  // and lost the memory).
+  bool promised = false;
 
   Bytes Encode() const;
   static Result<TmMsg> Decode(const Bytes& wire);

@@ -74,6 +74,10 @@ TranMan::Family* TranMan::CreateFamily(const Tid& top) {
   auto fam = std::make_unique<Family>();
   fam->top = top.TopLevel();
   Family* raw = fam.get();
+  if (const auto it = orphan_promises_.find(top.family); it != orphan_promises_.end()) {
+    raw->promised_epoch = it->second;  // The promise binds the family it reserved.
+    orphan_promises_.erase(it);
+  }
   families_.emplace(top.family, std::move(fam));
   return raw;
 }
@@ -142,6 +146,8 @@ ForceAttribution AttributeForce(std::string_view point) {
   if (point == "tm.takeover.replicate_force") return {"takeover", "replicate"};
   if (point == "tm.takeover.commit_force") return {"takeover", "commit"};
   if (point == "tm.accept.replicate_force") return {"sub", "accept.replicate"};
+  if (point == "tm.paxos.prepare_force") return {"coord", "paxos.prepare"};
+  if (point == "tm.paxos.accept_force") return {"acceptor", "paxos.accept"};
   return {"tm", "other"};
 }
 
@@ -202,10 +208,17 @@ void TranMan::RecordDatagram(const TmMsg& msg) {
       role = "coord";
       break;
     case TmMsgType::kVote:
+      // Paxos fans every participant's vote out to the whole acceptor set, so
+      // the coordinator sends votes too; 2PC/NBC only ever see "sub" here.
+      role = msg.tid.family.origin == site_.id() ? "coord" : "sub";
+      break;
     case TmMsgType::kCommitAck:
     case TmMsgType::kReplicateAck:
     case TmMsgType::kStatusReq:
       role = "sub";
+      break;
+    case TmMsgType::kPaxosAccepted:
+      role = "acceptor";
       break;
     case TmMsgType::kAbort:
       // Abort diffusion from the family's origin is the coordinator-side
@@ -599,9 +612,25 @@ Async<void> TranMan::DispatchMsg(TmMsg msg) {
     case TmMsgType::kPrepare:
       co_await HandleRemotePrepare(std::move(msg));
       co_return;
-    case TmMsgType::kVote:
+    case TmMsgType::kVote: {
+      Family* fam = FindFamily(msg.tid.family);
+      // Paxos votes fan out to the whole acceptor set. At the coordinator the
+      // vote feeds GatherVotes via the inbox like any other protocol; at the
+      // other acceptors it feeds the ballot-0 accept machinery. Votes for
+      // unknown families are dropped: an amnesiac acceptor must never
+      // re-assemble a ballot-0 accept from retransmitted votes alone.
+      if (msg.protocol == CommitProtocol::kPaxos && fam != nullptr && !fam->is_coordinator) {
+        co_await HandlePaxosVote(std::move(msg));
+        co_return;
+      }
+      if (fam != nullptr && fam->inbox && !fam->inbox->closed()) {
+        fam->inbox->Send(std::move(msg));
+      }
+      co_return;
+    }
     case TmMsgType::kCommitAck:
     case TmMsgType::kReplicateAck:
+    case TmMsgType::kPaxosAccepted:
     case TmMsgType::kStatusResp: {
       Family* fam = FindFamily(msg.tid.family);
       if (fam != nullptr && fam->inbox && !fam->inbox->closed()) {
@@ -727,6 +756,7 @@ Async<RpcResult> TranMan::Handle(RpcContext ctx, uint32_t method, Bytes body) {
       options.protocol = static_cast<CommitProtocol>(r.U8());
       options.force_subordinate_commit = r.U8() != 0;
       options.piggyback_commit_ack = r.U8() != 0;
+      options.paxos_f = r.U32();
       if (!r.ok()) {
         co_return RpcResult{InvalidArgumentError("bad commit request"), {}};
       }
@@ -949,6 +979,22 @@ Async<RpcResult> TranMan::HandleCommit(const Tid& tid, const CommitOptions& opti
     status = co_await CommitLocalOnly(fam, local_updates);
   } else if (options.protocol == CommitProtocol::kNonBlocking) {
     status = co_await CoordinateNonBlocking(fam, options, subs, local_updates);
+  } else if (options.protocol == CommitProtocol::kPaxos) {
+    // Acceptor set: min(2F+1, participants) clamped odd, coordinator first.
+    uint32_t acceptors = std::min<uint32_t>(2 * options.paxos_f + 1,
+                                            static_cast<uint32_t>(subs.size()) + 1);
+    if (acceptors % 2 == 0) {
+      --acceptors;
+    }
+    const uint32_t f_eff = (acceptors - 1) / 2;
+    if (f_eff == 0) {
+      // Gray & Lamport's theorem in code: Paxos Commit with one acceptor IS
+      // the optimized two-phase protocol, so route it literally through the
+      // 2PC engine and the cost vectors collapse by construction.
+      status = co_await CoordinateTwoPhase(fam, CommitOptions::Optimized(), subs, local_updates);
+    } else {
+      status = co_await CoordinatePaxos(fam, f_eff, subs, local_updates);
+    }
   } else {
     status = co_await CoordinateTwoPhase(fam, options, subs, local_updates);
   }
@@ -1016,9 +1062,9 @@ Async<void> TranMan::AbortDistributed(Family* fam, const std::vector<SiteId>& no
   }
   fam->state = TmTxnState::kAborted;
   RecordOutcome(fam->top.family, /*committed=*/false);
-  if (fam->protocol == CommitProtocol::kNonBlocking && fam->committing && fam->is_coordinator) {
-    // Change 4: NBC participants keep a tombstone so late status queries see
-    // the outcome instead of inferring the wrong one.
+  if (fam->protocol != CommitProtocol::kTwoPhase && fam->committing && fam->is_coordinator) {
+    // Change 4: NBC (and Paxos) participants keep a tombstone so late status
+    // queries see the outcome instead of inferring the wrong one.
     comman_.Forget(fam->top.family);
   } else {
     RetireFamily(fam->top.family);
@@ -1066,6 +1112,7 @@ Async<TranMan::VoteRound> TranMan::GatherVotes(Family* fam, const TmMsg& prepare
     }
   }
   round.all_yes = pending.empty() && !any_abort;
+  round.any_abort = any_abort;
   for (const auto& [sub_site, vote] : votes) {
     if (vote == TmVote::kCommit) {
       round.update_subs.push_back(sub_site);
@@ -1190,7 +1237,7 @@ Async<void> TranMan::CoordinatorPhase2(FamilyId family, std::vector<SiteId> upda
   // coordinator may forget (End is never forced).
   log_.Append(LogRecord::End(fam->top));
   RecordSpool(fam->top.family, "coord", "end");
-  if (fam->protocol == CommitProtocol::kNonBlocking) {
+  if (fam->protocol != CommitProtocol::kTwoPhase) {
     comman_.Forget(fam->top.family);  // Keep the tombstone itself (change 4).
   } else {
     RetireFamily(family);
@@ -1278,7 +1325,7 @@ Async<Status> TranMan::CoordinateNonBlocking(Family* fam, const CommitOptions& /
   fam->replicated_decision = TmDecision::kCommit;
   const Lsn rep_lsn = log_.Append(LogRecord::Replication(
       fam->top, site_.id(), fam->replicated_epoch, static_cast<uint8_t>(TmDecision::kCommit),
-      fam->sites));
+      fam->sites, fam->protocol, fam->commit_quorum, fam->abort_quorum));
   if (!co_await ForceAt("tm.nbc.replicate_force", fam->top.family, rep_lsn)) {
     co_return UnavailableError("crashed during replication force");
   }
@@ -1391,6 +1438,244 @@ Async<Status> TranMan::CommitLocalOnlyNbc(Family* fam, bool local_updates,
   co_return OkStatus();
 }
 
+// --- Paxos Commit (Gray & Lamport) ----------------------------------------------------------
+
+std::vector<SiteId> TranMan::PaxosAcceptors(const std::vector<SiteId>& sites,
+                                            uint32_t commit_quorum) {
+  size_t a = commit_quorum > 0 ? 2 * static_cast<size_t>(commit_quorum) - 1 : 1;
+  a = std::min(a, sites.size());
+  return {sites.begin(), sites.begin() + static_cast<std::ptrdiff_t>(a)};
+}
+
+Async<Status> TranMan::CoordinatePaxos(Family* fam, uint32_t f_eff, std::vector<SiteId> subs,
+                                       bool local_updates) {
+  const uint32_t inc = site_.incarnation();
+  fam->is_coordinator = true;
+  fam->coordinator = site_.id();
+  fam->protocol = CommitProtocol::kPaxos;
+  fam->force_sub_commit = false;  // The notify phase always uses the optimized form.
+  fam->piggyback_ack = true;
+  fam->sites.clear();
+  fam->sites.push_back(site_.id());
+  fam->sites.insert(fam->sites.end(), subs.begin(), subs.end());
+  fam->commit_quorum = f_eff + 1;
+  fam->abort_quorum = f_eff + 1;
+  fam->inbox = std::make_shared<Channel<TmMsg>>(site_.sched());
+
+  // An updating coordinator prepares (hardening its updates) before fanning
+  // out, like NBC: its vote must survive a crash once it reaches an acceptor.
+  if (local_updates) {
+    const Lsn prep_lsn = log_.Append(LogRecord::Prepare(fam->top, site_.id(), fam->sites,
+                                                        CommitProtocol::kPaxos,
+                                                        fam->commit_quorum, fam->abort_quorum));
+    if (!co_await ForceAt("tm.paxos.prepare_force", fam->top.family, prep_lsn)) {
+      co_return UnavailableError("crashed during prepare force");
+    }
+  }
+  if (AtTransition("tm.prepared")) {
+    co_return UnavailableError("site crashed");
+  }
+  fam->state = TmTxnState::kPrepared;
+  fam->paxos_votes[site_.id()] = local_updates ? TmVote::kCommit : TmVote::kReadOnly;
+
+  TmMsg prepare;
+  prepare.type = TmMsgType::kPrepare;
+  prepare.tid = fam->top;
+  prepare.protocol = CommitProtocol::kPaxos;
+  prepare.sites = fam->sites;
+  prepare.commit_quorum = fam->commit_quorum;
+  prepare.abort_quorum = fam->abort_quorum;
+  prepare.deadline = fam->deadline;
+
+  // The coordinator is acceptor 0; the replicated registrar is the first
+  // 2F+1 participant sites. Its own vote goes to the other acceptors, since
+  // each needs the complete vote set to form its ballot-0 accept.
+  const std::vector<SiteId> acceptors = PaxosAcceptors(fam->sites, fam->commit_quorum);
+  const std::vector<SiteId> remote_acceptors(acceptors.begin() + 1, acceptors.end());
+  TmMsg own_vote;
+  own_vote.type = TmMsgType::kVote;
+  own_vote.tid = fam->top;
+  own_vote.protocol = CommitProtocol::kPaxos;
+  own_vote.vote = local_updates ? TmVote::kCommit : TmVote::kReadOnly;
+  SendMsgToAll(remote_acceptors, own_vote);
+
+  VoteRound votes = co_await GatherVotes(fam, prepare, subs);
+  if (Dead(inc)) {
+    co_return UnavailableError("site crashed");
+  }
+  if (!votes.all_yes) {
+    if (votes.any_abort) {
+      // An explicit no vote: that participant can never re-vote yes, so no
+      // acceptor can ever complete an all-yes set. Presumed abort is safe.
+      co_await AbortDistributed(fam, subs);
+      co_return AbortedError("a participant voted no");
+    }
+    // A silent participant: its yes vote may already sit at an acceptor, so
+    // unlike 2PC/NBC we may NOT presume abort — a later leader could find a
+    // commit accept. Park and resolve through ballot promotion.
+    fam->takeover_round = 0;
+    site_.sched().Spawn(SubordinateWait(fam->top.family, inc));
+    co_return BlockedError("votes incomplete; resolving through takeover");
+  }
+
+  if (votes.update_subs.empty() && !local_updates) {
+    // Entirely read-only: trivially committed, nothing to replicate. Tell the
+    // lingering read-only acceptors so their tombstones are right (their acks
+    // land on the retired family and are dropped).
+    if (AtTransition("tm.committed")) {
+      co_return UnavailableError("site crashed");
+    }
+    fam->state = TmTxnState::kCommitted;
+    RecordOutcome(fam->top.family, /*committed=*/true);
+    NotifyServersDropLocks(*fam);
+    TmMsg commit;
+    commit.type = TmMsgType::kCommit;
+    commit.tid = fam->top;
+    SendMsgToAll(remote_acceptors, commit);
+    RetireFamily(fam->top.family);
+    co_return OkStatus();
+  }
+
+  // A takeover raced the vote gathering: we promised a higher ballot or
+  // accepted its value, so a ballot-0 accept is off the table. Unlike NBC we
+  // must not unilaterally abort either — the fanned-out votes may let another
+  // quorum decide commit. Park and let the takeover machinery resolve it.
+  if (fam->has_replication || fam->promised_epoch > 0) {
+    fam->takeover_round = 0;
+    site_.sched().Spawn(SubordinateWait(fam->top.family, inc));
+    co_return BlockedError("superseded by a takeover round during vote gathering");
+  }
+
+  // Ballot-0 accept at acceptor 0.
+  fam->has_replication = true;
+  fam->replicated_epoch = MakeEpoch(0, site_.id());
+  fam->replicated_decision = TmDecision::kCommit;
+  const Lsn rep_lsn = log_.Append(LogRecord::Replication(
+      fam->top, site_.id(), fam->replicated_epoch, static_cast<uint8_t>(TmDecision::kCommit),
+      fam->sites, CommitProtocol::kPaxos, fam->commit_quorum, fam->abort_quorum));
+  if (!co_await ForceAt("tm.paxos.accept_force", fam->top.family, rep_lsn)) {
+    co_return UnavailableError("crashed during accept force");
+  }
+
+  // Wait for F more acceptors to report their ballot-0 accepts durable.
+  std::set<SiteId> accepted;
+  int rounds = 0;
+  while (accepted.size() + 1 < fam->commit_quorum) {
+    auto msg = co_await fam->inbox->ReceiveTimeout(config_.retry_interval);
+    if (Dead(inc) || fam->inbox->closed()) {
+      co_return UnavailableError("site crashed");
+    }
+    if (msg.has_value()) {
+      if (msg->type == TmMsgType::kPaxosAccepted && msg->epoch == fam->replicated_epoch) {
+        accepted.insert(msg->from);
+      } else if (msg->type == TmMsgType::kCommit) {
+        co_await SubordinateCommit(fam);
+        co_return OkStatus();
+      } else if (msg->type == TmMsgType::kAbort) {
+        co_await SubordinateAbort(fam);
+        co_return AbortedError("aborted by a takeover coordinator");
+      }
+      continue;
+    }
+    ++rounds;
+    if (rounds > config_.max_takeover_rounds) {
+      // More than F acceptors unreachable: demote to an ordinary blocked
+      // participant; takeover resumes when connectivity returns.
+      fam->takeover_round = 0;
+      site_.sched().Spawn(SubordinateWait(fam->top.family, inc));
+      co_return BlockedError("accept quorum unreachable; transaction left prepared");
+    }
+    // Retransmitted prepares make every participant re-vote to the whole
+    // acceptor set, re-feeding any acceptor whose vote copies were lost.
+    SendMsgToAll(subs, prepare);
+  }
+
+  // Commit point: F+1 durable accepts decide. The commit record is only
+  // spooled — the decision survives any F acceptor crashes without it, and a
+  // recovering leader re-derives it from the acceptor set.
+  std::vector<SiteId> notify = votes.update_subs;
+  for (SiteId s : remote_acceptors) {
+    if (std::find(votes.update_subs.begin(), votes.update_subs.end(), s) ==
+        votes.update_subs.end()) {
+      notify.push_back(s);
+    }
+  }
+  log_.Append(LogRecord::Commit(fam->top, notify));
+  RecordSpool(fam->top.family, "coord", "paxos.commit");
+  if (AtTransition("tm.committed")) {
+    co_return UnavailableError("site crashed");
+  }
+  fam->state = TmTxnState::kCommitted;
+  RecordOutcome(fam->top.family, /*committed=*/true);
+  NotifyServersDropLocks(*fam);
+  // Notify phase: update subordinates write commit records; read-only
+  // acceptors tombstone the outcome and ack immediately.
+  site_.sched().Spawn(CoordinatorPhase2(fam->top.family, std::move(notify)));
+  co_return OkStatus();
+}
+
+Async<void> TranMan::HandlePaxosVote(TmMsg msg) {
+  Family* fam = FindFamily(msg.tid.family);
+  if (fam == nullptr) {
+    co_return;
+  }
+  fam->paxos_votes[msg.from] = msg.vote;
+  co_await TryFormPaxosAccept(msg.tid.family, site_.incarnation());
+}
+
+Async<void> TranMan::TryFormPaxosAccept(FamilyId family_id, uint32_t inc) {
+  Family* fam = FindFamily(family_id);
+  if (fam == nullptr || fam->protocol != CommitProtocol::kPaxos ||
+      fam->state != TmTxnState::kPrepared || fam->is_coordinator) {
+    co_return;
+  }
+  if (fam->promised_epoch > 0 || fam->has_replication) {
+    co_return;  // A higher ballot exists; ballot 0 may no longer act.
+  }
+  if (fam->sites.empty() || fam->commit_quorum == 0) {
+    co_return;  // No paxos context yet (a vote raced the prepare).
+  }
+  const std::vector<SiteId> acceptors = PaxosAcceptors(fam->sites, fam->commit_quorum);
+  if (std::find(acceptors.begin(), acceptors.end(), site_.id()) == acceptors.end()) {
+    co_return;  // Not an acceptor.
+  }
+  bool any_update = false;
+  for (SiteId s : fam->sites) {
+    const auto it = fam->paxos_votes.find(s);
+    if (it == fam->paxos_votes.end() || it->second == TmVote::kAbort) {
+      co_return;  // Incomplete (or doomed): no ballot-0 accept.
+    }
+    any_update |= it->second == TmVote::kCommit;
+  }
+  if (!any_update) {
+    co_return;  // Entirely read-only: the leader commits trivially.
+  }
+  // Complete all-yes vote set: form this acceptor's batched ballot-0 accept.
+  // has_replication flips before the force so a concurrent vote arrival
+  // cannot re-enter.
+  fam->has_replication = true;
+  fam->replicated_epoch = MakeEpoch(0, fam->coordinator);
+  fam->replicated_decision = TmDecision::kCommit;
+  const Lsn lsn = log_.Append(LogRecord::Replication(
+      fam->top, fam->coordinator, fam->replicated_epoch,
+      static_cast<uint8_t>(TmDecision::kCommit), fam->sites, CommitProtocol::kPaxos,
+      fam->commit_quorum, fam->abort_quorum));
+  if (!co_await DirectForceAt("tm.paxos.accept_force", family_id, lsn)) {
+    co_return;
+  }
+  fam = FindFamily(family_id);
+  if (fam == nullptr || Dead(inc)) {
+    co_return;
+  }
+  if (fam->coordinator != site_.id()) {
+    TmMsg accepted;
+    accepted.type = TmMsgType::kPaxosAccepted;
+    accepted.tid = fam->top;
+    accepted.epoch = fam->replicated_epoch;
+    SendMsg(fam->coordinator, accepted);
+  }
+}
+
 // --- Subordinate side ----------------------------------------------------------------------
 
 Async<void> TranMan::HandleRemotePrepare(TmMsg msg) {
@@ -1398,13 +1683,29 @@ Async<void> TranMan::HandleRemotePrepare(TmMsg msg) {
   ++counters_.prepares_handled;
   Family* fam = FindFamily(msg.tid.family);
 
+  // Paxos votes go to the whole acceptor set (minus ourselves), derived from
+  // the prepare itself so even a retired family can re-vote correctly.
+  const auto paxos_vote_targets = [this, &msg]() {
+    std::vector<SiteId> targets = PaxosAcceptors(msg.sites, msg.commit_quorum);
+    targets.erase(std::remove(targets.begin(), targets.end(), site_.id()), targets.end());
+    return targets;
+  };
+  const auto send_vote = [&](TmMsg vote) {
+    if (msg.protocol == CommitProtocol::kPaxos) {
+      vote.protocol = CommitProtocol::kPaxos;
+      SendMsgToAll(paxos_vote_targets(), vote);
+    } else {
+      SendMsg(msg.from, vote);
+    }
+  };
+
   if (fam != nullptr && fam->state == TmTxnState::kPrepared && !fam->passive_acceptor) {
-    // Duplicate prepare: our vote was lost; re-vote.
+    // Duplicate prepare: our vote was lost somewhere; re-vote.
     TmMsg vote;
     vote.type = TmMsgType::kVote;
     vote.tid = msg.tid;
     vote.vote = TmVote::kCommit;
-    SendMsg(msg.from, vote);
+    send_vote(std::move(vote));
     co_return;
   }
   if (fam != nullptr && (fam->state == TmTxnState::kCommitted ||
@@ -1416,7 +1717,7 @@ Async<void> TranMan::HandleRemotePrepare(TmMsg msg) {
     vote.type = TmMsgType::kVote;
     vote.tid = msg.tid;
     vote.vote = TmVote::kReadOnly;
-    SendMsg(msg.from, vote);
+    send_vote(std::move(vote));
     co_return;
   }
   if (fam != nullptr && fam->committing) {
@@ -1430,7 +1731,7 @@ Async<void> TranMan::HandleRemotePrepare(TmMsg msg) {
       vote.type = TmMsgType::kVote;
       vote.tid = msg.tid;
       vote.vote = TmVote::kReadOnly;
-      SendMsg(msg.from, vote);
+      send_vote(std::move(vote));
       co_return;
     }
     // We know nothing (e.g. our volatile state died): refuse, forcing abort.
@@ -1508,15 +1809,30 @@ Async<void> TranMan::HandleRemotePrepare(TmMsg msg) {
     // in the second (or replication/notify) phase.
     ++counters_.read_only_votes;
     NotifyServersDropLocks(*fam);
+    bool lingers = msg.protocol == CommitProtocol::kNonBlocking;
+    if (msg.protocol == CommitProtocol::kPaxos) {
+      // A read-only site inside the acceptor set must linger: the registrar
+      // needs its accept and status answers even though it holds no data.
+      const std::vector<SiteId> acceptors = PaxosAcceptors(msg.sites, msg.commit_quorum);
+      lingers = std::find(acceptors.begin(), acceptors.end(), site_.id()) != acceptors.end();
+    }
+    if (lingers) {
+      // Linger as a passive acceptor / status responder (change 4).
+      fam->passive_acceptor = true;
+      fam->state = TmTxnState::kPrepared;
+      if (msg.protocol == CommitProtocol::kPaxos) {
+        fam->paxos_votes[site_.id()] = TmVote::kReadOnly;
+      }
+    }
     TmMsg vote;
     vote.type = TmMsgType::kVote;
     vote.tid = msg.tid;
     vote.vote = TmVote::kReadOnly;
-    SendMsg(msg.from, vote);
-    if (msg.protocol == CommitProtocol::kNonBlocking) {
-      // Linger as a passive acceptor / status responder (change 4).
-      fam->passive_acceptor = true;
-      fam->state = TmTxnState::kPrepared;
+    send_vote(std::move(vote));
+    if (lingers) {
+      if (msg.protocol == CommitProtocol::kPaxos) {
+        co_await TryFormPaxosAccept(msg.tid.family, inc);
+      }
     } else {
       readonly_voted_.insert(msg.tid.family);
       RetireFamily(msg.tid.family);
@@ -1541,13 +1857,21 @@ Async<void> TranMan::HandleRemotePrepare(TmMsg msg) {
   }
   fam->state = TmTxnState::kPrepared;
   fam->inbox = std::make_shared<Channel<TmMsg>>(site_.sched());
+  if (msg.protocol == CommitProtocol::kPaxos) {
+    fam->paxos_votes[site_.id()] = TmVote::kCommit;
+  }
 
   TmMsg vote;
   vote.type = TmMsgType::kVote;
   vote.tid = msg.tid;
   vote.vote = TmVote::kCommit;
-  SendMsg(msg.from, vote);
+  send_vote(std::move(vote));
   site_.sched().Spawn(SubordinateWait(msg.tid.family, inc));
+  if (msg.protocol == CommitProtocol::kPaxos) {
+    // Votes that arrived while our prepare force was in flight may have
+    // completed the set.
+    co_await TryFormPaxosAccept(msg.tid.family, inc);
+  }
 }
 
 Async<void> TranMan::SubordinateWait(FamilyId family_id, uint32_t inc) {
@@ -1568,7 +1892,7 @@ Async<void> TranMan::SubordinateWait(FamilyId family_id, uint32_t inc) {
       co_return;
     }
     const bool park =
-        (fam->protocol == CommitProtocol::kNonBlocking &&
+        (fam->protocol != CommitProtocol::kTwoPhase &&
          fam->takeover_round >= static_cast<uint64_t>(config_.max_takeover_rounds)) ||
         (fam->protocol == CommitProtocol::kTwoPhase && status_rounds >= config_.max_status_rounds);
     std::optional<TmMsg> msg;
@@ -1601,8 +1925,10 @@ Async<void> TranMan::SubordinateWait(FamilyId family_id, uint32_t inc) {
         SendMsg(fam->coordinator, req);
         continue;
       }
-      // NBC: become a coordinator (change 2).
-      const bool resolved = co_await Takeover(family_id, inc);
+      // NBC/Paxos: become a coordinator (change 2 / leader takeover).
+      const bool resolved = fam->protocol == CommitProtocol::kPaxos
+                                ? co_await TakeoverPaxos(family_id, inc)
+                                : co_await Takeover(family_id, inc);
       if (resolved || Dead(inc)) {
         co_return;
       }
@@ -1631,11 +1957,17 @@ Async<void> TranMan::SubordinateWait(FamilyId family_id, uint32_t inc) {
           // recovered PEER answers unknown for any transaction it never
           // touched (the site-up nudge queries whoever just came back up);
           // treating that as an outcome aborts committed work.
-          if (msg->from == fam->coordinator) {
+          //
+          // Paxos Commit exempts even the coordinator: a read-only leader
+          // holds NO durable state before the decision (its ballot-0 accept
+          // may have died with it), yet the acceptor set can have committed
+          // without it. Only quorum takeover may resolve a paxos family.
+          if (msg->from == fam->coordinator &&
+              fam->protocol != CommitProtocol::kPaxos) {
             co_await SubordinateAbort(fam);
             co_return;
           }
-          continue;  // A peer's ignorance proves nothing; keep waiting.
+          continue;  // Amnesia proves nothing here; keep waiting.
         }
         status_rounds = 0;  // Coordinator alive but undecided: keep waiting.
         continue;
@@ -1921,7 +2253,8 @@ Async<bool> TranMan::Takeover(FamilyId family_id, uint32_t inc) {
   fam->replicated_decision = proposal;
   const Lsn rep_lsn = log_.Append(LogRecord::Replication(fam->top, site_.id(), epoch,
                                                          static_cast<uint8_t>(proposal),
-                                                         fam->sites));
+                                                         fam->sites, fam->protocol,
+                                                         fam->commit_quorum, fam->abort_quorum));
   if (!co_await DirectForceAt("tm.takeover.replicate_force", fam->top.family, rep_lsn)) {
     co_return true;
   }
@@ -2028,11 +2361,283 @@ Async<bool> TranMan::Takeover(FamilyId family_id, uint32_t inc) {
   co_return true;
 }
 
+// --- Takeover (Paxos Commit leader promotion) -------------------------------------------------
+
+Async<bool> TranMan::TakeoverPaxos(FamilyId family_id, uint32_t inc) {
+  Family* fam = FindFamily(family_id);
+  if (fam == nullptr) {
+    co_return true;
+  }
+  ++counters_.takeovers;
+  const uint64_t epoch = NextEpoch(fam);
+  std::vector<SiteId> others;
+  for (SiteId s : fam->sites) {
+    if (s != site_.id()) {
+      others.push_back(s);
+    }
+  }
+  const uint32_t n = static_cast<uint32_t>(fam->sites.size());
+  const uint32_t qc = fam->commit_quorum != 0 ? fam->commit_quorum : n / 2 + 1;
+  const uint32_t qa = fam->abort_quorum != 0 ? fam->abort_quorum : qc;
+  const std::vector<SiteId> acceptors = PaxosAcceptors(fam->sites, qc);
+  const bool self_acceptor =
+      std::find(acceptors.begin(), acceptors.end(), site_.id()) != acceptors.end();
+
+  // Status phase: read the participants' states (and take acceptor promises —
+  // the protocol marker tells family-less acceptors to promise too, turning
+  // their kUnknown into countable "no accepted value" testimony).
+  TmMsg req;
+  req.type = TmMsgType::kStatusReq;
+  req.tid = fam->top;
+  req.epoch = epoch;
+  req.protocol = CommitProtocol::kPaxos;
+  SendMsgToAll(others, req);
+
+  std::unordered_map<SiteId, TmMsg> responses;
+  {
+    const SimTime deadline = site_.sched().now() + 2 * config_.retry_interval;
+    while (site_.sched().now() < deadline && responses.size() < others.size()) {
+      auto msg = co_await fam->inbox->ReceiveTimeout(deadline - site_.sched().now());
+      if (Dead(inc)) {
+        co_return true;
+      }
+      fam = FindFamily(family_id);
+      if (fam == nullptr || fam->inbox->closed()) {
+        co_return true;
+      }
+      if (!msg.has_value()) {
+        break;
+      }
+      if (msg->type == TmMsgType::kStatusResp) {
+        responses[msg->from] = *msg;
+      } else if (msg->type == TmMsgType::kCommit) {
+        co_await SubordinateCommit(fam);
+        co_return true;
+      } else if (msg->type == TmMsgType::kAbort) {
+        co_await SubordinateAbort(fam);
+        co_return true;
+      }
+    }
+  }
+
+  // Adopt any already-final outcome (every paxos participant keeps a
+  // tombstone, so late leaders find the truth instead of re-deciding).
+  for (const auto& [from, resp] : responses) {
+    if (resp.state == TmTxnState::kCommitted) {
+      co_await SubordinateCommit(fam);
+      TmMsg commit;
+      commit.type = TmMsgType::kCommit;
+      commit.tid = fam->top;
+      SendMsgToAll(others, commit);
+      co_return true;
+    }
+    if (resp.state == TmTxnState::kAborted) {
+      co_await SubordinateAbort(fam);
+      TmMsg abort;
+      abort.type = TmMsgType::kAbort;
+      abort.tid = fam->top;
+      SendMsgToAll(others, abort);
+      co_return true;
+    }
+  }
+
+  // Read quorum: F+1 acceptors testifying about ballot 0, counting ourselves
+  // if we are one. Two kinds of testimony count: a prepared acceptor (its
+  // response carries a promise at `epoch` plus any accepted value), and a
+  // promised-empty acceptor — no family, but it recorded a promise at `epoch`
+  // when it answered, so "no accepted value" now stays true. A bare kUnknown
+  // (no promise) never counts: an amnesiac acceptor can no longer accept
+  // anything, but neither does it testify about ballot 0.
+  std::vector<SiteId> prepared_acceptors;
+  std::vector<SiteId> promised_empty;
+  for (const auto& [from, resp] : responses) {
+    if (std::find(acceptors.begin(), acceptors.end(), from) == acceptors.end()) {
+      continue;
+    }
+    if (resp.state == TmTxnState::kPrepared) {
+      prepared_acceptors.push_back(from);
+    } else if (resp.state == TmTxnState::kUnknown && resp.promised) {
+      promised_empty.push_back(from);
+    }
+  }
+  const uint32_t read_set = static_cast<uint32_t>(prepared_acceptors.size()) +
+                            static_cast<uint32_t>(promised_empty.size()) +
+                            (self_acceptor ? 1 : 0);
+  if (read_set < qc) {
+    MarkBlocked(fam);
+    co_await site_.sched().Delay(
+        Backoff(config_.takeover_backoff, config_.takeover_backoff_max, fam->takeover_round));
+    co_return false;
+  }
+
+  // Proposal: the highest-ballot accepted decision in the read set wins; with
+  // no accept anywhere, abort is the safe default (a commit accept quorum
+  // would intersect our read set in at least one acceptor).
+  TmDecision proposal = TmDecision::kAbort;
+  uint64_t best_epoch = 0;
+  bool any_replication = false;
+  auto consider = [&](bool has, uint64_t rep_epoch, TmDecision dec) {
+    if (has && (!any_replication || rep_epoch > best_epoch)) {
+      any_replication = true;
+      best_epoch = rep_epoch;
+      proposal = dec;
+    }
+  };
+  if (self_acceptor) {
+    consider(fam->has_replication, fam->replicated_epoch, fam->replicated_decision);
+  }
+  for (const auto& [from, resp] : responses) {
+    if (std::find(acceptors.begin(), acceptors.end(), from) != acceptors.end()) {
+      consider(resp.has_replication, resp.replicated_epoch, resp.replicated_decision);
+    }
+  }
+
+  if (fam->promised_epoch > epoch) {
+    // A newer leader read us while we gathered status; defer to it.
+    MarkBlocked(fam);
+    co_await site_.sched().Delay(
+        Backoff(config_.takeover_backoff, config_.takeover_backoff_max, fam->takeover_round));
+    co_return false;
+  }
+
+  const uint32_t needed = proposal == TmDecision::kCommit ? qc : qa;
+
+  // Accept phase at this ballot: our own durable accept (if we are an
+  // acceptor) plus REPLICATEs to the prepared acceptors. Only real forced
+  // accepts count toward the quorum — Paxos has no static support.
+  fam->promised_epoch = std::max(fam->promised_epoch, epoch);
+  uint32_t support = 0;
+  if (self_acceptor) {
+    fam->has_replication = true;
+    fam->replicated_epoch = epoch;
+    fam->replicated_decision = proposal;
+    const Lsn rep_lsn = log_.Append(LogRecord::Replication(
+        fam->top, site_.id(), epoch, static_cast<uint8_t>(proposal), fam->sites,
+        CommitProtocol::kPaxos, qc, qa));
+    if (!co_await DirectForceAt("tm.takeover.replicate_force", fam->top.family, rep_lsn)) {
+      co_return true;
+    }
+    fam = FindFamily(family_id);
+    if (fam == nullptr) {
+      co_return true;
+    }
+    support = 1;
+  }
+
+  TmMsg replicate;
+  replicate.type = TmMsgType::kReplicate;
+  replicate.tid = fam->top;
+  replicate.epoch = epoch;
+  replicate.decision = proposal;
+  replicate.commit_quorum = qc;
+  replicate.abort_quorum = qa;
+  // Promised-empty acceptors materialize a passive-acceptor family from this
+  // message (HandleReplicate), so it must carry the participant set.
+  replicate.sites = fam->sites;
+  std::vector<SiteId> replicate_targets = prepared_acceptors;
+  replicate_targets.insert(replicate_targets.end(), promised_empty.begin(),
+                           promised_empty.end());
+  SendMsgToAll(replicate_targets, replicate);
+
+  {
+    const SimTime deadline = site_.sched().now() + 2 * config_.retry_interval;
+    std::set<SiteId> acked;
+    while (support + acked.size() < needed && site_.sched().now() < deadline) {
+      auto msg = co_await fam->inbox->ReceiveTimeout(deadline - site_.sched().now());
+      if (Dead(inc)) {
+        co_return true;
+      }
+      fam = FindFamily(family_id);
+      if (fam == nullptr || fam->inbox->closed()) {
+        co_return true;
+      }
+      if (!msg.has_value()) {
+        break;
+      }
+      if (msg->type == TmMsgType::kReplicateAck && msg->epoch == epoch) {
+        acked.insert(msg->from);
+      } else if (msg->type == TmMsgType::kCommit) {
+        co_await SubordinateCommit(fam);
+        co_return true;
+      } else if (msg->type == TmMsgType::kAbort) {
+        co_await SubordinateAbort(fam);
+        co_return true;
+      }
+    }
+    support += static_cast<uint32_t>(acked.size());
+  }
+
+  if (support < needed) {
+    MarkBlocked(fam);
+    co_await site_.sched().Delay(
+        Backoff(config_.takeover_backoff, config_.takeover_backoff_max, fam->takeover_round));
+    co_return false;
+  }
+
+  // Decision point: the accept quorum at this ballot is durable, so (unlike
+  // NBC takeover) the commit record is only spooled, mirroring the leader.
+  if (proposal == TmDecision::kCommit) {
+    ClearBlocked(fam);
+    log_.Append(LogRecord::Commit(fam->top, {}));
+    RecordSpool(fam->top.family, "takeover", "paxos.commit");
+    if (AtTransition("tm.committed")) {
+      co_return true;
+    }
+    fam->state = TmTxnState::kCommitted;
+    RecordOutcome(fam->top.family, /*committed=*/true);
+    NotifyServersDropLocks(*fam);
+    TmMsg commit;
+    commit.type = TmMsgType::kCommit;
+    commit.tid = fam->top;
+    SendMsgToAll(others, commit);
+  } else {
+    log_.Append(LogRecord::Abort(fam->top));
+    RecordSpool(fam->top.family, "takeover", "abort");
+    co_await CallServersAbort(*fam);
+    if (Dead(inc)) {
+      co_return true;
+    }
+    fam = FindFamily(family_id);
+    if (fam == nullptr) {
+      co_return true;
+    }
+    ClearBlocked(fam);
+    if (AtTransition("tm.aborted")) {
+      co_return true;
+    }
+    fam->state = TmTxnState::kAborted;
+    RecordOutcome(fam->top.family, /*committed=*/false);
+    TmMsg abort;
+    abort.type = TmMsgType::kAbort;
+    abort.tid = fam->top;
+    SendMsgToAll(others, abort);
+  }
+  co_return true;
+}
+
 // --- Stateless-ish message handlers ---------------------------------------------------------
 
 Async<void> TranMan::HandleReplicate(TmMsg msg) {
   Family* fam = FindFamily(msg.tid.family);
-  if (fam == nullptr || fam->state != TmTxnState::kPrepared) {
+  if (fam == nullptr) {
+    // A takeover leader counted our promised-empty status answer and now
+    // replicates its decision through us: materialize the passive-acceptor
+    // family the promise reserved. Without a recorded promise we never
+    // testified, so refuse and let the leader find a real quorum.
+    const auto it = orphan_promises_.find(msg.tid.family);
+    if (it == orphan_promises_.end() || msg.epoch < it->second || msg.sites.empty()) {
+      co_return;
+    }
+    fam = CreateFamily(msg.tid);  // Consumes the promise into promised_epoch.
+    fam->state = TmTxnState::kPrepared;
+    fam->committing = true;
+    fam->passive_acceptor = true;
+    fam->protocol = CommitProtocol::kPaxos;
+    fam->coordinator = msg.sites.front();
+    fam->sites = msg.sites;
+    fam->inbox = std::make_shared<Channel<TmMsg>>(site_.sched());
+  }
+  if (fam->state != TmTxnState::kPrepared) {
     co_return;
   }
   if (msg.epoch < fam->promised_epoch || msg.epoch < fam->replicated_epoch) {
@@ -2048,7 +2653,8 @@ Async<void> TranMan::HandleReplicate(TmMsg msg) {
   }
   const Lsn lsn = log_.Append(LogRecord::Replication(fam->top, msg.from, msg.epoch,
                                                      static_cast<uint8_t>(msg.decision),
-                                                     fam->sites));
+                                                     fam->sites, fam->protocol,
+                                                     fam->commit_quorum, fam->abort_quorum));
   if (!co_await DirectForceAt("tm.accept.replicate_force", fam->top.family, lsn)) {
     co_return;
   }
@@ -2067,6 +2673,15 @@ Async<void> TranMan::HandleStatusReq(TmMsg msg) {
   resp.epoch = msg.epoch;
   if (fam == nullptr) {
     resp.state = TmTxnState::kUnknown;  // Presumed abort.
+    if (msg.protocol == CommitProtocol::kPaxos && msg.epoch > 0) {
+      // A Paxos takeover read for a family we have never heard of. Unlike
+      // 2PC this answer will be COUNTED (as "no accepted value"), so it must
+      // double as a ballot promise: record it so a late-arriving ballot-0
+      // vote set can no longer form an accept here behind the leader's back.
+      uint64_t& promised = orphan_promises_[msg.tid.family];
+      promised = std::max(promised, msg.epoch);
+      resp.promised = true;
+    }
   } else {
     resp.state = fam->state;
     resp.has_replication = fam->has_replication;

@@ -25,6 +25,7 @@
 #ifndef SRC_TRANMAN_TRANMAN_H_
 #define SRC_TRANMAN_TRANMAN_H_
 
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -193,6 +194,10 @@ class TranMan {
   // --- Introspection -------------------------------------------------------------
   TmTxnState QueryState(const FamilyId& family) const;
   bool IsBlocked(const FamilyId& family) const;
+  // The acceptor set for a Paxos family: the first 2*Qc-1 participant sites
+  // (coordinator first) — the replicated coordinator registrar.
+  static std::vector<SiteId> PaxosAcceptors(const std::vector<SiteId>& sites,
+                                            uint32_t commit_quorum);
   const TranManCounters& counters() const { return counters_; }
   WorkerPool& pool() { return pool_; }
   TranManConfig& config() { return config_; }
@@ -243,6 +248,11 @@ class TranMan {
     // counts as heuristic damage.
     bool heuristic = false;
 
+    // Paxos Commit acceptor state: every participant's vote as heard at this
+    // acceptor. A ballot-0 accept forms only from a complete all-yes set
+    // (ordered map so replay traces are deterministic).
+    std::map<SiteId, TmVote> paxos_votes;
+
     // Protocol mailbox for whichever coroutine is driving this family.
     std::shared_ptr<Channel<TmMsg>> inbox;
   };
@@ -276,10 +286,18 @@ class TranMan {
   // alone decides; passive acceptors are told the outcome for their tombstones.
   Async<Status> CommitLocalOnlyNbc(Family* fam, bool local_updates,
                                    const std::vector<SiteId>& subs);
+  // Paxos Commit (Gray & Lamport) with F >= 1: per-participant ballot-0 vote
+  // instances batched into one accept record per acceptor; the coordinator is
+  // acceptor 0 and the decision is durable once F+1 acceptors forced accepts.
+  // F = 0 never reaches here — HandleCommit routes it through
+  // CoordinateTwoPhase, the paper's degenerate collapse to optimized 2PC.
+  Async<Status> CoordinatePaxos(Family* fam, uint32_t f_eff, std::vector<SiteId> subs,
+                                bool local_updates);
   // Phase 1 shared by both protocols: send prepares, gather votes.
   // Returns false on abort (abort actions already taken).
   struct VoteRound {
     bool all_yes = false;
+    bool any_abort = false;  // An explicit abort vote (vs. a silent timeout).
     std::vector<SiteId> update_subs;
   };
   Async<VoteRound> GatherVotes(Family* fam, const TmMsg& prepare_template,
@@ -297,6 +315,16 @@ class TranMan {
   // One takeover attempt cycle; resolves the transaction or leaves it for the
   // caller to retry/park. Returns true if the outcome is now decided.
   Async<bool> Takeover(FamilyId family_id, uint32_t inc);
+  // Paxos Commit leader takeover: promote to a fresh ballot, read the acceptor
+  // set, and drive the highest-ballot accepted decision (abort when none) to
+  // an F+1 accept quorum. Any participant may lead; only real forced accepts
+  // from acceptors count toward the quorum.
+  Async<bool> TakeoverPaxos(FamilyId family_id, uint32_t inc);
+  // Records a participant's vote at a Paxos acceptor and, when the vote set is
+  // complete and all-yes with at least one update, forms this acceptor's
+  // ballot-0 accept (forced replication record + PAXOS-ACCEPTED to the leader).
+  Async<void> HandlePaxosVote(TmMsg msg);
+  Async<void> TryFormPaxosAccept(FamilyId family_id, uint32_t inc);
   // Watches an active subordinate family for coordinator death (see
   // TranManConfig::orphan_check_interval).
   Async<void> OrphanWatch(FamilyId family_id, uint32_t inc);
@@ -385,6 +413,13 @@ class TranMan {
   // 2PC subordinates that voted read-only and forgot everything else; kept so
   // a retransmitted prepare gets a read-only vote again instead of an abort.
   std::set<FamilyId> readonly_voted_;
+  // Ballot promises given to Paxos takeover reads for families this site has
+  // never heard of (HandleStatusReq): "no accepted value" is only safe
+  // testimony if ballot 0 can no longer act here, so the promise must outlive
+  // the answer. Consumed into Family::promised_epoch the moment the family
+  // materializes (CreateFamily) — by a late ballot-0 vote set or by the
+  // leader's REPLICATE. Volatile, like the promise on a prepared family.
+  std::unordered_map<FamilyId, uint64_t> orphan_promises_;
   // Off-critical-path messages awaiting piggybacking, per destination.
   std::unordered_map<SiteId, std::vector<TmMsg>> offpath_queue_;
   TranManCounters counters_;

@@ -53,6 +53,9 @@ Bytes LogRecord::Encode() const {
       w.U64(epoch);
       w.U8(decision);
       w.SiteList(sites);
+      w.U8(static_cast<uint8_t>(protocol));
+      w.U32(commit_quorum);
+      w.U32(abort_quorum);
       break;
   }
   return w.Take();
@@ -90,6 +93,9 @@ Result<LogRecord> LogRecord::Decode(const Bytes& payload) {
       rec.epoch = r.U64();
       rec.decision = r.U8();
       rec.sites = r.SiteList();
+      rec.protocol = static_cast<CommitProtocol>(r.U8());
+      rec.commit_quorum = r.U32();
+      rec.abort_quorum = r.U32();
       break;
     default:
       return CorruptionError("unknown log record kind");
@@ -150,7 +156,9 @@ LogRecord LogRecord::Abort(const Tid& tid) {
 }
 
 LogRecord LogRecord::Replication(const Tid& tid, SiteId coordinator, uint64_t epoch,
-                                 uint8_t decision, std::vector<SiteId> sites) {
+                                 uint8_t decision, std::vector<SiteId> sites,
+                                 CommitProtocol protocol, uint32_t commit_quorum,
+                                 uint32_t abort_quorum) {
   LogRecord rec;
   rec.kind = LogRecordKind::kReplication;
   rec.tid = tid;
@@ -158,6 +166,9 @@ LogRecord LogRecord::Replication(const Tid& tid, SiteId coordinator, uint64_t ep
   rec.epoch = epoch;
   rec.decision = decision;
   rec.sites = std::move(sites);
+  rec.protocol = protocol;
+  rec.commit_quorum = commit_quorum;
+  rec.abort_quorum = abort_quorum;
   return rec;
 }
 

@@ -45,6 +45,10 @@ const char* LogRecordKindName(LogRecordKind kind);
 enum class CommitProtocol : uint8_t {
   kTwoPhase = 0,
   kNonBlocking = 1,
+  // Gray & Lamport Paxos Commit: per-RM ballot-0 vote instances against a
+  // 2F+1 acceptor set co-located on the participant sites. kReplication
+  // records double as the acceptors' batched accept records.
+  kPaxos = 2,
 };
 
 struct LogRecord {
@@ -84,8 +88,13 @@ struct LogRecord {
                            CommitProtocol protocol, uint32_t commit_quorum, uint32_t abort_quorum);
   static LogRecord Commit(const Tid& tid, std::vector<SiteId> sites);
   static LogRecord Abort(const Tid& tid);
+  // A replication / accept record. NBC writes these with its default
+  // (kNonBlocking) protocol tag; Paxos acceptors tag kPaxos and carry the
+  // quorum sizes so a crashed acceptor restores with the right ballot rules.
   static LogRecord Replication(const Tid& tid, SiteId coordinator, uint64_t epoch,
-                               uint8_t decision, std::vector<SiteId> sites);
+                               uint8_t decision, std::vector<SiteId> sites,
+                               CommitProtocol protocol = CommitProtocol::kNonBlocking,
+                               uint32_t commit_quorum = 0, uint32_t abort_quorum = 0);
   static LogRecord End(const Tid& tid);
   static LogRecord Checkpoint();
 };

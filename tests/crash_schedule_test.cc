@@ -3,8 +3,8 @@
 // environment-variable replay (see src/harness/crash_explorer.h).
 //
 // Every failing run is reported with a one-line replay recipe; rerun it with
-//   CAMELOT_SEED=<s> CAMELOT_PROTOCOL=<2pc|2pc-unopt|2pc-int|nbc>
-//   CAMELOT_SCHEDULE='<schedule>'
+//   CAMELOT_SEED=<s> CAMELOT_PROTOCOL=<2pc|2pc-unopt|2pc-int|nbc|paxos>
+//   [CAMELOT_F=<f>] CAMELOT_SCHEDULE='<schedule>'
 //   ./crash_schedule_test --gtest_filter='*ReplaysScheduleFromEnvironment*'
 // which reproduces the identical event trace and prints it.
 #include <gtest/gtest.h>
@@ -24,6 +24,13 @@ namespace {
 ExplorerConfig Config(bool non_blocking, uint64_t seed = 1) {
   ExplorerConfig cfg;
   cfg.non_blocking = non_blocking;
+  cfg.seed = seed;
+  return cfg;
+}
+
+ExplorerConfig PaxosConfig(uint32_t f = 1, uint64_t seed = 1) {
+  ExplorerConfig cfg;
+  cfg.variant = CommitOptions::Paxos(f);
   cfg.seed = seed;
   return cfg;
 }
@@ -92,6 +99,37 @@ TEST(CrashScheduleDiscovery, FindsTheNonBlockingInstrumentation) {
   }
 }
 
+// The 3-transfer bank workload under Paxos F = 1 mixes both shapes: the two
+// transfers that touch the coordinator's own vault have a single remote
+// participant, so the acceptor set clamps to one and they collapse to the
+// optimized two-phase path (Gray & Lamport's degenerate case, visible as
+// tm.2pc.commit_force at the coordinator); the one three-site transfer runs
+// real Paxos Commit — a ballot-0 accept force at every acceptor and
+// PAXOS-ACCEPTED datagrams back to the leader.
+TEST(CrashScheduleDiscovery, FindsThePaxosInstrumentation) {
+  auto d = CrashExplorer(PaxosConfig()).Discover();
+  // Coordinator (site 0): leader accept plus the degenerate 2PC commits.
+  EXPECT_TRUE(Has(d, "tm.send.PREPARE", 0));
+  EXPECT_TRUE(Has(d, "tm.send.VOTE", 0));
+  EXPECT_TRUE(Has(d, "tm.paxos.accept_force.before", 0));
+  EXPECT_TRUE(Has(d, "tm.paxos.accept_force.after", 0));
+  EXPECT_TRUE(Has(d, "tm.2pc.commit_force.after", 0));
+  EXPECT_TRUE(Has(d, "tm.send.COMMIT", 0));
+  EXPECT_TRUE(Has(d, "tm.prepared", 0));
+  EXPECT_TRUE(Has(d, "tm.committed", 0));
+  // Subordinate acceptors (sites 1 and 2): prepare, vote, ballot-0 accept,
+  // and the accepted notification back to the coordinator.
+  for (uint32_t sub = 1; sub <= 2; ++sub) {
+    EXPECT_TRUE(Has(d, "tm.sub.prepare_force.before", sub)) << sub;
+    EXPECT_TRUE(Has(d, "tm.prepared", sub)) << sub;
+    EXPECT_TRUE(Has(d, "tm.send.VOTE", sub)) << sub;
+    EXPECT_TRUE(Has(d, "tm.paxos.accept_force.before", sub)) << sub;
+    EXPECT_TRUE(Has(d, "tm.paxos.accept_force.after", sub)) << sub;
+    EXPECT_TRUE(Has(d, "tm.send.PAXOS-ACCEPTED", sub)) << sub;
+    EXPECT_TRUE(Has(d, "tm.committed", sub)) << sub;
+  }
+}
+
 // --- Exhaustive single-crash sweeps -----------------------------------------------
 //
 // The acceptance property: crash at EVERY discovered (point, site, hit), heal,
@@ -104,7 +142,8 @@ TEST(CrashScheduleDiscovery, FindsTheNonBlockingInstrumentation) {
 TEST(CrashScheduleSweep, FaultFreeRunPassesConformanceGate) {
   for (const CommitOptions& options :
        {CommitOptions::Optimized(), CommitOptions::Unoptimized(),
-        CommitOptions::Intermediate(), CommitOptions::NonBlocking()}) {
+        CommitOptions::Intermediate(), CommitOptions::NonBlocking(),
+        CommitOptions::Paxos(0), CommitOptions::Paxos(1)}) {
     ExplorerConfig cfg;
     cfg.variant = options;
     const RunResult result = CrashExplorer(cfg).Run(CrashSchedule{});
@@ -124,6 +163,42 @@ TEST(CrashScheduleSweep, ExhaustiveSingleCrashSweepPassesOracle_NonBlocking) {
   ReportFailures(CrashExplorer(Config(/*non_blocking=*/true))
                      .ExhaustiveSingleCrashSweep(/*max_hits_per_point=*/0, &runs));
   EXPECT_GE(runs, 100) << "suspiciously few runs: instrumentation rot?";
+}
+
+TEST(CrashScheduleSweep, ExhaustiveSingleCrashSweepPassesOracle_Paxos) {
+  int runs = 0;
+  ReportFailures(
+      CrashExplorer(PaxosConfig()).ExhaustiveSingleCrashSweep(/*max_hits_per_point=*/0, &runs));
+  EXPECT_GE(runs, 85) << "suspiciously few runs: instrumentation rot?";
+}
+
+// The acceptance-criterion double crash: coordinator AND one acceptor die
+// together under F = 1 (2F + 1 = 3 acceptors tolerate exactly one). The
+// surviving acceptor pair must still reach a decision — blocked families are
+// resolved by leader takeover at a promoted ballot — and the atomicity,
+// leak, and isolation oracles must all hold after heal.
+TEST(CrashScheduleSweep, CoordinatorPlusAcceptorDoubleCrashSweep_Paxos) {
+  CrashExplorer ex(PaxosConfig());
+  const char* coordinator_points[] = {
+      "tm.paxos.prepare_force.after", "tm.send.PREPARE", "tm.paxos.accept_force.after",
+      "tm.send.COMMIT", "tm.committed"};
+  const char* acceptor_points[] = {
+      "tm.sub.prepare_force.after", "tm.send.VOTE", "tm.paxos.accept_force.before",
+      "tm.paxos.accept_force.after", "tm.send.PAXOS-ACCEPTED"};
+  int runs = 0;
+  for (const char* cp : coordinator_points) {
+    for (const char* ap : acceptor_points) {
+      CrashSchedule schedule;
+      schedule.entries.push_back({cp, SiteId{0}, 1, FailpointAction::kCrash, 0});
+      schedule.entries.push_back({ap, SiteId{1}, 1, FailpointAction::kCrash, 0});
+      const RunResult result = ex.Run(schedule);
+      ++runs;
+      EXPECT_TRUE(result.ok) << "schedule " << schedule.ToString()
+                             << " violated the oracle:\n"
+                             << result.Explain() << "  replay: " << result.replay;
+    }
+  }
+  EXPECT_EQ(runs, 25);
 }
 
 // --- Crash during recovery --------------------------------------------------------
@@ -152,6 +227,18 @@ TEST(CrashScheduleSweep, CrashDuringRecoverySweep_NonBlocking) {
   int runs = 0;
   ReportFailures(ex.RecoverySweep(
       {"tm.nbc.commit_force.after", SiteId{0}, 1, FailpointAction::kCrash, 0}, &runs));
+  EXPECT_GE(runs, 4) << "the base crash discovered no recovery points";
+}
+
+TEST(CrashScheduleSweep, CrashDuringRecoverySweep_Paxos) {
+  CrashExplorer ex(PaxosConfig());
+  int runs = 0;
+  // The coordinator dies with its ballot-0 accept durable but the commit
+  // record only spooled: restart must rebuild the family from the
+  // replication record and the takeover protocol must converge — and survive
+  // being crashed again at each recovery point.
+  ReportFailures(ex.RecoverySweep(
+      {"tm.paxos.accept_force.after", SiteId{0}, 1, FailpointAction::kCrash, 0}, &runs));
   EXPECT_GE(runs, 4) << "the base crash discovered no recovery points";
 }
 
@@ -191,7 +278,7 @@ TEST(CrashScheduleReplay, ReplaysScheduleFromEnvironment) {
   if (const char* protocol = std::getenv("CAMELOT_PROTOCOL")) {
     auto options = ParseProtocolName(protocol);
     ASSERT_TRUE(options.ok()) << "CAMELOT_PROTOCOL: " << options.status().message();
-    cfg.variant = *options;
+    cfg.variant = ApplyPaxosFFromEnv(*options);
   }
   if (std::getenv("CAMELOT_TRACE") != nullptr) {
     SetTraceLevel(TraceLevel::kDebug);  // Protocol-level sim tracing too.

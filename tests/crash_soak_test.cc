@@ -1,6 +1,6 @@
 // Crash-schedule soak (ctest label: soak): the expensive end of the explorer.
 // Multi-seed exhaustive every-hit sweeps plus seeded random multi-fault
-// schedules under both commit protocols. Failing schedules are appended to
+// schedules under the two-phase, non-blocking, and Paxos commit protocols. Failing schedules are appended to
 // crash_soak_failures.txt (override the directory with CAMELOT_ARTIFACT_DIR)
 // so CI can upload them as an artifact; each line is a ready-to-run replay
 // recipe for crash_schedule_test's ReplaysScheduleFromEnvironment.
@@ -41,11 +41,12 @@ void ReportFailures(const std::vector<SweepFailure>& failures) {
 
 TEST(CrashSoak, ExhaustiveEveryHitSweepAcrossSeeds) {
   int total_runs = 0;
-  for (uint64_t seed = 1; seed <= 4; ++seed) {
-    for (const bool non_blocking : {false, true}) {
+  for (uint64_t seed = 1; seed <= 24; ++seed) {
+    for (const CommitOptions& options :
+         {CommitOptions::Optimized(), CommitOptions::NonBlocking(), CommitOptions::Paxos(1)}) {
       ExplorerConfig cfg;
       cfg.seed = seed;
-      cfg.non_blocking = non_blocking;
+      cfg.variant = options;
       cfg.transfers = 4;
       int runs = 0;
       ReportFailures(CrashExplorer(cfg).ExhaustiveSingleCrashSweep(/*max_hits_per_point=*/0,
@@ -54,7 +55,7 @@ TEST(CrashSoak, ExhaustiveEveryHitSweepAcrossSeeds) {
     }
   }
   std::printf("crash soak: %d exhaustive single-crash runs\n", total_runs);
-  EXPECT_GE(total_runs, 800);
+  EXPECT_GE(total_runs, 8000);
 }
 
 // The intermediate variants get one exhaustive seed each: their fault
@@ -78,33 +79,41 @@ TEST(CrashSoak, ExhaustiveSweepIntermediateVariants) {
 
 TEST(CrashSoak, RandomMultiFaultSchedules) {
   int total_runs = 0;
-  for (uint64_t seed = 1; seed <= 5; ++seed) {
-    for (const bool non_blocking : {false, true}) {
+  for (uint64_t seed = 1; seed <= 15; ++seed) {
+    for (const CommitOptions& options :
+         {CommitOptions::Optimized(), CommitOptions::NonBlocking(), CommitOptions::Paxos(1)}) {
       ExplorerConfig cfg;
       cfg.seed = seed;
-      cfg.non_blocking = non_blocking;
+      cfg.variant = options;
       int runs = 0;
-      ReportFailures(CrashExplorer(cfg).RandomSweep(/*rng_seed=*/seed * 7919, /*rounds=*/40,
+      ReportFailures(CrashExplorer(cfg).RandomSweep(/*rng_seed=*/seed * 7919, /*rounds=*/90,
                                                     /*max_faults=*/3, &runs));
       total_runs += runs;
     }
   }
   std::printf("crash soak: %d random multi-fault runs\n", total_runs);
-  EXPECT_GE(total_runs, 400);
+  EXPECT_GE(total_runs, 4000);
 }
 
 TEST(CrashSoak, RecoverySweepAcrossSeeds) {
-  for (uint64_t seed = 1; seed <= 3; ++seed) {
-    for (const bool non_blocking : {false, true}) {
+  struct ProtocolBase {
+    CommitOptions options;
+    const char* base_point;  // Coordinator decision-durable crash point.
+  };
+  const ProtocolBase bases[] = {
+      {CommitOptions::Optimized(), "tm.2pc.commit_force.after"},
+      {CommitOptions::NonBlocking(), "tm.nbc.commit_force.after"},
+      {CommitOptions::Paxos(1), "tm.paxos.accept_force.after"},
+  };
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    for (const ProtocolBase& base : bases) {
       ExplorerConfig cfg;
       cfg.seed = seed;
-      cfg.non_blocking = non_blocking;
+      cfg.variant = base.options;
       CrashExplorer ex(cfg);
-      const char* base_point =
-          non_blocking ? "tm.nbc.commit_force.after" : "tm.2pc.commit_force.after";
       int runs = 0;
       ReportFailures(
-          ex.RecoverySweep({base_point, SiteId{0}, 1, FailpointAction::kCrash, 0}, &runs));
+          ex.RecoverySweep({base.base_point, SiteId{0}, 1, FailpointAction::kCrash, 0}, &runs));
       EXPECT_GE(runs, 2) << "seed " << seed;
     }
   }

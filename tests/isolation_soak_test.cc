@@ -79,6 +79,7 @@ const Variant kVariants[] = {
     {"2pc-unopt", CommitOptions::Unoptimized()},
     {"2pc-int", CommitOptions::Intermediate()},
     {"nbc", CommitOptions::NonBlocking()},
+    {"paxos", CommitOptions::Paxos(1)},
 };
 
 TEST(IsolationSoak, BankWorkloadUnderChaosAllVariants) {

@@ -1,7 +1,7 @@
 // Partition-schedule soak (ctest label: soak): multi-seed exhaustive
 // single-partition sweeps plus seeded random multi-fault nemesis scripts
 // (partition churn, loss/dup/reorder bursts, congestion storms) under both
-// commit protocols. Failing scripts are appended to
+// two-phase, non-blocking, and Paxos commit protocols. Failing scripts are appended to
 // partition_soak_failures.txt (override the directory with
 // CAMELOT_ARTIFACT_DIR) so CI can upload them as an artifact; each line is a
 // ready-to-run replay recipe for partition_schedule_test's
@@ -43,11 +43,12 @@ void ReportFailures(const std::vector<PartitionSweepFailure>& failures) {
 
 TEST(PartitionSoak, ExhaustiveSweepAcrossSeeds) {
   int total_runs = 0;
-  for (uint64_t seed = 1; seed <= 4; ++seed) {
-    for (const bool non_blocking : {false, true}) {
+  for (uint64_t seed = 1; seed <= 27; ++seed) {
+    for (const CommitOptions& options :
+         {CommitOptions::Optimized(), CommitOptions::NonBlocking(), CommitOptions::Paxos(1)}) {
       PartitionExplorerConfig cfg;
       cfg.seed = seed;
-      cfg.non_blocking = non_blocking;
+      cfg.variant = options;
       cfg.transfers = 6;
       int runs = 0;
       ReportFailures(PartitionExplorer(cfg).ExhaustiveSinglePartitionSweep(&runs));
@@ -55,7 +56,7 @@ TEST(PartitionSoak, ExhaustiveSweepAcrossSeeds) {
     }
   }
   std::printf("partition soak: %d exhaustive single-partition runs\n", total_runs);
-  EXPECT_GE(total_runs, 128);
+  EXPECT_GE(total_runs, 1280);
 }
 
 // One exhaustive sweep each for the intermediate commit variants (shared 2PC
@@ -77,19 +78,20 @@ TEST(PartitionSoak, ExhaustiveSweepIntermediateVariants) {
 
 TEST(PartitionSoak, RandomMultiFaultNemesisScripts) {
   int total_runs = 0;
-  for (uint64_t seed = 1; seed <= 5; ++seed) {
-    for (const bool non_blocking : {false, true}) {
+  for (uint64_t seed = 1; seed <= 15; ++seed) {
+    for (const CommitOptions& options :
+         {CommitOptions::Optimized(), CommitOptions::NonBlocking(), CommitOptions::Paxos(1)}) {
       PartitionExplorerConfig cfg;
       cfg.seed = seed;
-      cfg.non_blocking = non_blocking;
+      cfg.variant = options;
       int runs = 0;
       ReportFailures(
-          PartitionExplorer(cfg).RandomNemesisSweep(/*rng_seed=*/seed * 6271, /*rounds=*/40, &runs));
+          PartitionExplorer(cfg).RandomNemesisSweep(/*rng_seed=*/seed * 6271, /*rounds=*/90, &runs));
       total_runs += runs;
     }
   }
   std::printf("partition soak: %d random nemesis runs\n", total_runs);
-  EXPECT_GE(total_runs, 400);
+  EXPECT_GE(total_runs, 4000);
 }
 
 }  // namespace

@@ -1,0 +1,169 @@
+// Paxos Commit soak (ctest label: soak): long-lived transactions — the load
+// generator's hold-time distribution keeps locks held for hundreds of
+// virtual milliseconds between staging and Commit — under repeated
+// crash/restart chaos with F = 1. Long holds are the regime that separates
+// Paxos Commit from 2PC: a crash has a wide window to catch families
+// mid-commit, and the survivors must resolve through the replicated
+// registrar instead of blocking on the dead coordinator. Every run ends with
+// the bank-invariant audit (balances conserved, observers agree) and the
+// exactly-once counters. Failing runs append their seed recipe to
+// paxos_soak_failures.txt (directory overridden by CAMELOT_ARTIFACT_DIR) so
+// CI uploads them as an artifact.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/harness/bank_workload.h"
+#include "src/harness/load_gen.h"
+#include "src/harness/world.h"
+
+namespace camelot {
+namespace {
+
+std::string ArtifactPath() {
+  const char* dir = std::getenv("CAMELOT_ARTIFACT_DIR");
+  return (dir != nullptr ? std::string(dir) + "/" : std::string()) + "paxos_soak_failures.txt";
+}
+
+void ReportFailure(const std::string& label, const std::vector<std::string>& violations) {
+  std::string joined;
+  for (const std::string& v : violations) {
+    joined += "  " + v + "\n";
+  }
+  ADD_FAILURE() << label << " violated the oracle:\n" << joined;
+  std::FILE* artifact = std::fopen(ArtifactPath().c_str(), "a");
+  if (artifact != nullptr) {
+    std::fprintf(artifact, "%s\n%s", label.c_str(), joined.c_str());
+    std::fclose(artifact);
+  }
+}
+
+LoadGenConfig LongLivedConfig(uint64_t seed, uint32_t f) {
+  LoadGenConfig cfg;
+  cfg.offered_tps = 8.0;
+  cfg.duration = Sec(8);
+  cfg.accounts_per_site = 16;
+  cfg.zipf_theta = 0.4;
+  cfg.options = CommitOptions::Paxos(f);
+  cfg.hold_time_mean = Sec(0.3);  // ~10x the commit path: locks held, in the open.
+  cfg.hold_time_max = Sec(1.5);
+  // Contended but viable: ~8 tps with ~350 ms holds keeps 2-3 families' locks
+  // open at once over 48 accounts, so crashes land on live families without
+  // the workload collapsing into a retry storm.
+  cfg.deadline = 0;  // No shedding; every arrival should resolve.
+  cfg.max_retries = 3;
+  cfg.retry_budget_ratio = 1.0;
+  cfg.rng_seed = seed;
+  return cfg;
+}
+
+WorldConfig SoakWorld(uint64_t seed) {
+  WorldConfig cfg;
+  cfg.site_count = 3;
+  cfg.seed = seed;
+  return cfg;
+}
+
+// Restarts any down site, then drains the world to a stable idle point. A
+// site can go down again during the drain (a late-armed fault never does
+// here, but a crash mid-recovery can leave it down), so loop.
+bool DrainHealed(World& world) {
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    bool any_down = false;
+    for (int i = 0; i < world.site_count(); ++i) {
+      if (!world.site(i).site().up()) {
+        world.Restart(i);
+        any_down = true;
+      }
+    }
+    world.RunFor(Sec(3));
+    if (!any_down && world.sched().RunUntilIdle(2u * 1000 * 1000).drained) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(PaxosSoak, LongLivedTransactionsUnderCrashRestartChaos) {
+  int total_commits = 0;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    const std::string label = "paxos long-lived chaos CAMELOT_SEED=" + std::to_string(seed) +
+                              " CAMELOT_PROTOCOL=paxos CAMELOT_F=1";
+    World world(SoakWorld(seed));
+    LoadGenConfig cfg = LongLivedConfig(seed, /*f=*/1);
+    const BankWorkloadConfig bank = ToBankConfig(cfg);
+    SetupBank(world, bank);
+    LoadGen gen(world, cfg);
+    gen.Start();
+
+    // Crash/restart chaos through the arrival window: with 300ms mean holds
+    // and 20 tps offered, every crash lands on several open families.
+    Rng chaos(seed * 6364136223846793005ULL + 1442695040888963407ULL);
+    for (int round = 0; round < 4; ++round) {
+      world.RunFor(Sec(1.2));
+      const int victim = static_cast<int>(chaos.NextBounded(
+          static_cast<uint64_t>(world.site_count())));
+      world.Crash(victim);
+      world.RunFor(Sec(0.8));
+      world.Restart(victim);
+    }
+
+    std::vector<std::string> violations;
+    if (!DrainHealed(world)) {
+      violations.push_back("world did not quiesce after heal");
+    }
+    for (const std::string& v : AuditBankInvariant(world, bank)) {
+      violations.push_back(v);
+    }
+    for (int i = 0; i < world.site_count(); ++i) {
+      const TranManCounters& c = world.site(i).tranman().counters();
+      if (c.heuristic_damage != 0) {
+        violations.push_back("site " + std::to_string(i) + ": heuristic damage");
+      }
+      if (c.duplicate_effects != 0) {
+        violations.push_back("site " + std::to_string(i) + ": duplicate effects");
+      }
+    }
+    if (!violations.empty()) {
+      ReportFailure(label, violations);
+    }
+    // A fault-free run commits most arrivals; four crash rounds legitimately
+    // abort many, but a healthy floor must survive the chaos.
+    EXPECT_GT(gen.stats().committed, 5u) << label;
+    total_commits += static_cast<int>(gen.stats().committed);
+  }
+  std::printf("paxos soak: %d long-lived commits across chaos seeds\n", total_commits);
+}
+
+TEST(PaxosSoak, FaultFreeLongHoldsResolveEveryArrival) {
+  // No chaos: every long-lived arrival must resolve (commit or clean abort),
+  // balances conserved, at F = 0 (degenerate 2PC), 1, and 2.
+  for (const uint32_t f : {0u, 1u, 2u}) {
+    World world(SoakWorld(/*seed=*/42 + f));
+    LoadGenConfig cfg = LongLivedConfig(/*seed=*/42 + f, f);
+    cfg.duration = Sec(5);
+    const BankWorkloadConfig bank = ToBankConfig(cfg);
+    SetupBank(world, bank);
+    LoadGen gen(world, cfg);
+    gen.Start();
+    world.RunFor(cfg.duration + Sec(5));
+    world.RunUntilIdle();
+    const std::string label = "paxos fault-free holds F=" + std::to_string(f);
+    EXPECT_TRUE(gen.done()) << label;
+    EXPECT_GT(gen.stats().committed, 0u) << label;
+    // Mean arrival-to-commit latency must show the hold (>= 200ms with a
+    // 300ms mean hold; the plain commit path is tens of milliseconds).
+    EXPECT_GT(gen.stats().latency_ms.mean(), 200.0) << label;
+    std::vector<std::string> violations = AuditBankInvariant(world, bank);
+    if (!violations.empty()) {
+      ReportFailure(label, violations);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace camelot

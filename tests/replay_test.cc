@@ -26,21 +26,45 @@ TEST(ReplayRecipeTest, FullRecipeQuotesSchedule) {
             "CAMELOT_SEED=9 CAMELOT_PROTOCOL=nbc CAMELOT_NEMESIS='partition@1000:0|1,2'");
 }
 
-TEST(ReplayRecipeTest, ProtocolNameCoversAllFourVariants) {
+TEST(ReplayRecipeTest, ProtocolNameCoversAllFiveVariants) {
   EXPECT_EQ(ProtocolName(CommitOptions::Optimized()), "2pc");
   EXPECT_EQ(ProtocolName(CommitOptions::Unoptimized()), "2pc-unopt");
   EXPECT_EQ(ProtocolName(CommitOptions::Intermediate()), "2pc-int");
   EXPECT_EQ(ProtocolName(CommitOptions::NonBlocking()), "nbc");
+  EXPECT_EQ(ProtocolName(CommitOptions::Paxos(1)), "paxos");
+  EXPECT_EQ(ProtocolName(CommitOptions::Paxos(0)), "paxos");  // F rides in CAMELOT_F.
 }
 
 TEST(ReplayRecipeTest, ParseProtocolNameRoundTrips) {
-  for (const char* name : {"2pc", "2pc-unopt", "2pc-int", "nbc"}) {
+  for (const char* name : {"2pc", "2pc-unopt", "2pc-int", "nbc", "paxos"}) {
     auto options = ParseProtocolName(name);
     ASSERT_TRUE(options.ok()) << name;
     EXPECT_EQ(ProtocolName(*options), name);
   }
   EXPECT_FALSE(ParseProtocolName("3pc").ok());
   EXPECT_FALSE(ParseProtocolName("").ok());
+}
+
+TEST(ReplayRecipeTest, PaxosPrefixCarriesF) {
+  EXPECT_EQ(ReplayRecipePrefix(11, CommitOptions::Paxos(1)),
+            "CAMELOT_SEED=11 CAMELOT_PROTOCOL=paxos CAMELOT_F=1");
+  EXPECT_EQ(ReplayRecipePrefix(11, CommitOptions::Paxos(3)),
+            "CAMELOT_SEED=11 CAMELOT_PROTOCOL=paxos CAMELOT_F=3");
+  EXPECT_EQ(ReplayRecipe(11, CommitOptions::Paxos(2), "CAMELOT_SCHEDULE", "x"),
+            "CAMELOT_SEED=11 CAMELOT_PROTOCOL=paxos CAMELOT_F=2 CAMELOT_SCHEDULE='x'");
+}
+
+TEST(ReplayRecipeTest, ApplyPaxosFFromEnvOverridesParsedDefault) {
+  setenv("CAMELOT_F", "2", 1);
+  auto parsed = ParseProtocolName("paxos");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->paxos_f, 1u);  // Parse default: smallest non-degenerate F.
+  EXPECT_EQ(ApplyPaxosFFromEnv(*parsed).paxos_f, 2u);
+  // Non-paxos options pass through untouched even with CAMELOT_F set.
+  EXPECT_EQ(ApplyPaxosFFromEnv(CommitOptions::NonBlocking()).protocol,
+            CommitProtocol::kNonBlocking);
+  unsetenv("CAMELOT_F");
+  EXPECT_EQ(ApplyPaxosFFromEnv(*parsed).paxos_f, 1u);  // No env: keep the parsed F.
 }
 
 TEST(ReplayRecipeTest, FourVariantPrefixAndRecipe) {
